@@ -1,0 +1,85 @@
+// Ablation (DESIGN.md §7, choice 1): what do the type-C and type-P edges of
+// the synchronization dependency graph buy?
+//
+// For every replayable cycle of the list/map/logging benchmarks, the replay
+// hit rate is measured with four Gs variants: type-D only (just the deadlock
+// condition — essentially "pause at the final acquisitions"), D+P (program
+// order added), D+C (per-lock trace order added), and the full graph. The
+// paper's argument (§4.2, Fig. 9 discussion) is that the trace-derived
+// ordering edges are what make reproduction reliable; dropping them should
+// collapse the hit rate toward DeadlockFuzzer's.
+#include <iostream>
+
+#include "support/flags.hpp"
+#include "support/table.hpp"
+#include "suite_runner.hpp"
+
+using namespace wolf;
+
+namespace {
+
+double hit_rate_with(const sim::Program& program, const Detection& detection,
+                     std::size_t cycle, const SyncDependencyGraph& gs,
+                     int runs, std::uint64_t seed, std::uint64_t max_steps) {
+  ReplayOptions options;
+  options.attempts = runs;
+  options.stop_on_first_hit = false;
+  options.seed = seed;
+  options.max_steps = max_steps;
+  return replay(program, detection.cycles[cycle], detection.dep, gs, options)
+      .hit_rate();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("seed", 2014, "seed");
+  flags.define_int("runs", 30, "replay runs per cycle and variant");
+  if (!flags.parse(argc, argv)) return 1;
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const int runs = static_cast<int>(flags.get_int("runs"));
+
+  std::cout << "Ablation — Gs edge types vs replay hit rate (" << runs
+            << " runs/cycle)\n";
+  TextTable table({"Benchmark", "Cycles", "D only", "D+P", "D+C", "full Gs"});
+
+  for (const workloads::Benchmark& bench : workloads::standard_suite()) {
+    if (bench.name == "cache4j" || bench.name == "Jigsaw") continue;
+    auto trace = sim::record_trace(bench.program, seed, 50, bench.max_steps);
+    if (!trace.has_value()) continue;
+    Detection detection = detect(*trace);
+    auto verdicts = prune(detection);
+
+    double d_only = 0, dp = 0, dc = 0, full = 0;
+    int measured = 0;
+    for (std::size_t c = 0; c < detection.cycles.size(); ++c) {
+      if (is_false(verdicts[c])) continue;
+      GeneratorResult gen = generate(detection.cycles[c], detection.dep);
+      if (!gen.feasible) continue;
+      const std::uint64_t cycle_seed = mix64(seed + c);
+      d_only += hit_rate_with(bench.program, detection, c,
+                              filter_edges(gen.gs, true, false, false), runs,
+                              cycle_seed, bench.max_steps);
+      dp += hit_rate_with(bench.program, detection, c,
+                          filter_edges(gen.gs, true, false, true), runs,
+                          cycle_seed, bench.max_steps);
+      dc += hit_rate_with(bench.program, detection, c,
+                          filter_edges(gen.gs, true, true, false), runs,
+                          cycle_seed, bench.max_steps);
+      full += hit_rate_with(bench.program, detection, c, gen.gs, runs,
+                            cycle_seed, bench.max_steps);
+      ++measured;
+    }
+    if (measured == 0) continue;
+    table.add_row({bench.name, std::to_string(measured),
+                   TextTable::num(d_only / measured, 2),
+                   TextTable::num(dp / measured, 2),
+                   TextTable::num(dc / measured, 2),
+                   TextTable::num(full / measured, 2)});
+  }
+  table.render(std::cout);
+  std::cout << "\nexpected: full Gs >= D+C >= D+P >= D-only on average; the\n"
+               "gap is the value of the trace-derived ordering edges.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks for the execution substrates: virtual-thread scheduler
+// throughput, recording overhead, replay-trial throughput, the systematic
+// explorer, and the OS-thread executor.
+#include <benchmark/benchmark.h>
+
+#include "baseline/deadlock_fuzzer.hpp"
+#include "core/replayer.hpp"
+#include "explore/explorer.hpp"
+#include "rt/executor.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/cache4j.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace {
+
+using namespace wolf;
+
+sim::Program cache_program(int ops) {
+  workloads::Cache4jConfig config;
+  config.ops_per_thread = ops;
+  return workloads::make_cache4j(config);
+}
+
+void BM_SchedulerSteps(benchmark::State& state) {
+  sim::Program program = cache_program(static_cast<int>(state.range(0)));
+  std::uint64_t steps = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::RandomPolicy policy;
+    Rng rng(seed++);
+    sim::RunResult result = sim::run_program(program, policy, rng);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SchedulerSteps)->Arg(32)->Arg(256);
+
+void BM_SchedulerRecording(benchmark::State& state) {
+  sim::Program program = cache_program(static_cast<int>(state.range(0)));
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    TraceRecorder recorder;
+    sim::SchedulerOptions options;
+    options.sink = &recorder;
+    sim::RandomPolicy policy;
+    Rng rng(seed++);
+    sim::RunResult result = sim::run_program(program, policy, rng, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(recorder.trace().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SchedulerRecording)->Arg(32)->Arg(256);
+
+void BM_ReplayTrial(benchmark::State& state) {
+  auto w = workloads::make_collections_list("ArrayList");
+  auto trace = sim::record_trace(w.program, 7);
+  WOLF_CHECK(trace.has_value());
+  Detection detection = detect(*trace);
+  WOLF_CHECK(!detection.cycles.empty());
+  GeneratorResult gen = generate(detection.cycles[0], detection.dep);
+  WOLF_CHECK(gen.feasible);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ReplayTrial trial = replay_once(w.program, detection.cycles[0],
+                                    detection.dep, gen.gs, seed++);
+    benchmark::DoNotOptimize(trial.outcome);
+  }
+}
+BENCHMARK(BM_ReplayTrial);
+
+void BM_FuzzTrial(benchmark::State& state) {
+  auto w = workloads::make_collections_list("ArrayList");
+  auto trace = sim::record_trace(w.program, 7);
+  WOLF_CHECK(trace.has_value());
+  Detection detection = detect(*trace);
+  WOLF_CHECK(!detection.cycles.empty());
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ReplayTrial trial = baseline::fuzz_once(w.program, detection.cycles[0],
+                                            detection.dep, seed++);
+    benchmark::DoNotOptimize(trial.outcome);
+  }
+}
+BENCHMARK(BM_FuzzTrial);
+
+void BM_ExplorerFigure4(benchmark::State& state) {
+  auto fig = workloads::make_figure4();
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    explore::ExploreResult result = explore::explore(fig.program);
+    states += result.states;
+    benchmark::DoNotOptimize(result.deadlock_signatures.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states));
+}
+BENCHMARK(BM_ExplorerFigure4);
+
+void BM_ExplorerPhilosophers(benchmark::State& state) {
+  auto w = workloads::make_philosophers(static_cast<int>(state.range(0)));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    explore::ExploreResult result = explore::explore(w.program);
+    states += result.states;
+    benchmark::DoNotOptimize(result.deadlock_states);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states));
+}
+BENCHMARK(BM_ExplorerPhilosophers)->Arg(2)->Arg(3);
+
+void BM_RtExecute(benchmark::State& state) {
+  sim::Program program = cache_program(64);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    rt::ExecutorOptions options;
+    options.instrument = state.range(0) != 0;
+    options.seed = seed++;
+    TraceRecorder recorder;
+    if (options.instrument) options.sink = &recorder;
+    sim::RunResult result = rt::execute(program, options);
+    benchmark::DoNotOptimize(result.outcome);
+  }
+}
+BENCHMARK(BM_RtExecute)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

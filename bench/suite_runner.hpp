@@ -1,0 +1,43 @@
+// Shared harness for the table/figure reproduction binaries: runs the WOLF
+// and DeadlockFuzzer pipelines (and optionally the OS-thread slowdown
+// measurement) over the standard benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/df_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "workloads/suite.hpp"
+
+namespace wolf::bench {
+
+struct SuiteOptions {
+  std::uint64_t seed = 2014;   // PPoPP '14
+  int replay_attempts = 6;     // per-cycle reproduction attempts (both tools)
+  bool measure_slowdown = false;
+  int slowdown_runs = 5;       // completed OS-thread runs per mode
+};
+
+struct BenchmarkOutcome {
+  std::string name;
+  workloads::PaperRow paper;
+  WolfReport wolf;
+  baseline::DfReport df;
+  double slowdown = 0.0;  // measured instrumented/uninstrumented ratio
+};
+
+// Runs one benchmark through both pipelines.
+BenchmarkOutcome run_benchmark(const workloads::Benchmark& benchmark,
+                               const SuiteOptions& options);
+
+// Runs the full standard suite.
+std::vector<BenchmarkOutcome> run_suite(const SuiteOptions& options);
+
+// OS-thread detection slowdown: instrumented recording run time over
+// uninstrumented run time (completed runs only).
+double measure_rt_slowdown(const sim::Program& program, std::uint64_t seed,
+                           int runs);
+
+}  // namespace wolf::bench

@@ -1,0 +1,94 @@
+// Reproduces Table 1: per-benchmark defect counts (source-location
+// deduplicated, §4.3), the Pruner/Generator false-positive split, true
+// positives and unknowns for WOLF vs DeadlockFuzzer, the detection slowdown,
+// and the average |Vs| of the generated synchronization dependency graphs.
+// Paper values are printed alongside for comparison.
+#include <cstdio>
+#include <iostream>
+
+#include "support/flags.hpp"
+#include "support/table.hpp"
+#include "suite_runner.hpp"
+
+using namespace wolf;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("seed", 2014, "pipeline seed");
+  flags.define_int("attempts", 6, "reproduction attempts per cycle");
+  flags.define_bool("slowdown", true,
+                    "measure OS-thread detection slowdown (paper column 5)");
+  flags.define_int("slowdown-runs", 5, "completed runs per slowdown mode");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::SuiteOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.replay_attempts = static_cast<int>(flags.get_int("attempts"));
+  options.measure_slowdown = flags.get_bool("slowdown");
+  options.slowdown_runs = static_cast<int>(flags.get_int("slowdown-runs"));
+
+  std::cout << "Table 1 — defect-level comparison (measured | paper)\n";
+  TextTable table({"Benchmark", "Slowdown", "Vs", "Detected", "FP(Pr)",
+                   "FP(Gen)", "TP WOLF", "TP DF", "Unk WOLF", "Unk DF"});
+
+  int tot_detected = 0, tot_fp = 0, tot_tp_wolf = 0, tot_tp_df = 0,
+      tot_unk_wolf = 0, tot_unk_df = 0;
+  int paper_detected = 0, paper_fp = 0, paper_tp_wolf = 0, paper_tp_df = 0,
+      paper_unk_wolf = 0, paper_unk_df = 0;
+
+  auto cell = [](int measured, int paper) {
+    return std::to_string(measured) + " | " + std::to_string(paper);
+  };
+
+  for (const bench::BenchmarkOutcome& o : bench::run_suite(options)) {
+    const int detected = static_cast<int>(o.wolf.defects.size());
+    const int fp_pr = o.wolf.count_defects(Classification::kFalseByPruner);
+    const int fp_gen =
+        o.wolf.count_defects(Classification::kFalseByGenerator);
+    const int tp_wolf = o.wolf.count_defects(Classification::kReproduced);
+    const int unk_wolf = o.wolf.count_defects(Classification::kUnknown);
+    const int tp_df = o.df.count_defects(Classification::kReproduced);
+    const int unk_df = static_cast<int>(o.df.defects.size()) - tp_df;
+
+    table.add_row({o.name,
+                   TextTable::num(o.slowdown, 2) + " | " +
+                       TextTable::num(o.paper.slowdown, 2),
+                   TextTable::num(o.wolf.avg_gs_vertices, 1),
+                   cell(detected, o.paper.detected),
+                   cell(fp_pr, o.paper.fp_pruner),
+                   cell(fp_gen, o.paper.fp_generator),
+                   cell(tp_wolf, o.paper.tp_wolf),
+                   cell(tp_df, o.paper.tp_df),
+                   cell(unk_wolf, o.paper.unknown_wolf),
+                   cell(unk_df, o.paper.unknown_df)});
+
+    tot_detected += detected;
+    tot_fp += fp_pr + fp_gen;
+    tot_tp_wolf += tp_wolf;
+    tot_tp_df += tp_df;
+    tot_unk_wolf += unk_wolf;
+    tot_unk_df += unk_df;
+    paper_detected += o.paper.detected;
+    paper_fp += o.paper.fp_pruner + o.paper.fp_generator;
+    paper_tp_wolf += o.paper.tp_wolf;
+    paper_tp_df += o.paper.tp_df;
+    paper_unk_wolf += o.paper.unknown_wolf;
+    paper_unk_df += o.paper.unknown_df;
+  }
+  table.add_row({"Cumulative", "-", "-", cell(tot_detected, paper_detected),
+                 cell(tot_fp, paper_fp), "-", cell(tot_tp_wolf, paper_tp_wolf),
+                 cell(tot_tp_df, paper_tp_df),
+                 cell(tot_unk_wolf, paper_unk_wolf),
+                 cell(tot_unk_df, paper_unk_df)});
+  table.render(std::cout);
+
+  auto pct = [](int n, int total) {
+    return total == 0 ? 0.0 : 100.0 * n / total;
+  };
+  std::printf(
+      "\nmeasured: FP %.1f%% (paper 18.5%%), TP WOLF %.1f%% (paper 55.4%%), "
+      "TP DF %.1f%% (paper 35.4%%), unknown WOLF %.1f%% (paper 26.1%%)\n",
+      pct(tot_fp, tot_detected), pct(tot_tp_wolf, tot_detected),
+      pct(tot_tp_df, tot_detected), pct(tot_unk_wolf, tot_detected));
+  return 0;
+}

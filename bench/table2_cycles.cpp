@@ -1,0 +1,80 @@
+// Reproduces Table 2: the same WOLF vs DeadlockFuzzer comparison counting
+// every cycle in the lock graph as a separate defect (the counting used by
+// the DeadlockFuzzer paper, §4.3).
+#include <cstdio>
+#include <iostream>
+
+#include "support/flags.hpp"
+#include "support/table.hpp"
+#include "suite_runner.hpp"
+
+using namespace wolf;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("seed", 2014, "pipeline seed");
+  flags.define_int("attempts", 6, "reproduction attempts per cycle");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::SuiteOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.replay_attempts = static_cast<int>(flags.get_int("attempts"));
+  options.measure_slowdown = false;
+
+  std::cout << "Table 2 — cycle-level comparison (measured | paper)\n";
+  TextTable table({"Benchmark", "Cycles", "FP WOLF", "TP WOLF", "TP DF",
+                   "Unk WOLF", "Unk DF"});
+
+  int tot_cycles = 0, tot_fp = 0, tot_tp_wolf = 0, tot_tp_df = 0,
+      tot_unk_wolf = 0, tot_unk_df = 0;
+  int p_cycles = 0, p_fp = 0, p_tp_wolf = 0, p_tp_df = 0, p_unk_wolf = 0,
+      p_unk_df = 0;
+
+  auto cell = [](int measured, int paper) {
+    return std::to_string(measured) + " | " + std::to_string(paper);
+  };
+
+  for (const bench::BenchmarkOutcome& o : bench::run_suite(options)) {
+    const int cycles = static_cast<int>(o.wolf.cycles.size());
+    const int fp = o.wolf.false_positive_cycles();
+    const int tp_wolf = o.wolf.count_cycles(Classification::kReproduced);
+    const int unk_wolf = o.wolf.count_cycles(Classification::kUnknown);
+    const int tp_df = o.df.count_cycles(Classification::kReproduced);
+    const int unk_df = static_cast<int>(o.df.cycles.size()) - tp_df;
+
+    table.add_row({o.name, cell(cycles, o.paper.cycles),
+                   cell(fp, o.paper.cyc_fp_wolf),
+                   cell(tp_wolf, o.paper.cyc_tp_wolf),
+                   cell(tp_df, o.paper.cyc_tp_df),
+                   cell(unk_wolf, o.paper.cyc_unknown_wolf),
+                   cell(unk_df, o.paper.cyc_unknown_df)});
+
+    tot_cycles += cycles;
+    tot_fp += fp;
+    tot_tp_wolf += tp_wolf;
+    tot_tp_df += tp_df;
+    tot_unk_wolf += unk_wolf;
+    tot_unk_df += unk_df;
+    p_cycles += o.paper.cycles;
+    p_fp += o.paper.cyc_fp_wolf;
+    p_tp_wolf += o.paper.cyc_tp_wolf;
+    p_tp_df += o.paper.cyc_tp_df;
+    p_unk_wolf += o.paper.cyc_unknown_wolf;
+    p_unk_df += o.paper.cyc_unknown_df;
+  }
+  table.add_row({"Cumulative", cell(tot_cycles, p_cycles),
+                 cell(tot_fp, p_fp), cell(tot_tp_wolf, p_tp_wolf),
+                 cell(tot_tp_df, p_tp_df), cell(tot_unk_wolf, p_unk_wolf),
+                 cell(tot_unk_df, p_unk_df)});
+  table.render(std::cout);
+
+  auto pct = [](int n, int total) {
+    return total == 0 ? 0.0 : 100.0 * n / total;
+  };
+  std::printf(
+      "\nmeasured: FP %.1f%% (paper 28.0%%), TP WOLF %.1f%% (paper 44.9%%), "
+      "TP DF %.1f%% (paper 19.1%%), unknown WOLF %.1f%% (paper 27.1%%)\n",
+      pct(tot_fp, tot_cycles), pct(tot_tp_wolf, tot_cycles),
+      pct(tot_tp_df, tot_cycles), pct(tot_unk_wolf, tot_cycles));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Dining philosophers: detection, exhaustive verification, and reproduction
+// of a deadlock cycle involving more than two threads — the k-way case of
+// the cycle enumerator, Generator and Replayer.
+//
+// Build & run:  ./build/examples/philosophers [--n=4]
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "explore/explorer.hpp"
+#include "support/flags.hpp"
+#include "workloads/paper_examples.hpp"
+
+using namespace wolf;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("n", 4, "number of philosophers (cycle length)");
+  if (!flags.parse(argc, argv)) return 1;
+  const int n = static_cast<int>(flags.get_int("n"));
+
+  workloads::Philosophers w = workloads::make_philosophers(n);
+
+  WolfOptions options;
+  options.seed = 3;
+  options.detector.max_cycle_length = n;
+  options.replay.attempts = 20;
+  WolfReport report = run_wolf(w.program, options);
+  if (!report.trace_recorded) {
+    std::cerr << "all recording runs deadlocked — that is philosophers for "
+                 "you; rerun with another --n\n";
+    return 1;
+  }
+
+  std::cout << n << " philosophers: " << report.detection.cycles.size()
+            << " cycle(s) detected\n";
+  for (const CycleReport& cycle : report.cycles) {
+    const PotentialDeadlock& theta =
+        report.detection.cycles[cycle.cycle_index];
+    std::cout << "  " << theta.tuple_idx.size() << "-thread cycle -> "
+              << to_string(cycle.classification) << " (|Vs| = "
+              << cycle.gs_vertices << ")\n";
+  }
+
+  if (n <= 4) {
+    // Small tables can be exhausted: confirm the full-ring deadlock is the
+    // only reachable one.
+    explore::ExploreResult result = explore::explore(w.program);
+    std::cout << "\nexhaustive exploration: " << result.states
+              << " states, " << result.deadlock_signatures.size()
+              << " distinct deadlock signature(s), exhausted="
+              << (result.exhausted ? "yes" : "no") << '\n';
+  }
+  return 0;
+}

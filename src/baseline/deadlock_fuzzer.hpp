@@ -1,0 +1,88 @@
+// DeadlockFuzzer (Joshi et al., PLDI'09) — the comparison baseline of the
+// paper's evaluation (§4), reimplemented faithfully enough to exhibit the
+// behaviours the paper measures against:
+//
+//   * it identifies the threads and locks of a potential deadlock by
+//     *abstractions* — a thread by the chain of source sites at which its
+//     creation chain was spawned, a lock by its allocation site — rather
+//     than by stable dynamic identity;
+//   * during a randomized re-execution it pauses ANY thread whose
+//     abstraction matches a cycle position when it is about to make the
+//     matching acquisition, and resumes everybody once every position is
+//     occupied, hoping the blocked acquisitions close the cycle;
+//   * it uses no cross-thread ordering constraints from the trace.
+//
+// Consequently (paper §4.2, Fig. 9): when two threads share an abstraction,
+// or the same source location executes several times, the wrong occurrence
+// is paused and either a different deadlock manifests or none at all — the
+// weakness WOLF's synchronization dependency graph removes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/replayer.hpp"  // ReplayOutcome / ReplayStats / classify_run
+#include "sim/controller.hpp"
+#include "sim/program.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wolf::baseline {
+
+// Creation-site chain of a thread (root-first). Threads spawned at the same
+// source location from parents with equal abstractions are indistinguishable
+// to DeadlockFuzzer.
+std::vector<SiteId> thread_abstraction(const sim::Program& program,
+                                       ThreadId t);
+
+// One position of the cycle DeadlockFuzzer tries to reproduce.
+struct DfTarget {
+  std::vector<SiteId> thread_abstraction;
+  SiteId acquire_site = kInvalidSite;
+  SiteId lock_alloc_site = kInvalidSite;
+};
+
+// Builds the target list from a detected cycle.
+std::vector<DfTarget> df_targets(const sim::Program& program,
+                                 const PotentialDeadlock& cycle,
+                                 const LockDependency& dep);
+
+class DeadlockFuzzerController final : public sim::ScheduleController {
+ public:
+  DeadlockFuzzerController(const sim::Program& program,
+                           std::vector<DfTarget> targets);
+
+  bool before_lock(ThreadId t, const ExecIndex& idx, LockId lock) override;
+  std::vector<ThreadId> take_released() override;
+  ThreadId force_release(const std::vector<ThreadId>& paused,
+                         Rng& rng) override;
+
+ private:
+  bool matches(const DfTarget& target, ThreadId t, SiteId site,
+               LockId lock) const;
+
+  const sim::Program* program_;
+  std::vector<DfTarget> targets_;
+  std::vector<bool> filled_;
+  std::set<ThreadId> paused_;
+  std::vector<ThreadId> released_;
+  bool released_all_ = false;
+
+  // Cached thread abstractions.
+  mutable std::map<ThreadId, std::vector<SiteId>> abstraction_cache_;
+  const std::vector<SiteId>& abstraction(ThreadId t) const;
+};
+
+// One DeadlockFuzzer trial / trial series for `cycle`, mirroring the
+// Replayer's interface so the comparison harnesses treat both uniformly.
+ReplayTrial fuzz_once(const sim::Program& program,
+                      const PotentialDeadlock& cycle,
+                      const LockDependency& dep, std::uint64_t seed,
+                      std::uint64_t max_steps = 2'000'000);
+
+ReplayStats fuzz(const sim::Program& program, const PotentialDeadlock& cycle,
+                 const LockDependency& dep, const ReplayOptions& options);
+
+}  // namespace wolf::baseline

@@ -1,0 +1,88 @@
+#include "baseline/df_pipeline.hpp"
+
+#include "support/stopwatch.hpp"
+
+namespace wolf::baseline {
+
+int DfReport::count_cycles(Classification c) const {
+  int n = 0;
+  for (const DfCycleReport& r : cycles)
+    if (r.classification == c) ++n;
+  return n;
+}
+
+int DfReport::count_defects(Classification c) const {
+  int n = 0;
+  for (const DefectReport& r : defects)
+    if (r.classification == c) ++n;
+  return n;
+}
+
+namespace {
+
+DfReport analyze(const sim::Program& program, Trace trace,
+                 const DfOptions& options, double record_seconds) {
+  DfReport report;
+  report.trace_recorded = true;
+  report.timings.record_seconds = record_seconds;
+
+  Stopwatch watch;
+  report.detection = detect(trace, options.detector);
+  report.timings.detect_seconds = watch.seconds();
+
+  std::uint64_t seed = mix64(options.seed ^ 0xdf00dULL);
+  for (std::size_t c = 0; c < report.detection.cycles.size(); ++c) {
+    DfCycleReport cycle_report;
+    cycle_report.cycle_index = c;
+    ReplayOptions replay_options = options.replay;
+    replay_options.seed = seed = mix64(seed);
+    replay_options.max_steps = options.max_steps;
+    watch.reset();
+    cycle_report.stats = fuzz(program, report.detection.cycles[c],
+                              report.detection.dep, replay_options);
+    report.timings.replay_seconds += watch.seconds();
+    cycle_report.classification = cycle_report.stats.reproduced()
+                                      ? Classification::kReproduced
+                                      : Classification::kUnknown;
+    report.cycles.push_back(cycle_report);
+  }
+
+  for (const Defect& defect : report.detection.defects) {
+    DefectReport d;
+    d.signature = defect.signature;
+    d.cycle_indices = defect.cycle_idx;
+    d.classification = Classification::kUnknown;
+    for (std::size_t c : defect.cycle_idx) {
+      if (report.cycles[c].classification == Classification::kReproduced) {
+        d.classification = Classification::kReproduced;
+        break;
+      }
+    }
+    report.defects.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace
+
+DfReport run_deadlock_fuzzer(const sim::Program& program,
+                             const DfOptions& options) {
+  Stopwatch watch;
+  auto trace = sim::record_trace(program, options.seed,
+                                 options.record_attempts, options.max_steps);
+  double record_seconds = watch.seconds();
+  if (!trace.has_value()) {
+    DfReport report;
+    report.trace_recorded = false;
+    report.timings.record_seconds = record_seconds;
+    return report;
+  }
+  return analyze(program, std::move(*trace), options, record_seconds);
+}
+
+DfReport analyze_trace_df(const sim::Program& program, const Trace& trace,
+                          const DfOptions& options) {
+  return analyze(program, trace, options, 0.0);
+}
+
+}  // namespace wolf::baseline

@@ -1,0 +1,47 @@
+// End-to-end DeadlockFuzzer pipeline: base (trace-agnostic) iGoodLock
+// detection followed by randomized reproduction of every cycle. This is the
+// comparator column of Tables 1–2 and Figures 8/10. DeadlockFuzzer has no
+// Pruner/Generator, so every non-reproduced cycle stays unknown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/deadlock_fuzzer.hpp"
+#include "core/pipeline.hpp"
+
+namespace wolf::baseline {
+
+struct DfOptions {
+  std::uint64_t seed = 1;
+  DetectorOptions detector;
+  ReplayOptions replay;
+  int record_attempts = 20;
+  std::uint64_t max_steps = 2'000'000;
+};
+
+struct DfCycleReport {
+  std::size_t cycle_index = 0;
+  Classification classification = Classification::kUnknown;
+  ReplayStats stats;
+};
+
+struct DfReport {
+  bool trace_recorded = false;
+  Detection detection;
+  std::vector<DfCycleReport> cycles;
+  std::vector<DefectReport> defects;
+  PhaseTimings timings;
+
+  int count_cycles(Classification c) const;
+  int count_defects(Classification c) const;
+};
+
+DfReport run_deadlock_fuzzer(const sim::Program& program,
+                             const DfOptions& options);
+
+// Variant operating on a pre-recorded trace (shared-trace comparisons).
+DfReport analyze_trace_df(const sim::Program& program, const Trace& trace,
+                          const DfOptions& options);
+
+}  // namespace wolf::baseline

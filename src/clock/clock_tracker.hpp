@@ -1,0 +1,70 @@
+// ClockTracker — the timestamp bookkeeping of Algorithm 1 (Extended Dynamic
+// Cycle Detector), factored out so that it can run either online inside a
+// substrate or offline over a recorded trace.
+//
+// Maintains the two global states of §3.2:
+//   τ : Thread -> Timestamp ∪ {⊥}
+//   V : Thread -> VectorClock of (S, J) pairs
+// with the update rules of Algorithm 1 for thread begin, t.start() and
+// t.join().
+#pragma once
+
+#include <vector>
+
+#include "clock/vector_clock.hpp"
+#include "trace/event.hpp"
+#include "trace/ids.hpp"
+
+namespace wolf {
+
+class ClockTracker {
+ public:
+  // τ_t; kTsBottom when t has not started.
+  Timestamp timestamp(ThreadId t) const {
+    if (t < 0 || static_cast<std::size_t>(t) >= tau_.size()) return kTsBottom;
+    return tau_[static_cast<std::size_t>(t)];
+  }
+
+  // V_t(u); (⊥,⊥) when unknown.
+  const SJPair& view(ThreadId t, ThreadId u) const {
+    static const VectorClock kEmpty{};
+    if (t < 0 || static_cast<std::size_t>(t) >= clocks_.size())
+      return kEmpty.at(u);
+    return clocks_[static_cast<std::size_t>(t)].at(u);
+  }
+
+  const VectorClock& clock(ThreadId t) const {
+    static const VectorClock kEmpty{};
+    if (t < 0 || static_cast<std::size_t>(t) >= clocks_.size()) return kEmpty;
+    return clocks_[static_cast<std::size_t>(t)];
+  }
+
+  // Highest thread id ever observed (for sizing reports); -1 if none.
+  ThreadId max_thread() const {
+    return static_cast<ThreadId>(tau_.size()) - 1;
+  }
+
+  // Algorithm 1, line 11: a thread's timestamp becomes 1 when it first acts.
+  void on_thread_begin(ThreadId t);
+
+  // Algorithm 1, lines 13–21.
+  void on_start(ThreadId parent, ThreadId child);
+
+  // Algorithm 1, lines 22–28.
+  void on_join(ThreadId parent, ThreadId child);
+
+  // Dispatches one instrumentation event (begin/start/join affect clocks;
+  // lock events only require that the acting thread has begun).
+  void apply(const Event& e);
+
+  // Runs a whole trace through a fresh tracker.
+  static ClockTracker from_trace(const Trace& trace);
+
+ private:
+  void ensure(ThreadId t);
+
+  std::vector<Timestamp> tau_;
+  std::vector<VectorClock> clocks_;
+};
+
+}  // namespace wolf

@@ -1,0 +1,137 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/magic_prune.hpp"
+#include "support/check.hpp"
+
+namespace wolf {
+
+std::string PotentialDeadlock::to_string(const LockDependency& dep) const {
+  std::ostringstream os;
+  os << "θ{";
+  for (std::size_t i = 0; i < tuple_idx.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << dep.tuples[tuple_idx[i]].to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+DefectSignature signature_of(const PotentialDeadlock& cycle,
+                             const LockDependency& dep) {
+  DefectSignature sig;
+  sig.reserve(cycle.tuple_idx.size());
+  for (std::size_t idx : cycle.tuple_idx)
+    sig.push_back(dep.tuples[idx].acquire_index().site);
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+namespace {
+
+// DFS state for cycle enumeration.
+class CycleEnumerator {
+ public:
+  CycleEnumerator(const LockDependency& dep, const DetectorOptions& options)
+      : dep_(dep), options_(options) {}
+
+  std::vector<PotentialDeadlock> run() {
+    for (std::size_t u : dep_.unique) {
+      if (exhausted()) break;
+      chain_.push_back(u);
+      extend();
+      chain_.pop_back();
+    }
+    return std::move(cycles_);
+  }
+
+ private:
+  bool exhausted() const { return cycles_.size() >= options_.max_cycles; }
+
+  // True when `candidate` can legally extend the current chain: distinct
+  // thread and pairwise-disjoint lockset with every chain member.
+  bool compatible(const LockTuple& candidate) const {
+    for (std::size_t idx : chain_) {
+      const LockTuple& member = dep_.tuples[idx];
+      if (member.thread == candidate.thread) return false;
+      for (LockId l : candidate.lockset)
+        if (member.holds(l)) return false;
+    }
+    return true;
+  }
+
+  void extend() {
+    if (exhausted()) return;
+    const LockTuple& first = dep_.tuples[chain_.front()];
+    const LockTuple& last = dep_.tuples[chain_.back()];
+
+    // Close the cycle? Requires length >= 2 and lock(last) ∈ lockset(first).
+    if (chain_.size() >= 2 && first.holds(last.lock)) {
+      PotentialDeadlock cycle;
+      cycle.tuple_idx = chain_;
+      cycles_.push_back(std::move(cycle));
+    }
+    if (static_cast<int>(chain_.size()) >= options_.max_cycle_length) return;
+
+    for (std::size_t u : dep_.unique) {
+      if (exhausted()) return;
+      const LockTuple& next = dep_.tuples[u];
+      // Canonical rotation: the first tuple's thread is the cycle minimum.
+      if (next.thread <= first.thread) continue;
+      if (!next.holds(last.lock)) continue;
+      if (!compatible(next)) continue;
+      chain_.push_back(u);
+      extend();
+      chain_.pop_back();
+    }
+  }
+
+  const LockDependency& dep_;
+  const DetectorOptions& options_;
+  std::vector<std::size_t> chain_;
+  std::vector<PotentialDeadlock> cycles_;
+};
+
+}  // namespace
+
+std::vector<PotentialDeadlock> enumerate_cycles(
+    const LockDependency& dep, const DetectorOptions& options) {
+  return CycleEnumerator(dep, options).run();
+}
+
+std::vector<Defect> group_defects(const std::vector<PotentialDeadlock>& cycles,
+                                  const LockDependency& dep) {
+  std::vector<Defect> defects;
+  std::map<DefectSignature, std::size_t> by_signature;
+  for (std::size_t c = 0; c < cycles.size(); ++c) {
+    DefectSignature sig = signature_of(cycles[c], dep);
+    auto [it, inserted] = by_signature.emplace(sig, defects.size());
+    if (inserted) {
+      Defect d;
+      d.signature = std::move(sig);
+      defects.push_back(std::move(d));
+    }
+    defects[it->second].cycle_idx.push_back(c);
+  }
+  return defects;
+}
+
+Detection detect(const Trace& trace, const DetectorOptions& options) {
+  Detection det;
+  det.dep = LockDependency::from_trace(trace);
+  det.clocks = ClockTracker::from_trace(trace);
+  if (options.magic_prune) {
+    LockDependency reduced = det.dep;
+    reduced.unique = magic_prune(det.dep);
+    det.cycles = enumerate_cycles(reduced, options);
+  } else {
+    det.cycles = enumerate_cycles(det.dep, options);
+  }
+  det.defects = group_defects(det.cycles, det.dep);
+  return det;
+}
+
+}  // namespace wolf

@@ -1,0 +1,76 @@
+// Potential-deadlock cycle detection over D_σ — the iGoodLock-style base
+// detector (§3.1) extended with the clock data of §3.2.
+//
+// A potential deadlock θ = {η1 … ηn} satisfies:
+//   * lock(ηi) ∈ lockset(ηi+1) cyclically — each thread requests a lock held
+//     by the next;
+//   * lockset(ηi) ∩ lockset(ηj) = ∅ for i ≠ j — no guard lock protects the
+//     cycle; and
+//   * thread(ηi) pairwise distinct — each thread contributes one edge.
+//
+// Enumeration runs over the deduplicated tuple view; cycles are emitted in a
+// canonical rotation (minimal thread id first) so each cycle appears once.
+// Defects group cycles by the unordered multiset of deadlocking-acquisition
+// source sites — the paper's §4.3 counting, under which a programmer fixes
+// one source location once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clock/clock_tracker.hpp"
+#include "core/lock_dependency.hpp"
+#include "trace/event.hpp"
+
+namespace wolf {
+
+struct PotentialDeadlock {
+  // Indices into LockDependency::tuples, in cycle order: tuple i requests the
+  // lock held by tuple (i+1) mod n.
+  std::vector<std::size_t> tuple_idx;
+
+  std::string to_string(const LockDependency& dep) const;
+};
+
+// Unordered source-location signature of a cycle's deadlocking acquisitions.
+using DefectSignature = std::vector<SiteId>;  // sorted
+
+DefectSignature signature_of(const PotentialDeadlock& cycle,
+                             const LockDependency& dep);
+
+struct Defect {
+  DefectSignature signature;
+  std::vector<std::size_t> cycle_idx;  // indices into Detection::cycles
+};
+
+struct DetectorOptions {
+  int max_cycle_length = 5;  // threads per cycle
+  // Safety valve for pathological traces; enumeration stops after this many
+  // cycles (never hit by the workloads in this repo).
+  std::size_t max_cycles = 100000;
+  // MagicFuzzer-style fixpoint reduction of the tuple set before cycle
+  // enumeration (core/magic_prune.hpp). Cycle-set preserving.
+  bool magic_prune = false;
+};
+
+struct Detection {
+  LockDependency dep;
+  ClockTracker clocks;  // final τ/V state of the recorded execution
+  std::vector<PotentialDeadlock> cycles;
+  std::vector<Defect> defects;
+};
+
+// Full detection pass over a recorded trace: rebuilds D_σ + clocks,
+// enumerates cycles, groups defects.
+Detection detect(const Trace& trace, const DetectorOptions& options = {});
+
+// Cycle enumeration only (used by tests that build D_σ by hand).
+std::vector<PotentialDeadlock> enumerate_cycles(
+    const LockDependency& dep, const DetectorOptions& options = {});
+
+// Groups cycles into defects by signature, preserving first-seen order.
+std::vector<Defect> group_defects(const std::vector<PotentialDeadlock>& cycles,
+                                  const LockDependency& dep);
+
+}  // namespace wolf

@@ -1,0 +1,109 @@
+#include "core/lock_dependency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "support/check.hpp"
+
+namespace wolf {
+
+ExecIndex LockTuple::mu(LockId l) const {
+  if (l == lock) return context.back();
+  for (std::size_t i = 0; i < lockset.size(); ++i)
+    if (lockset[i] == l) return context[i];
+  WOLF_CHECK_MSG(false, "µ: lock " << l << " not in tuple " << to_string());
+  return {};
+}
+
+bool LockTuple::holds(LockId l) const {
+  return std::find(lockset.begin(), lockset.end(), l) != lockset.end();
+}
+
+std::string LockTuple::to_string() const {
+  std::ostringstream os;
+  os << "(t" << thread << ", {";
+  for (std::size_t i = 0; i < lockset.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "l" << lockset[i];
+  }
+  os << "}, l" << lock << ", {";
+  for (std::size_t i = 0; i < context.size(); ++i) {
+    if (i != 0) os << ",";
+    os << context[i].to_string();
+  }
+  os << "}, " << tau << ")";
+  return os.str();
+}
+
+LockDependency LockDependency::from_trace(const Trace& trace) {
+  LockDependency dep;
+  ClockTracker clocks;
+
+  // Per-thread held-lock state: (lock, acquisition index), acquisition order.
+  std::map<ThreadId, std::vector<std::pair<LockId, ExecIndex>>> held;
+
+  for (std::size_t pos = 0; pos < trace.events.size(); ++pos) {
+    const Event& e = trace.events[pos];
+    clocks.apply(e);
+    switch (e.kind) {
+      case EventKind::kLockAcquire: {
+        auto& stack = held[e.thread];
+        LockTuple tuple;
+        tuple.thread = e.thread;
+        tuple.lock = e.lock;
+        tuple.tau = clocks.timestamp(e.thread);
+        tuple.trace_pos = pos;
+        for (const auto& [l, idx] : stack) {
+          tuple.lockset.push_back(l);
+          tuple.context.push_back(idx);
+        }
+        tuple.context.push_back(e.index());
+        dep.tuples.push_back(std::move(tuple));
+        stack.emplace_back(e.lock, e.index());
+        break;
+      }
+      case EventKind::kLockRelease: {
+        auto& stack = held[e.thread];
+        auto it = std::find_if(
+            stack.rbegin(), stack.rend(),
+            [&](const auto& h) { return h.first == e.lock; });
+        WOLF_CHECK_MSG(it != stack.rend(),
+                       "trace releases lock " << e.lock << " not held by t"
+                                              << e.thread);
+        stack.erase(std::next(it).base());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Deduplicate by (thread, lock, context site signature): the canonical
+  // representative is the first occurrence.
+  std::map<std::tuple<ThreadId, LockId, std::vector<SiteId>>, std::size_t>
+      seen;
+  for (std::size_t i = 0; i < dep.tuples.size(); ++i) {
+    const LockTuple& t = dep.tuples[i];
+    std::vector<SiteId> sites;
+    sites.reserve(t.context.size());
+    for (const ExecIndex& idx : t.context) sites.push_back(idx.site);
+    auto key = std::make_tuple(t.thread, t.lock, std::move(sites));
+    if (seen.emplace(std::move(key), i).second) dep.unique.push_back(i);
+  }
+  return dep;
+}
+
+std::vector<std::size_t> LockDependency::thread_prefix(
+    ThreadId thread, std::size_t last_pos) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (tuples[i].thread != thread) continue;
+    if (tuples[i].trace_pos > last_pos) break;
+    out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace wolf

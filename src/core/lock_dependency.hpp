@@ -1,0 +1,62 @@
+// The lock dependency relation D_σ (paper §3.1–3.2).
+//
+// During execution σ, when thread t acquires lock ℓ while holding the locks
+// L_t (acquired at the execution indices C_t) at timestamp τ_t, the tuple
+// η = (t, L_t, ℓ, C_t, τ_t) is added to D_σ. This module rebuilds D_σ
+// offline from a recorded trace, running a ClockTracker alongside to stamp
+// each tuple with the acquiring thread's timestamp — i.e. the "Extended
+// Dynamic Cycle Detector" data of Algorithm 1 without re-executing anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clock/clock_tracker.hpp"
+#include "trace/event.hpp"
+#include "trace/exec_index.hpp"
+#include "trace/ids.hpp"
+
+namespace wolf {
+
+struct LockTuple {
+  ThreadId thread = kInvalidThread;
+  // Locks held at the acquisition, in acquisition order (the paper's L_t).
+  std::vector<LockId> lockset;
+  LockId lock = kInvalidLock;  // the lock being acquired
+  // Execution indices of the lockset acquisitions, in the same order as
+  // `lockset`, followed by the index of this acquisition itself (the paper's
+  // C_t; cf. Fig. 5 where η1 = (1,{},ℓ1,{11})).
+  std::vector<ExecIndex> context;
+  Timestamp tau = kTsBottom;   // τ_t at the acquisition (§3.2)
+  std::size_t trace_pos = 0;   // position of the acquire event in the trace
+
+  // µ (paper §3.1): maps each lock in the lockset — and the acquired lock
+  // itself — to its execution index.
+  ExecIndex mu(LockId l) const;
+
+  bool holds(LockId l) const;
+  const ExecIndex& acquire_index() const { return context.back(); }
+
+  std::string to_string() const;
+};
+
+struct LockDependency {
+  // Every top-level acquisition of the trace, in trace order.
+  std::vector<LockTuple> tuples;
+  // Indices into `tuples` of the canonical (first-occurrence) tuples after
+  // deduplication by (thread, lock, context sites): repeated executions of
+  // the same code path produce one representative, exactly as iGoodLock's
+  // set-based D_σ collapses them. Cycle enumeration runs over this view;
+  // the Generator walks the full sequence.
+  std::vector<std::size_t> unique;
+
+  static LockDependency from_trace(const Trace& trace);
+
+  // Tuples of `thread` up to and including position `last_pos` in trace
+  // order — the paper's D'_σ restricted to one thread.
+  std::vector<std::size_t> thread_prefix(ThreadId thread,
+                                         std::size_t last_pos) const;
+};
+
+}  // namespace wolf

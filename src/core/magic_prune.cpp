@@ -1,0 +1,65 @@
+#include "core/magic_prune.hpp"
+
+#include <set>
+
+namespace wolf {
+
+std::vector<std::size_t> magic_prune(const LockDependency& dep,
+                                     MagicPruneStats* stats) {
+  std::vector<std::size_t> alive = dep.unique;
+  MagicPruneStats local;
+  local.before = alive.size();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++local.iterations;
+
+    // Locks held / requested by each thread's surviving tuples.
+    std::set<std::pair<ThreadId, LockId>> held_by, requested_by;
+    for (std::size_t i : alive) {
+      const LockTuple& t = dep.tuples[i];
+      requested_by.emplace(t.thread, t.lock);
+      for (LockId l : t.lockset) held_by.emplace(t.thread, l);
+    }
+    auto held_by_other = [&](ThreadId t, LockId l) {
+      for (const auto& [thread, lock] : held_by)
+        if (lock == l && thread != t) return true;
+      return false;
+    };
+    auto requested_by_other = [&](ThreadId t, LockId l) {
+      for (const auto& [thread, lock] : requested_by)
+        if (lock == l && thread != t) return true;
+      return false;
+    };
+
+    std::vector<std::size_t> next;
+    next.reserve(alive.size());
+    for (std::size_t i : alive) {
+      const LockTuple& t = dep.tuples[i];
+      // Cycle membership needs: someone else holds what we request, and
+      // someone else requests something we hold.
+      bool outgoing = held_by_other(t.thread, t.lock);
+      bool incoming = false;
+      for (LockId l : t.lockset)
+        incoming = incoming || requested_by_other(t.thread, l);
+      if (outgoing && incoming) {
+        next.push_back(i);
+      } else {
+        changed = true;
+      }
+    }
+    alive.swap(next);
+  }
+
+  local.after = alive.size();
+  if (stats != nullptr) *stats = local;
+  return alive;
+}
+
+LockDependency with_magic_prune(LockDependency dep, MagicPruneStats* stats) {
+  dep.unique = magic_prune(dep, stats);
+  return dep;
+}
+
+}  // namespace wolf

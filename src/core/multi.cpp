@@ -1,0 +1,71 @@
+#include "core/multi.hpp"
+
+#include <map>
+
+namespace wolf {
+
+namespace {
+
+int alarm_level(Classification c) {
+  switch (c) {
+    case Classification::kReproduced:
+      return 3;
+    case Classification::kUnknown:
+      return 2;
+    case Classification::kFalseByGenerator:
+      return 1;  // false on the observed path only
+    case Classification::kFalseByPruner:
+      return 0;  // false for every schedule of the observed start structure
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool overrides(Classification a, Classification b) {
+  return alarm_level(a) > alarm_level(b);
+}
+
+int MultiRunReport::count(Classification c) const {
+  int n = 0;
+  for (const MergedDefect& d : defects)
+    if (d.classification == c) ++n;
+  return n;
+}
+
+MultiRunReport run_wolf_multi(const sim::Program& program,
+                              const MultiRunOptions& options) {
+  MultiRunReport report;
+  std::map<DefectSignature, std::size_t> index;
+
+  for (int run = 0; run < options.runs; ++run) {
+    WolfOptions wolf_options = options.wolf;
+    wolf_options.seed =
+        mix64(options.seed + static_cast<std::uint64_t>(run) * 0x9e37ULL);
+    WolfReport wolf_report = run_wolf(program, wolf_options);
+    if (!wolf_report.trace_recorded) {
+      report.runs.push_back(std::move(wolf_report));
+      continue;
+    }
+    for (const DefectReport& d : wolf_report.defects) {
+      auto [it, inserted] = index.emplace(d.signature, report.defects.size());
+      if (inserted) {
+        MergedDefect merged;
+        merged.signature = d.signature;
+        merged.classification = d.classification;
+        merged.first_seen_run = run;
+        merged.runs_detected = 1;
+        report.defects.push_back(std::move(merged));
+      } else {
+        MergedDefect& merged = report.defects[it->second];
+        ++merged.runs_detected;
+        if (overrides(d.classification, merged.classification))
+          merged.classification = d.classification;
+      }
+    }
+    report.runs.push_back(std::move(wolf_report));
+  }
+  return report;
+}
+
+}  // namespace wolf

@@ -1,0 +1,70 @@
+#include "core/online_sink.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace wolf {
+
+void OnlineAnalysisSink::on_event(Event e) {
+  e.seq = next_seq_++;
+  clocks_.apply(e);
+  switch (e.kind) {
+    case EventKind::kLockAcquire: {
+      auto& stack = held_[e.thread];
+      LockTuple tuple;
+      tuple.thread = e.thread;
+      tuple.lock = e.lock;
+      tuple.tau = clocks_.timestamp(e.thread);
+      tuple.trace_pos = e.seq;
+      for (const auto& [l, idx] : stack) {
+        tuple.lockset.push_back(l);
+        tuple.context.push_back(idx);
+      }
+      tuple.context.push_back(e.index());
+      dep_.tuples.push_back(std::move(tuple));
+      stack.emplace_back(e.lock, e.index());
+      break;
+    }
+    case EventKind::kLockRelease: {
+      auto& stack = held_[e.thread];
+      auto it =
+          std::find_if(stack.rbegin(), stack.rend(),
+                       [&](const auto& h) { return h.first == e.lock; });
+      WOLF_CHECK_MSG(it != stack.rend(), "online sink: release of lock "
+                                             << e.lock << " not held by t"
+                                             << e.thread);
+      stack.erase(std::next(it).base());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+LockDependency OnlineAnalysisSink::take_dependency() {
+  // Deduplicate exactly as LockDependency::from_trace does.
+  std::map<std::tuple<ThreadId, LockId, std::vector<SiteId>>, std::size_t>
+      seen;
+  dep_.unique.clear();
+  for (std::size_t i = 0; i < dep_.tuples.size(); ++i) {
+    const LockTuple& t = dep_.tuples[i];
+    std::vector<SiteId> sites;
+    sites.reserve(t.context.size());
+    for (const ExecIndex& idx : t.context) sites.push_back(idx.site);
+    auto key = std::make_tuple(t.thread, t.lock, std::move(sites));
+    if (seen.emplace(std::move(key), i).second) dep_.unique.push_back(i);
+  }
+  LockDependency out = std::move(dep_);
+  dep_ = LockDependency{};
+  return out;
+}
+
+void OnlineAnalysisSink::clear() {
+  dep_ = LockDependency{};
+  clocks_ = ClockTracker{};
+  held_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace wolf

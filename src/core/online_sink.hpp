@@ -1,0 +1,38 @@
+// Online detection bookkeeping, as the paper's instrumentation performs it:
+// D_σ tuples and the τ/V clock state are maintained *during* execution
+// (Algorithm 1), not reconstructed afterwards. Attach an OnlineAnalysisSink
+// to a substrate to pay the true detection-instrumentation cost at runtime —
+// this is what the Table-1 slowdown column measures — and to have detection
+// results available the moment the program exits.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "clock/clock_tracker.hpp"
+#include "core/lock_dependency.hpp"
+#include "trace/recorder.hpp"
+
+namespace wolf {
+
+class OnlineAnalysisSink final : public TraceSink {
+ public:
+  void on_event(Event e) override;
+
+  // Finalizes and returns the accumulated relation (computing the
+  // deduplicated view); leaves the sink reusable after clear().
+  LockDependency take_dependency();
+  const ClockTracker& clocks() const { return clocks_; }
+  std::size_t tuple_count() const { return dep_.tuples.size(); }
+  void clear();
+
+ private:
+  LockDependency dep_;
+  ClockTracker clocks_;
+  std::map<ThreadId, std::vector<std::pair<LockId, ExecIndex>>> held_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wolf

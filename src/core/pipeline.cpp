@@ -1,0 +1,227 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace wolf {
+
+const char* to_string(Classification c) {
+  switch (c) {
+    case Classification::kFalseByPruner:
+      return "false(pruner)";
+    case Classification::kFalseByGenerator:
+      return "false(generator)";
+    case Classification::kReproduced:
+      return "reproduced";
+    case Classification::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+int WolfReport::count_cycles(Classification c) const {
+  int n = 0;
+  for (const CycleReport& r : cycles)
+    if (r.classification == c) ++n;
+  return n;
+}
+
+int WolfReport::count_defects(Classification c) const {
+  int n = 0;
+  for (const DefectReport& r : defects)
+    if (r.classification == c) ++n;
+  return n;
+}
+
+int WolfReport::false_positive_cycles() const {
+  return count_cycles(Classification::kFalseByPruner) +
+         count_cycles(Classification::kFalseByGenerator);
+}
+
+int WolfReport::false_positive_defects() const {
+  return count_defects(Classification::kFalseByPruner) +
+         count_defects(Classification::kFalseByGenerator);
+}
+
+std::string WolfReport::summary(const SiteTable& sites) const {
+  std::ostringstream os;
+  os << "WOLF report: " << detection.cycles.size() << " cycle(s), "
+     << detection.defects.size() << " defect(s)\n";
+  for (const DefectReport& d : defects) {
+    os << "  defect [";
+    for (std::size_t i = 0; i < d.signature.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << sites.name(d.signature[i]);
+    }
+    os << "] -> " << to_string(d.classification) << " ("
+       << d.cycle_indices.size() << " cycle(s))\n";
+  }
+  return os.str();
+}
+
+CycleReport classify_cycle(const sim::Program& program,
+                           const Detection& detection, std::size_t cycle_index,
+                           const WolfOptions& options) {
+  WOLF_CHECK(cycle_index < detection.cycles.size());
+  const PotentialDeadlock& cycle = detection.cycles[cycle_index];
+
+  CycleReport report;
+  report.cycle_index = cycle_index;
+  report.prune_verdict =
+      prune_cycle(cycle, detection.dep, detection.clocks);
+  if (is_false(report.prune_verdict)) {
+    report.classification = Classification::kFalseByPruner;
+    return report;
+  }
+
+  GeneratorResult gen = generate(cycle, detection.dep);
+  report.gs_vertices = gen.gs.vertex_count();
+  if (!gen.feasible) {
+    report.classification = Classification::kFalseByGenerator;
+    return report;
+  }
+
+  ReplayOptions replay_options = options.replay;
+  replay_options.max_steps = options.max_steps;
+  report.replay_stats =
+      replay(program, cycle, detection.dep, gen.gs, replay_options);
+  report.classification = report.replay_stats.reproduced()
+                              ? Classification::kReproduced
+                              : Classification::kUnknown;
+  return report;
+}
+
+namespace {
+
+Classification defect_classification(const std::vector<CycleReport>& cycles,
+                                     const Defect& defect) {
+  bool any_reproduced = false;
+  bool any_unknown = false;
+  bool any_generator_false = false;
+  for (std::size_t c : defect.cycle_idx) {
+    switch (cycles[c].classification) {
+      case Classification::kReproduced:
+        any_reproduced = true;
+        break;
+      case Classification::kUnknown:
+        any_unknown = true;
+        break;
+      case Classification::kFalseByGenerator:
+        any_generator_false = true;
+        break;
+      case Classification::kFalseByPruner:
+        break;
+    }
+  }
+  // One deadlocking re-execution proves the source location defective
+  // (§4.3); conversely a defect is false only when every dynamic occurrence
+  // is false.
+  if (any_reproduced) return Classification::kReproduced;
+  if (any_unknown) return Classification::kUnknown;
+  return any_generator_false ? Classification::kFalseByGenerator
+                             : Classification::kFalseByPruner;
+}
+
+WolfReport analyze(const sim::Program& program, Trace trace,
+                   const WolfOptions& options, double record_seconds) {
+  WolfReport report;
+  report.trace_recorded = true;
+  report.timings.record_seconds = record_seconds;
+
+  Stopwatch watch;
+  report.detection = detect(trace, options.detector);
+  report.timings.detect_seconds = watch.seconds();
+
+  // Classify every cycle. Phase timings are accumulated per stage so the
+  // Fig. 10 harness can report detection (prune+generate) and reproduction
+  // overheads separately.
+  std::uint64_t replay_seed = mix64(options.seed ^ 0x57a7e5ULL);
+  for (std::size_t c = 0; c < report.detection.cycles.size(); ++c) {
+    CycleReport cycle_report;
+    cycle_report.cycle_index = c;
+
+    watch.reset();
+    cycle_report.prune_verdict = prune_cycle(
+        report.detection.cycles[c], report.detection.dep,
+        report.detection.clocks);
+    report.timings.prune_seconds += watch.seconds();
+
+    if (options.enable_pruner && is_false(cycle_report.prune_verdict)) {
+      cycle_report.classification = Classification::kFalseByPruner;
+      report.cycles.push_back(cycle_report);
+      continue;
+    }
+
+    watch.reset();
+    GeneratorResult gen =
+        generate(report.detection.cycles[c], report.detection.dep);
+    report.timings.generate_seconds += watch.seconds();
+    cycle_report.gs_vertices = gen.gs.vertex_count();
+
+    if (options.enable_generator_check && !gen.feasible) {
+      cycle_report.classification = Classification::kFalseByGenerator;
+      report.cycles.push_back(cycle_report);
+      continue;
+    }
+
+    ReplayOptions replay_options = options.replay;
+    replay_options.seed = replay_seed = mix64(replay_seed);
+    replay_options.max_steps = options.max_steps;
+    watch.reset();
+    cycle_report.replay_stats =
+        replay(program, report.detection.cycles[c], report.detection.dep,
+               gen.gs, replay_options);
+    report.timings.replay_seconds += watch.seconds();
+    cycle_report.classification = cycle_report.replay_stats.reproduced()
+                                      ? Classification::kReproduced
+                                      : Classification::kUnknown;
+    report.cycles.push_back(cycle_report);
+  }
+
+  // Defect rollup.
+  for (const Defect& defect : report.detection.defects) {
+    DefectReport d;
+    d.signature = defect.signature;
+    d.cycle_indices = defect.cycle_idx;
+    d.classification = defect_classification(report.cycles, defect);
+    report.defects.push_back(std::move(d));
+  }
+
+  // Average |Vs| over cycles that reached the Generator.
+  int generated = 0;
+  double total_vs = 0;
+  for (const CycleReport& r : report.cycles) {
+    if (r.gs_vertices > 0) {
+      ++generated;
+      total_vs += r.gs_vertices;
+    }
+  }
+  report.avg_gs_vertices = generated == 0 ? 0 : total_vs / generated;
+  return report;
+}
+
+}  // namespace
+
+WolfReport run_wolf(const sim::Program& program, const WolfOptions& options) {
+  Stopwatch watch;
+  auto trace = sim::record_trace(program, options.seed, options.record_attempts,
+                                 options.max_steps);
+  double record_seconds = watch.seconds();
+  if (!trace.has_value()) {
+    WolfReport report;
+    report.trace_recorded = false;
+    report.timings.record_seconds = record_seconds;
+    return report;
+  }
+  return analyze(program, std::move(*trace), options, record_seconds);
+}
+
+WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
+                         const WolfOptions& options) {
+  return analyze(program, trace, options, 0.0);
+}
+
+}  // namespace wolf

@@ -1,0 +1,99 @@
+// The WOLF pipeline (paper Fig. 3): instrumented execution → extended cycle
+// detection → Pruner → Generator → Replayer, with per-phase timings and the
+// two defect-counting views of §4.3 (source-location defects and raw
+// cycles).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/generator.hpp"
+#include "core/pruner.hpp"
+#include "core/replayer.hpp"
+#include "sim/program.hpp"
+
+namespace wolf {
+
+enum class Classification : std::uint8_t {
+  kFalseByPruner,     // Algorithm 2 proved the cycle infeasible
+  kFalseByGenerator,  // cyclic Gs (Algorithm 3)
+  kReproduced,        // a replay trial deadlocked at the exact locations
+  kUnknown,           // left for manual comprehension
+};
+
+const char* to_string(Classification c);
+
+struct CycleReport {
+  std::size_t cycle_index = 0;  // into Detection::cycles
+  Classification classification = Classification::kUnknown;
+  PruneVerdict prune_verdict = PruneVerdict::kUnknown;
+  int gs_vertices = 0;  // |Vs| (0 when pruned before generation)
+  ReplayStats replay_stats;
+};
+
+struct DefectReport {
+  DefectSignature signature;
+  Classification classification = Classification::kUnknown;
+  std::vector<std::size_t> cycle_indices;  // into WolfReport::cycles
+};
+
+struct PhaseTimings {
+  double record_seconds = 0;
+  double detect_seconds = 0;
+  double prune_seconds = 0;
+  double generate_seconds = 0;
+  double replay_seconds = 0;
+
+  double detection_total() const {
+    return record_seconds + detect_seconds + prune_seconds + generate_seconds;
+  }
+};
+
+struct WolfOptions {
+  std::uint64_t seed = 1;
+  DetectorOptions detector;
+  ReplayOptions replay;
+  // Attempts at recording a completed (non-deadlocking) execution.
+  int record_attempts = 20;
+  std::uint64_t max_steps = 2'000'000;
+  // Ablation switches (DESIGN.md §7): with the Pruner disabled, infeasible
+  // start/join-ordered cycles fall through to replay; with the Generator's
+  // cyclicity check disabled, cyclic-Gs cycles are replayed too (the graph
+  // is still used to steer, so its contradictory constraints get force-
+  // released at random).
+  bool enable_pruner = true;
+  bool enable_generator_check = true;
+};
+
+struct WolfReport {
+  bool trace_recorded = false;  // false if every recording run deadlocked
+  Detection detection;
+  std::vector<CycleReport> cycles;
+  std::vector<DefectReport> defects;
+  PhaseTimings timings;
+  double avg_gs_vertices = 0;  // over generated (non-pruned) cycles
+
+  int count_cycles(Classification c) const;
+  int count_defects(Classification c) const;
+  int false_positive_cycles() const;
+  int false_positive_defects() const;
+
+  std::string summary(const SiteTable& sites) const;
+};
+
+// Records a trace of `program` and runs the full pipeline on it.
+WolfReport run_wolf(const sim::Program& program, const WolfOptions& options);
+
+// Runs the pipeline on a pre-recorded trace (the record phase is skipped).
+WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
+                         const WolfOptions& options);
+
+// Classifies one detected cycle (prune → generate → replay); exposed for
+// targeted tests and the comparison harnesses.
+CycleReport classify_cycle(const sim::Program& program,
+                           const Detection& detection, std::size_t cycle_index,
+                           const WolfOptions& options);
+
+}  // namespace wolf

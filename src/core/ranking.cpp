@@ -1,0 +1,89 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wolf {
+
+namespace {
+
+double tier_of(Classification c) {
+  switch (c) {
+    case Classification::kReproduced:
+      return 3000.0;
+    case Classification::kUnknown:
+      return 2000.0;
+    case Classification::kFalseByGenerator:
+      return 1000.0;
+    case Classification::kFalseByPruner:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+// Within-tier refinement in [0, 1000).
+double refine(const WolfReport& report, const DefectReport& defect) {
+  double best = 0.0;
+  for (std::size_t c : defect.cycle_indices) {
+    const CycleReport& cycle = report.cycles[c];
+    double score = 0.0;
+    const ReplayStats& stats = cycle.replay_stats;
+    if (cycle.classification == Classification::kReproduced) {
+      // Reliability first, then speed-to-first-hit.
+      score = 900.0 * stats.hit_rate() +
+              90.0 / (1.0 + static_cast<double>(stats.attempts));
+    } else if (cycle.classification == Classification::kUnknown) {
+      // Near misses (deadlocked elsewhere) hint at a real defect; small Gs
+      // means few dependencies stood in the way.
+      const double near_miss =
+          stats.attempts == 0
+              ? 0.0
+              : static_cast<double>(stats.other_deadlocks) / stats.attempts;
+      score = 600.0 * near_miss +
+              300.0 / (1.0 + static_cast<double>(cycle.gs_vertices));
+    } else {
+      // Among eliminated defects, larger evidence (more cycles, all false)
+      // ranks lower; keep a mild preference for fewer dynamic occurrences.
+      score = 100.0 / (1.0 + static_cast<double>(defect.cycle_indices.size()));
+    }
+    best = std::max(best, score);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<RankedDefect> rank_defects(const WolfReport& report) {
+  std::vector<RankedDefect> ranking;
+  ranking.reserve(report.defects.size());
+  for (std::size_t d = 0; d < report.defects.size(); ++d) {
+    RankedDefect r;
+    r.defect_index = d;
+    r.score = tier_of(report.defects[d].classification) +
+              refine(report, report.defects[d]);
+    ranking.push_back(r);
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const RankedDefect& a, const RankedDefect& b) {
+                     return a.score > b.score;
+                   });
+  return ranking;
+}
+
+std::string format_ranking(const WolfReport& report, const SiteTable& sites) {
+  std::ostringstream os;
+  int position = 1;
+  for (const RankedDefect& r : rank_defects(report)) {
+    const DefectReport& d = report.defects[r.defect_index];
+    os << position++ << ". [";
+    for (std::size_t i = 0; i < d.signature.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << sites.name(d.signature[i]);
+    }
+    os << "] " << to_string(d.classification) << " (score " << r.score
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace wolf

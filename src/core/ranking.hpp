@@ -1,0 +1,39 @@
+// Defect ranking — the alternative reporting mode sketched in §4.4: rather
+// than dropping Pruner/Generator-eliminated defects outright (which is
+// unsound under incomplete traces), rank every detected defect so that
+// automatically confirmed deadlocks surface first and detected false
+// positives sink to the bottom:
+//
+//   1. reproduced defects, ordered by reproduction reliability (hit rate,
+//      then fewer attempts to the first hit);
+//   2. unknown defects, ordered by how close replay came (wrong-site
+//      deadlocks suggest a real but mis-targeted defect) and by smaller Gs
+//      (fewer dependencies to satisfy — more likely real on another input);
+//   3. Generator-eliminated defects (false on this trace's path only);
+//   4. Pruner-eliminated defects (false for every schedule consistent with
+//      the observed start/join structure — the strongest negative evidence).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace wolf {
+
+struct RankedDefect {
+  std::size_t defect_index = 0;  // into WolfReport::defects
+  // Higher is more deserving of programmer attention; the classification
+  // tier dominates, the fraction encodes the within-tier ordering.
+  double score = 0.0;
+};
+
+// Ranks every defect of a report, best first. Deterministic: ties break by
+// defect index.
+std::vector<RankedDefect> rank_defects(const WolfReport& report);
+
+// Human-readable ranking table.
+std::string format_ranking(const WolfReport& report, const SiteTable& sites);
+
+}  // namespace wolf

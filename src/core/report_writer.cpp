@@ -1,0 +1,92 @@
+#include "core/report_writer.hpp"
+
+#include <sstream>
+
+#include "core/ranking.hpp"
+
+namespace wolf {
+
+namespace {
+
+std::string signature_text(const DefectSignature& signature,
+                           const SiteTable& sites) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < signature.size(); ++i) {
+    if (i != 0) os << " / ";
+    os << '`' << sites.name(signature[i]) << '`';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string write_markdown_report(const WolfReport& report,
+                                  const SiteTable& sites,
+                                  const ReportWriterOptions& options) {
+  std::ostringstream os;
+  os << "# " << options.title << "\n\n";
+
+  if (!report.trace_recorded) {
+    os << "**No completed execution could be recorded** — every recording "
+          "run deadlocked. The program deadlocks almost deterministically; "
+          "run it under the runtime's wait-for-graph detector instead.\n";
+    return os.str();
+  }
+
+  os << "## Summary\n\n";
+  os << "| Metric | Count |\n|---|---|\n";
+  os << "| Potential deadlock cycles | " << report.cycles.size() << " |\n";
+  os << "| Source-location defects | " << report.defects.size() << " |\n";
+  os << "| Confirmed real (reproduced) | "
+     << report.count_defects(Classification::kReproduced) << " |\n";
+  os << "| False positives (Pruner) | "
+     << report.count_defects(Classification::kFalseByPruner) << " |\n";
+  os << "| False positives (Generator) | "
+     << report.count_defects(Classification::kFalseByGenerator) << " |\n";
+  os << "| Left for manual analysis | "
+     << report.count_defects(Classification::kUnknown) << " |\n\n";
+
+  if (options.include_ranking && !report.defects.empty()) {
+    os << "## Defects, most actionable first\n\n";
+    int position = 1;
+    for (const RankedDefect& r : rank_defects(report)) {
+      const DefectReport& d = report.defects[r.defect_index];
+      os << position++ << ". " << signature_text(d.signature, sites)
+         << " — **" << to_string(d.classification) << "** ("
+         << d.cycle_indices.size() << " dynamic cycle(s))\n";
+    }
+    os << '\n';
+  }
+
+  if (options.include_cycles && !report.cycles.empty()) {
+    os << "## Cycle detail\n\n";
+    os << "| # | Classification | |Vs| | Replay attempts | Hits | "
+          "Wrong-site deadlocks |\n|---|---|---|---|---|---|\n";
+    for (const CycleReport& c : report.cycles) {
+      os << "| " << c.cycle_index << " | " << to_string(c.classification)
+         << " | " << c.gs_vertices << " | " << c.replay_stats.attempts
+         << " | " << c.replay_stats.hits << " | "
+         << c.replay_stats.other_deadlocks << " |\n";
+    }
+    os << '\n';
+  }
+
+  if (options.include_timings) {
+    os << "## Phase timings\n\n";
+    auto ms = [](double seconds) {
+      std::ostringstream o;
+      o << seconds * 1e3 << " ms";
+      return o.str();
+    };
+    os << "| Phase | Time |\n|---|---|\n";
+    os << "| Record | " << ms(report.timings.record_seconds) << " |\n";
+    os << "| Detect (D_σ + cycles) | " << ms(report.timings.detect_seconds)
+       << " |\n";
+    os << "| Prune | " << ms(report.timings.prune_seconds) << " |\n";
+    os << "| Generate Gs | " << ms(report.timings.generate_seconds) << " |\n";
+    os << "| Replay | " << ms(report.timings.replay_seconds) << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace wolf

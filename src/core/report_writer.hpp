@@ -1,0 +1,24 @@
+// Markdown report generation: turns a WolfReport into the kind of artifact
+// a CI job would attach — a classification summary, the ranked defect list,
+// per-cycle detail with Gs statistics and replay evidence, and phase
+// timings.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace wolf {
+
+struct ReportWriterOptions {
+  std::string title = "WOLF deadlock analysis";
+  bool include_ranking = true;
+  bool include_cycles = true;   // per-cycle detail section
+  bool include_timings = true;
+};
+
+std::string write_markdown_report(const WolfReport& report,
+                                  const SiteTable& sites,
+                                  const ReportWriterOptions& options = {});
+
+}  // namespace wolf

@@ -1,0 +1,51 @@
+// Bounded systematic schedule exploration (CHESS-style, without context
+// bounding) over the sim substrate.
+//
+// Enumerates every reachable scheduler state of a program by DFS over the
+// "which enabled thread steps next" choice, deduplicating states by
+// structural fingerprint. For small programs this *exhausts* the schedule
+// space, which lets the test suite verify WOLF's soundness claims:
+//
+//   * a cycle the Pruner rules out is never reachable as an actual deadlock
+//     in any schedule;
+//   * a cycle whose Gs is cyclic (Generator false positive) never deadlocks
+//     at those source locations in any schedule (paper §2, Fig. 2/θ4);
+//   * conversely, deadlocks the Replayer reproduces are reachable.
+//
+// Controllers are not supported (the memoized fingerprint ignores controller
+// state); sinks are not used.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "trace/ids.hpp"
+
+namespace wolf::explore {
+
+struct ExploreOptions {
+  // State budget; exploration stops (exhausted=false) once exceeded.
+  std::uint64_t max_states = 1'000'000;
+};
+
+struct ExploreResult {
+  bool exhausted = false;          // full schedule space covered
+  std::uint64_t states = 0;        // distinct states visited
+  std::uint64_t transitions = 0;   // steps executed
+  std::uint64_t deadlock_states = 0;
+  std::uint64_t completed_states = 0;
+  // Sorted source-site multisets of every distinct lock wait-for cycle
+  // diagnosed anywhere in the schedule space.
+  std::set<std::vector<SiteId>> deadlock_signatures;
+
+  bool deadlock_reachable_at(const std::vector<SiteId>& signature) const {
+    return deadlock_signatures.count(signature) != 0;
+  }
+};
+
+ExploreResult explore(const sim::Program& program,
+                      const ExploreOptions& options = {});
+
+}  // namespace wolf::explore

@@ -1,0 +1,91 @@
+#include "rt/replay_rt.hpp"
+
+#include <set>
+
+#include "rt/executor.hpp"
+
+namespace wolf::rt {
+
+namespace {
+
+ReplayStats run_series(const ReplayOptions& options,
+                       const std::function<ReplayTrial(std::uint64_t)>& once) {
+  ReplayStats stats;
+  Rng seeds(options.seed);
+  for (int i = 0; i < options.attempts; ++i) {
+    ReplayTrial trial = once(seeds());
+    ++stats.attempts;
+    switch (trial.outcome) {
+      case ReplayOutcome::kReproduced:
+        ++stats.hits;
+        break;
+      case ReplayOutcome::kOtherDeadlock:
+        ++stats.other_deadlocks;
+        break;
+      case ReplayOutcome::kNoDeadlock:
+        ++stats.no_deadlocks;
+        break;
+      case ReplayOutcome::kStepLimit:
+        ++stats.step_limits;
+        break;
+    }
+    if (stats.hits > 0 && options.stop_on_first_hit) break;
+  }
+  return stats;
+}
+
+}  // namespace
+
+ReplayTrial replay_once_rt(const sim::Program& program,
+                           const PotentialDeadlock& cycle,
+                           const LockDependency& dep,
+                           const SyncDependencyGraph& gs, std::uint64_t seed) {
+  std::set<ThreadId> monitored;
+  for (std::size_t i : cycle.tuple_idx)
+    monitored.insert(dep.tuples[i].thread);
+  ReplayController controller(gs, std::move(monitored));
+
+  ExecutorOptions options;
+  options.controller = &controller;
+  options.seed = seed;
+
+  ReplayTrial trial;
+  trial.run = execute(program, options);
+  trial.outcome = classify_run(trial.run, expected_sites(cycle, dep));
+  return trial;
+}
+
+ReplayTrial fuzz_once_rt(const sim::Program& program,
+                         const PotentialDeadlock& cycle,
+                         const LockDependency& dep, std::uint64_t seed) {
+  baseline::DeadlockFuzzerController controller(
+      program, baseline::df_targets(program, cycle, dep));
+
+  ExecutorOptions options;
+  options.controller = &controller;
+  options.seed = seed;
+
+  ReplayTrial trial;
+  trial.run = execute(program, options);
+  trial.outcome = classify_run(trial.run, expected_sites(cycle, dep));
+  return trial;
+}
+
+ReplayStats replay_rt(const sim::Program& program,
+                      const PotentialDeadlock& cycle,
+                      const LockDependency& dep,
+                      const SyncDependencyGraph& gs,
+                      const ReplayOptions& options) {
+  return run_series(options, [&](std::uint64_t seed) {
+    return replay_once_rt(program, cycle, dep, gs, seed);
+  });
+}
+
+ReplayStats fuzz_rt(const sim::Program& program, const PotentialDeadlock& cycle,
+                    const LockDependency& dep, const ReplayOptions& options) {
+  return run_series(options, [&](std::uint64_t seed) {
+    return fuzz_once_rt(program, cycle, dep, seed);
+  });
+}
+
+}  // namespace wolf::rt

@@ -1,0 +1,36 @@
+// Replayer and DeadlockFuzzer trials on the OS-thread substrate: identical
+// controller logic as the sim-based trials, driving real std::threads. Used
+// by the integration tests and the webserver_replay example to demonstrate
+// reproduction of genuine OS-thread deadlocks (with in-process recovery).
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/deadlock_fuzzer.hpp"
+#include "core/replayer.hpp"
+#include "sim/program.hpp"
+
+namespace wolf::rt {
+
+// One WOLF replay trial over real threads.
+ReplayTrial replay_once_rt(const sim::Program& program,
+                           const PotentialDeadlock& cycle,
+                           const LockDependency& dep,
+                           const SyncDependencyGraph& gs, std::uint64_t seed);
+
+// One DeadlockFuzzer trial over real threads.
+ReplayTrial fuzz_once_rt(const sim::Program& program,
+                         const PotentialDeadlock& cycle,
+                         const LockDependency& dep, std::uint64_t seed);
+
+// Trial series, mirroring core/replayer's replay()/baseline's fuzz().
+ReplayStats replay_rt(const sim::Program& program,
+                      const PotentialDeadlock& cycle,
+                      const LockDependency& dep,
+                      const SyncDependencyGraph& gs,
+                      const ReplayOptions& options);
+
+ReplayStats fuzz_rt(const sim::Program& program, const PotentialDeadlock& cycle,
+                    const LockDependency& dep, const ReplayOptions& options);
+
+}  // namespace wolf::rt

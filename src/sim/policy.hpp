@@ -1,0 +1,105 @@
+// Scheduling policies for the virtual-thread scheduler.
+#pragma once
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "trace/ids.hpp"
+
+namespace wolf::sim {
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  // Picks the next thread to run from the non-empty set of enabled threads
+  // (ascending thread ids).
+  virtual ThreadId pick(const std::vector<ThreadId>& enabled, Rng& rng) = 0;
+};
+
+// Uniformly random — the paper's recording scheduler ("tp ← a random thread
+// from Enabled", Algorithm 1 line 9).
+class RandomPolicy final : public SchedulePolicy {
+ public:
+  ThreadId pick(const std::vector<ThreadId>& enabled, Rng& rng) override {
+    return enabled[rng.index(enabled)];
+  }
+};
+
+// Round-robin over thread ids; deterministic, useful in unit tests.
+class RoundRobinPolicy final : public SchedulePolicy {
+ public:
+  ThreadId pick(const std::vector<ThreadId>& enabled, Rng&) override {
+    for (ThreadId t : enabled) {
+      if (t > last_) {
+        last_ = t;
+        return t;
+      }
+    }
+    last_ = enabled.front();
+    return last_;
+  }
+
+ private:
+  ThreadId last_ = -1;
+};
+
+// Runs a thread until it can no longer run, then moves to the next enabled
+// one ("run-to-block"); biases toward long sequential stretches.
+class RunToBlockPolicy final : public SchedulePolicy {
+ public:
+  ThreadId pick(const std::vector<ThreadId>& enabled, Rng& rng) override {
+    for (ThreadId t : enabled) {
+      if (t == current_) return t;
+    }
+    current_ = enabled[rng.index(enabled)];
+    return current_;
+  }
+
+ private:
+  ThreadId current_ = -1;
+};
+
+// Follows an explicit choice list (by position in the enabled set); once the
+// list is exhausted, falls back to the first enabled thread. Used by the
+// systematic explorer and by tests that need a precise interleaving.
+class FixedChoicePolicy final : public SchedulePolicy {
+ public:
+  explicit FixedChoicePolicy(std::vector<int> choices)
+      : choices_(std::move(choices)) {}
+
+  ThreadId pick(const std::vector<ThreadId>& enabled, Rng&) override {
+    if (next_ < choices_.size()) {
+      int c = choices_[next_++];
+      WOLF_CHECK_MSG(c >= 0 && static_cast<std::size_t>(c) < enabled.size(),
+                     "fixed choice " << c << " out of range (enabled size "
+                                     << enabled.size() << ")");
+      return enabled[static_cast<std::size_t>(c)];
+    }
+    return enabled.front();
+  }
+
+  std::size_t consumed() const { return next_; }
+
+ private:
+  std::vector<int> choices_;
+  std::size_t next_ = 0;
+};
+
+// Picks a specific thread id whenever it is enabled, otherwise random; used
+// to bias schedules in tests.
+class PreferThreadPolicy final : public SchedulePolicy {
+ public:
+  explicit PreferThreadPolicy(ThreadId preferred) : preferred_(preferred) {}
+
+  ThreadId pick(const std::vector<ThreadId>& enabled, Rng& rng) override {
+    for (ThreadId t : enabled)
+      if (t == preferred_) return t;
+    return enabled[rng.index(enabled)];
+  }
+
+ private:
+  ThreadId preferred_;
+};
+
+}  // namespace wolf::sim

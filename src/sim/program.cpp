@@ -1,0 +1,207 @@
+#include "sim/program.hpp"
+
+#include <set>
+
+#include "support/check.hpp"
+
+namespace wolf::sim {
+
+const char* to_string(OpCode code) {
+  switch (code) {
+    case OpCode::kLock:
+      return "lock";
+    case OpCode::kUnlock:
+      return "unlock";
+    case OpCode::kStart:
+      return "start";
+    case OpCode::kJoin:
+      return "join";
+    case OpCode::kCompute:
+      return "compute";
+    case OpCode::kSetFlag:
+      return "setflag";
+    case OpCode::kJumpIfFlag:
+      return "jumpif";
+    case OpCode::kJump:
+      return "jump";
+  }
+  return "?";
+}
+
+LockId Program::add_lock(std::string lock_name, SiteId alloc_site) {
+  WOLF_CHECK(!finalized_);
+  locks_.push_back(LockDecl{std::move(lock_name), alloc_site});
+  return static_cast<LockId>(locks_.size()) - 1;
+}
+
+ThreadId Program::add_thread(std::string thread_name) {
+  WOLF_CHECK(!finalized_);
+  threads_.push_back(ThreadDecl{});
+  threads_.back().name = std::move(thread_name);
+  return static_cast<ThreadId>(threads_.size()) - 1;
+}
+
+int Program::emit(ThreadId thread, Op op) {
+  WOLF_CHECK(!finalized_);
+  WOLF_CHECK_MSG(thread >= 0 && thread < thread_count(),
+                 "bad thread id " << thread);
+  auto& ops = threads_[static_cast<std::size_t>(thread)].ops;
+  ops.push_back(op);
+  return static_cast<int>(ops.size()) - 1;
+}
+
+int Program::lock(ThreadId t, LockId l, SiteId s) {
+  Op op;
+  op.code = OpCode::kLock;
+  op.lock = l;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::unlock(ThreadId t, LockId l, SiteId s) {
+  Op op;
+  op.code = OpCode::kUnlock;
+  op.lock = l;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::start(ThreadId t, ThreadId child, SiteId s) {
+  Op op;
+  op.code = OpCode::kStart;
+  op.target_thread = child;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::join(ThreadId t, ThreadId child, SiteId s) {
+  Op op;
+  op.code = OpCode::kJoin;
+  op.target_thread = child;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::compute(ThreadId t, SiteId s, int units) {
+  Op op;
+  op.code = OpCode::kCompute;
+  op.units = units;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::set_flag(ThreadId t, int flag, int value, SiteId s) {
+  Op op;
+  op.code = OpCode::kSetFlag;
+  op.flag = flag;
+  op.value = value;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::jump_if_flag(ThreadId t, int flag, int value, int target_pc,
+                          SiteId s) {
+  Op op;
+  op.code = OpCode::kJumpIfFlag;
+  op.flag = flag;
+  op.value = value;
+  op.target_pc = target_pc;
+  op.site = s;
+  return emit(t, op);
+}
+
+int Program::jump(ThreadId t, int target_pc, SiteId s) {
+  Op op;
+  op.code = OpCode::kJump;
+  op.target_pc = target_pc;
+  op.site = s;
+  return emit(t, op);
+}
+
+void Program::patch_jump(ThreadId t, int jump_pc, int target_pc) {
+  WOLF_CHECK(!finalized_);
+  WOLF_CHECK(t >= 0 && t < thread_count());
+  auto& ops = threads_[static_cast<std::size_t>(t)].ops;
+  WOLF_CHECK(jump_pc >= 0 && jump_pc < static_cast<int>(ops.size()));
+  Op& op = ops[static_cast<std::size_t>(jump_pc)];
+  WOLF_CHECK_MSG(
+      op.code == OpCode::kJump || op.code == OpCode::kJumpIfFlag,
+      "patch_jump on non-jump op at pc " << jump_pc);
+  op.target_pc = target_pc;
+}
+
+const ThreadDecl& Program::thread(ThreadId t) const {
+  WOLF_CHECK_MSG(t >= 0 && t < thread_count(), "bad thread id " << t);
+  return threads_[static_cast<std::size_t>(t)];
+}
+
+const LockDecl& Program::lock_decl(LockId l) const {
+  WOLF_CHECK_MSG(l >= 0 && l < lock_count(), "bad lock id " << l);
+  return locks_[static_cast<std::size_t>(l)];
+}
+
+void Program::finalize() {
+  if (finalized_) return;
+  WOLF_CHECK_MSG(thread_count() > 0, "program has no threads");
+
+  std::set<ThreadId> started;
+  for (ThreadId t = 0; t < thread_count(); ++t) {
+    const auto& decl = threads_[static_cast<std::size_t>(t)];
+    const int n = static_cast<int>(decl.ops.size());
+    for (int pc = 0; pc < n; ++pc) {
+      const Op& op = decl.ops[static_cast<std::size_t>(pc)];
+      switch (op.code) {
+        case OpCode::kLock:
+        case OpCode::kUnlock:
+          WOLF_CHECK_MSG(op.lock >= 0 && op.lock < lock_count(),
+                         "thread " << t << " pc " << pc << ": bad lock "
+                                   << op.lock);
+          break;
+        case OpCode::kStart: {
+          WOLF_CHECK_MSG(
+              op.target_thread > 0 && op.target_thread < thread_count(),
+              "thread " << t << " pc " << pc << ": bad start target "
+                        << op.target_thread);
+          WOLF_CHECK_MSG(started.insert(op.target_thread).second,
+                         "thread " << op.target_thread
+                                   << " started more than once");
+          auto& child =
+              threads_[static_cast<std::size_t>(op.target_thread)];
+          child.create_site = op.site;
+          child.parent = t;
+          break;
+        }
+        case OpCode::kJoin:
+          WOLF_CHECK_MSG(
+              op.target_thread >= 0 && op.target_thread < thread_count() &&
+                  op.target_thread != t,
+              "thread " << t << " pc " << pc << ": bad join target "
+                        << op.target_thread);
+          break;
+        case OpCode::kSetFlag:
+        case OpCode::kJumpIfFlag:
+          WOLF_CHECK_MSG(op.flag >= 0 && op.flag < flag_count_,
+                         "thread " << t << " pc " << pc << ": bad flag "
+                                   << op.flag);
+          if (op.code == OpCode::kSetFlag) break;
+          [[fallthrough]];
+        case OpCode::kJump:
+          WOLF_CHECK_MSG(op.target_pc >= 0 && op.target_pc <= n,
+                         "thread " << t << " pc " << pc << ": bad jump target "
+                                   << op.target_pc);
+          break;
+        case OpCode::kCompute:
+          break;
+      }
+    }
+  }
+  // Every thread except thread 0 (main) must be started somewhere.
+  for (ThreadId t = 1; t < thread_count(); ++t) {
+    WOLF_CHECK_MSG(started.count(t) == 1,
+                   "thread " << t << " (" << thread(t).name
+                             << ") is never started");
+  }
+  finalized_ = true;
+}
+
+}  // namespace wolf::sim

@@ -1,0 +1,119 @@
+// The scripted-program model — this repo's substitute for Soot-instrumented
+// Java programs (see DESIGN.md §2).
+//
+// A Program declares locks, flags and threads; each thread owns a small
+// "bytecode" script of synchronization-relevant operations (exactly the
+// operation alphabet of the paper's §3.1: Lock/Unlock/start/join, plus
+// compute padding and flag-conditional branches that give workloads
+// data-dependent control flow). The same Program runs on two substrates:
+// the deterministic virtual-thread Scheduler (sim/scheduler.hpp) and the OS
+// thread runtime (rt/executor.hpp).
+//
+// Thread ids are the declaration indices; because every Start op names its
+// target thread statically, ids are stable across runs and schedules — the
+// deterministic realization of the paper's cross-run thread identification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/ids.hpp"
+
+namespace wolf::sim {
+
+enum class OpCode : std::uint8_t {
+  kLock,        // acquire `lock` (re-entrant)
+  kUnlock,      // release `lock`
+  kStart,       // start thread `target_thread`
+  kJoin,        // join thread `target_thread`
+  kCompute,     // `units` of busy work (a scheduling point)
+  kSetFlag,     // flags[flag] = value
+  kJumpIfFlag,  // if flags[flag] == value then pc = target_pc
+  kJump,        // pc = target_pc
+};
+
+const char* to_string(OpCode code);
+
+struct Op {
+  OpCode code = OpCode::kCompute;
+  SiteId site = kInvalidSite;  // static source location of this operation
+  LockId lock = kInvalidLock;
+  ThreadId target_thread = kInvalidThread;
+  int flag = -1;
+  int value = 0;
+  int target_pc = -1;
+  int units = 1;
+};
+
+struct LockDecl {
+  std::string name;            // e.g. "SC1.mutex"
+  SiteId alloc_site = kInvalidSite;  // allocation site (lock abstraction)
+};
+
+struct ThreadDecl {
+  std::string name;  // e.g. "client-1"
+  std::vector<Op> ops;
+  // Site of the Start op that spawns this thread; kInvalidSite for roots.
+  // Derived by Program::finalize(); used by the DeadlockFuzzer baseline's
+  // creation-site thread abstraction.
+  SiteId create_site = kInvalidSite;
+  ThreadId parent = kInvalidThread;
+};
+
+class Program {
+ public:
+  std::string name = "program";
+
+  LockId add_lock(std::string lock_name, SiteId alloc_site = kInvalidSite);
+  ThreadId add_thread(std::string thread_name);
+  int add_flag() { return flag_count_++; }
+
+  // Append an op to `thread`'s script; returns its pc.
+  int emit(ThreadId thread, Op op);
+
+  // Convenience emitters.
+  int lock(ThreadId t, LockId l, SiteId site);
+  int unlock(ThreadId t, LockId l, SiteId site);
+  int start(ThreadId t, ThreadId child, SiteId site);
+  int join(ThreadId t, ThreadId child, SiteId site);
+  int compute(ThreadId t, SiteId site, int units = 1);
+  int set_flag(ThreadId t, int flag, int value, SiteId site);
+  int jump_if_flag(ThreadId t, int flag, int value, int target_pc,
+                   SiteId site);
+  int jump(ThreadId t, int target_pc, SiteId site);
+
+  // Fixes up a forward jump emitted before its target pc was known. Only
+  // valid before finalize().
+  void patch_jump(ThreadId t, int jump_pc, int target_pc);
+
+  // Validates the program (op operands in range, every non-root thread
+  // started exactly once, jump targets valid) and derives create_site /
+  // parent links. Must be called before execution; idempotent.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+  int lock_count() const { return static_cast<int>(locks_.size()); }
+  int flag_count() const { return flag_count_; }
+
+  const ThreadDecl& thread(ThreadId t) const;
+  const LockDecl& lock_decl(LockId l) const;
+
+  SiteTable& sites() { return sites_; }
+  const SiteTable& sites() const { return sites_; }
+
+  // Interns a site in this program's table.
+  SiteId site(const std::string& function, int line) {
+    return sites_.intern(function, line);
+  }
+
+ private:
+  std::vector<LockDecl> locks_;
+  std::vector<ThreadDecl> threads_;
+  int flag_count_ = 0;
+  SiteTable sites_;
+  bool finalized_ = false;
+};
+
+}  // namespace wolf::sim

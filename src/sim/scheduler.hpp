@@ -1,0 +1,180 @@
+// Deterministic virtual-thread scheduler.
+//
+// Executes a sim::Program one operation at a time under an arbitrary
+// scheduling policy, emitting the instrumentation event stream to a
+// TraceSink and consulting an optional ScheduleController at lock
+// acquisitions — i.e. it plays the role of the JVM + instrumentation in the
+// paper's tool chain, with the scheduler choice made explicit (Algorithm 1's
+// "tp ← a random thread from Enabled").
+//
+// Lock semantics are re-entrant (Java monitors). A wait-for cycle is
+// diagnosed the moment it forms; the run then stops with RunOutcome::kDeadlock
+// and the cycle's blocked positions, which is how the Replayer decides
+// whether the execution "deadlocked at the exact location" (Algorithm 4
+// line 33).
+//
+// Scheduler objects are copyable: the systematic explorer forks mid-run
+// states to enumerate schedules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/controller.hpp"
+#include "sim/policy.hpp"
+#include "sim/program.hpp"
+#include "support/rng.hpp"
+#include "trace/recorder.hpp"
+
+namespace wolf::sim {
+
+enum class ThreadStatus : std::uint8_t {
+  kNotStarted,
+  kEnabled,
+  kBlockedOnLock,
+  kBlockedOnJoin,
+  kPaused,      // held by the ScheduleController
+  kTerminated,
+};
+
+struct BlockedAt {
+  ThreadId thread = kInvalidThread;
+  ExecIndex index;           // dynamic instruction of the blocked acquisition
+  LockId lock = kInvalidLock;
+
+  friend bool operator==(const BlockedAt&, const BlockedAt&) = default;
+};
+
+enum class RunOutcome : std::uint8_t {
+  kCompleted,  // every thread terminated
+  kDeadlock,   // wait-for cycle (or a start/join stall with nothing runnable)
+  kStepLimit,  // max_steps exhausted
+};
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  // The lock wait-for cycle that was diagnosed (empty for join stalls).
+  std::vector<BlockedAt> deadlock_cycle;
+  // Every thread blocked on a lock when the run ended.
+  std::vector<BlockedAt> all_blocked;
+  std::uint64_t steps = 0;
+
+  bool deadlocked() const { return outcome == RunOutcome::kDeadlock; }
+};
+
+struct SchedulerOptions {
+  std::uint64_t max_steps = 2'000'000;
+  TraceSink* sink = nullptr;                 // may be nullptr
+  ScheduleController* controller = nullptr;  // may be nullptr
+};
+
+class Scheduler {
+ public:
+  Scheduler(const Program& program, SchedulerOptions options);
+
+  // --- stepping interface (used by run() and by the explorer) ---
+
+  // Threads eligible to execute right now, ascending ids.
+  std::vector<ThreadId> enabled_threads() const;
+  std::vector<ThreadId> paused_threads() const;
+
+  // Executes one operation (or one blocked/paused attempt) of an enabled
+  // thread.
+  void step(ThreadId t);
+
+  // Moves a controller-paused thread back to the enabled set. When
+  // `bypass_controller` is set the thread's pending acquisition will not
+  // re-consult the controller (forced release, Algorithm 4 lines 5–7).
+  void release_paused(ThreadId t, bool bypass_controller);
+
+  // True when no further step can change anything: all threads terminated,
+  // or a deadlock has been diagnosed.
+  bool finished() const;
+  bool deadlock_diagnosed() const { return deadlock_diagnosed_; }
+  bool all_terminated() const;
+
+  std::uint64_t steps_executed() const { return steps_; }
+  std::uint64_t max_steps() const { return options_.max_steps; }
+  ScheduleController* controller() const { return options_.controller; }
+
+  // Applies all pending controller releases (take_released()).
+  void drain_releases() { drain_controller_releases(); }
+
+  // Builds the result for the current (finished or aborted) state.
+  RunResult result() const;
+
+  ThreadStatus status(ThreadId t) const;
+  int pc(ThreadId t) const;
+  int flag_value(int flag) const;
+
+  // Structural fingerprint of the scheduler state (thread pcs/statuses, lock
+  // ownership, flags). Two states with equal hashes are treated as identical
+  // by the explorer; the hash ignores trace/controller bookkeeping, so it is
+  // only meaningful for controller-free exploration.
+  std::uint64_t state_hash() const;
+
+  const Program& program() const { return *program_; }
+
+ private:
+  struct ThreadState {
+    ThreadStatus status = ThreadStatus::kNotStarted;
+    int pc = 0;
+    bool begun = false;  // kThreadBegin emitted
+    // Locks currently held (top-level), in acquisition order, with
+    // re-entrancy depth.
+    std::vector<std::pair<LockId, int>> held;
+    LockId waiting_lock = kInvalidLock;    // kBlockedOnLock
+    ThreadId waiting_join = kInvalidThread;  // kBlockedOnJoin
+    // Occurrence bookkeeping for the op at `pending_pc` (stable across
+    // repeated attempts of the same acquisition).
+    int pending_pc = -1;
+    std::int32_t pending_occ = 0;
+    bool bypass_controller = false;
+    // Per-site dynamic occurrence counters.
+    std::vector<std::int32_t> site_counts;
+  };
+
+  struct LockState {
+    ThreadId owner = kInvalidThread;
+    int depth = 0;
+  };
+
+  void emit(Event e);
+  void ensure_begun(ThreadId t);
+  std::int32_t occurrence_for(ThreadId t, int pc, SiteId site);
+  void terminate_thread(ThreadId t);
+  void wake_lock_waiters(LockId lock);
+  void drain_controller_releases();
+  // Checks for a wait-for cycle through `t` (which just blocked); fills
+  // deadlock state when found.
+  void check_wait_cycle(ThreadId t);
+  BlockedAt blocked_at(ThreadId t) const;
+
+  const Program* program_;
+  SchedulerOptions options_;
+  std::vector<ThreadState> threads_;
+  std::vector<LockState> locks_;
+  std::vector<int> flags_;
+  std::uint64_t steps_ = 0;
+  bool deadlock_diagnosed_ = false;
+  std::vector<BlockedAt> deadlock_cycle_;
+};
+
+// Policy-driven run loop, including the controller release protocol.
+RunResult run(Scheduler& scheduler, SchedulePolicy& policy, Rng& rng);
+
+// Convenience: build a scheduler and run the program once.
+RunResult run_program(const Program& program, SchedulePolicy& policy, Rng& rng,
+                      SchedulerOptions options = {});
+
+// One random recording run: executes the program under RandomPolicy with the
+// given seed, recording the trace. Retries with derived seeds if the run
+// deadlocks (detection needs completed executions) up to `max_attempts`;
+// returns nullopt if every attempt deadlocked.
+std::optional<Trace> record_trace(const Program& program, std::uint64_t seed,
+                                  int max_attempts = 20,
+                                  std::uint64_t max_steps = 2'000'000);
+
+}  // namespace wolf::sim

@@ -1,0 +1,50 @@
+// Tiny command-line flag parser for the example and bench executables.
+//
+// Supports "--name=value", "--name value" and boolean "--name" forms.
+// Unknown flags are an error so that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wolf {
+
+class Flags {
+ public:
+  // Registration: call before parse(). Each flag has a help string rendered
+  // by usage().
+  void define_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help);
+  void define_bool(const std::string& name, bool default_value,
+                   const std::string& help);
+  void define_string(const std::string& name, const std::string& default_value,
+                     const std::string& help);
+
+  // Returns false (after printing a diagnostic to stderr) on malformed or
+  // unknown arguments, or when --help is requested.
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  bool set_from_string(Flag& flag, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace wolf

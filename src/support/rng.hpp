@@ -1,0 +1,115 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in WOLF (schedulers, fuzzers, workload
+// generators, property tests) takes an explicit seed so that any run can be
+// replayed bit-for-bit. We use xoshiro256** seeded through splitmix64, the
+// standard recipe, rather than std::mt19937 because it is faster, has a
+// trivially copyable 32-byte state, and gives identical streams on every
+// platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace wolf {
+
+// splitmix64 step; used to expand seeds and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of a 64-bit value; handy for state fingerprints.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+// xoshiro256** 1.0
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    WOLF_DCHECK(bound > 0);
+    while (true) {
+      std::uint64_t x = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound)
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    WOLF_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  // Pick a uniformly random element index of a non-empty container.
+  template <typename Container>
+  std::size_t index(const Container& c) {
+    WOLF_DCHECK(!c.empty());
+    return static_cast<std::size_t>(below(c.size()));
+  }
+
+  template <typename Container>
+  auto& pick(Container& c) {
+    return c[index(c)];
+  }
+
+  // Derive an independent child stream; used to give each replay trial or
+  // subcomponent its own reproducible randomness.
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace wolf

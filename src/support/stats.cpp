@@ -1,0 +1,83 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace wolf {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Stats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+double Stats::sum() const {
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  WOLF_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  WOLF_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+const std::vector<double>& Stats::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double Stats::percentile(double p) const {
+  WOLF_CHECK(!samples_.empty());
+  WOLF_CHECK(p >= 0.0 && p <= 100.0);
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+std::string Stats::summary() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "(no samples)";
+    return os.str();
+  }
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max() << "] n="
+     << samples_.size();
+  return os.str();
+}
+
+}  // namespace wolf

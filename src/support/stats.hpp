@@ -1,0 +1,43 @@
+// Streaming descriptive statistics for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wolf {
+
+// Accumulates samples and answers summary queries. Keeps all samples so that
+// exact percentiles can be reported (benchmark sample counts are small).
+class Stats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // "mean ± stddev [min, max]" convenience for logs.
+  std::string summary() const;
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily maintained sorted copy
+  mutable bool sorted_valid_ = false;
+
+  const std::vector<double>& sorted() const;
+};
+
+}  // namespace wolf

@@ -1,0 +1,31 @@
+// Small string helpers shared by serialization and reporting code.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wolf {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+template <typename Range>
+std::string join(const Range& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    os << p;
+    first = false;
+  }
+  return os.str();
+}
+
+// Parses a signed integer; returns false on malformed input instead of
+// throwing so trace deserialization can report the offending line.
+bool parse_int(std::string_view s, long long& out);
+
+}  // namespace wolf

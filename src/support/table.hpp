@@ -1,0 +1,34 @@
+// Minimal ASCII table rendering for the table/figure reproduction harnesses.
+//
+// The paper's evaluation is presented as two tables and two bar charts; the
+// bench binaries print them as aligned text tables so output diffs cleanly.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wolf {
+
+class TextTable {
+ public:
+  // Column headers define the width of the table; every subsequent row must
+  // have the same number of cells.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Numeric convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wolf

@@ -1,0 +1,63 @@
+#include "trace/event.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace wolf {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kThreadBegin:
+      return "begin";
+    case EventKind::kThreadEnd:
+      return "end";
+    case EventKind::kLockAcquire:
+      return "acquire";
+    case EventKind::kLockRelease:
+      return "release";
+    case EventKind::kThreadStart:
+      return "start";
+    case EventKind::kThreadJoin:
+      return "join";
+  }
+  return "?";
+}
+
+std::string Event::to_string() const {
+  std::ostringstream os;
+  os << '#' << seq << " t" << thread << ' ' << wolf::to_string(kind);
+  switch (kind) {
+    case EventKind::kLockAcquire:
+    case EventKind::kLockRelease:
+      os << " lock=" << lock << " @" << index().to_string();
+      break;
+    case EventKind::kThreadStart:
+    case EventKind::kThreadJoin:
+      os << " t" << other << " @" << index().to_string();
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::vector<ThreadId> Trace::threads() const {
+  std::set<ThreadId> ids;
+  for (const Event& e : events) {
+    ids.insert(e.thread);
+    if (e.other != kInvalidThread) ids.insert(e.other);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+ThreadId Trace::max_thread_id() const {
+  ThreadId m = -1;
+  for (const Event& e : events) {
+    m = std::max(m, e.thread);
+    m = std::max(m, e.other);
+  }
+  return m;
+}
+
+}  // namespace wolf

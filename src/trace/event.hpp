@@ -1,0 +1,57 @@
+// The instrumentation event stream (the paper's "trace").
+//
+// Both execution substrates (the deterministic scheduler in src/sim and the
+// OS-thread runtime in src/rt) emit exactly these events, totally ordered by
+// a global sequence number — the analogue of the Soot-instrumented Java
+// programs' log of Lock/Unlock/start/join operations (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/exec_index.hpp"
+#include "trace/ids.hpp"
+
+namespace wolf {
+
+enum class EventKind : std::uint8_t {
+  kThreadBegin,   // thread's first action
+  kThreadEnd,     // thread ran to completion
+  kLockAcquire,   // top-level (non-reentrant) monitor acquisition completed
+  kLockRelease,   // matching top-level release
+  kThreadStart,   // executing thread started `other`
+  kThreadJoin,    // executing thread joined `other`
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  std::uint64_t seq = 0;       // global total order
+  EventKind kind = EventKind::kThreadBegin;
+  ThreadId thread = kInvalidThread;  // executing thread
+  SiteId site = kInvalidSite;        // static site of the operation
+  std::int32_t occurrence = 0;       // per (thread, site) dynamic counter
+  LockId lock = kInvalidLock;        // lock ops only
+  ThreadId other = kInvalidThread;   // start/join child
+
+  ExecIndex index() const { return ExecIndex{thread, site, occurrence}; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+struct Trace {
+  std::vector<Event> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+
+  // Threads observed in the trace, ascending. Useful for sizing vector
+  // clocks: ids are dense, so max_thread_id()+1 is the clock dimension.
+  std::vector<ThreadId> threads() const;
+  ThreadId max_thread_id() const;
+};
+
+}  // namespace wolf

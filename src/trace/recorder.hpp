@@ -1,0 +1,50 @@
+// Trace sinks. Substrates report instrumentation callbacks to a TraceSink;
+// the standard sink is TraceRecorder which assigns global sequence numbers
+// and accumulates a Trace. A NullSink supports "uninstrumented" baseline runs
+// for slowdown measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/event.hpp"
+
+namespace wolf {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // `e.seq` is ignored on input; sinks that keep events assign their own
+  // sequence numbers. Callers must already hold whatever lock serializes the
+  // substrate's event emission (sim is single-threaded; rt uses a global
+  // recording mutex), so implementations need not be thread-safe themselves.
+  virtual void on_event(Event e) = 0;
+};
+
+class NullSink final : public TraceSink {
+ public:
+  void on_event(Event) override {}
+};
+
+class TraceRecorder final : public TraceSink {
+ public:
+  void on_event(Event e) override {
+    e.seq = next_seq_++;
+    trace_.events.push_back(e);
+  }
+
+  const Trace& trace() const { return trace_; }
+  Trace take() {
+    next_seq_ = 0;
+    return std::move(trace_);
+  }
+  void clear() {
+    trace_ = Trace{};
+    next_seq_ = 0;
+  }
+
+ private:
+  Trace trace_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wolf

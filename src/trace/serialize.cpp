@@ -1,0 +1,90 @@
+#include "trace/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/str.hpp"
+
+namespace wolf {
+
+namespace {
+
+constexpr const char* kHeader = "# wolf-trace v1";
+
+std::optional<EventKind> kind_from_string(std::string_view s) {
+  if (s == "begin") return EventKind::kThreadBegin;
+  if (s == "end") return EventKind::kThreadEnd;
+  if (s == "acquire") return EventKind::kLockAcquire;
+  if (s == "release") return EventKind::kLockRelease;
+  if (s == "start") return EventKind::kThreadStart;
+  if (s == "join") return EventKind::kThreadJoin;
+  return std::nullopt;
+}
+
+void fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << kHeader << '\n';
+  for (const Event& e : trace.events) {
+    os << e.seq << ' ' << to_string(e.kind) << ' ' << e.thread << ' ' << e.site
+       << ' ' << e.occurrence << ' ' << e.lock << ' ' << e.other << '\n';
+  }
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+std::optional<Trace> read_trace(std::istream& is, std::string* error) {
+  std::string line;
+  if (!std::getline(is, line) || trim(line) != kHeader) {
+    fail(error, "missing wolf-trace header");
+    return std::nullopt;
+  }
+  Trace trace;
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    auto text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    std::istringstream fields{std::string(text)};
+    std::string kind_str;
+    long long seq = 0, thread = 0, site = 0, occ = 0, lock = 0, other = 0;
+    if (!(fields >> seq >> kind_str >> thread >> site >> occ >> lock >>
+          other)) {
+      fail(error, "malformed event at line " + std::to_string(lineno));
+      return std::nullopt;
+    }
+    auto kind = kind_from_string(kind_str);
+    if (!kind) {
+      fail(error, "unknown event kind '" + kind_str + "' at line " +
+                      std::to_string(lineno));
+      return std::nullopt;
+    }
+    Event e;
+    e.seq = static_cast<std::uint64_t>(seq);
+    e.kind = *kind;
+    e.thread = static_cast<ThreadId>(thread);
+    e.site = static_cast<SiteId>(site);
+    e.occurrence = static_cast<std::int32_t>(occ);
+    e.lock = static_cast<LockId>(lock);
+    e.other = static_cast<ThreadId>(other);
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+std::optional<Trace> trace_from_string(const std::string& text,
+                                       std::string* error) {
+  std::istringstream is{text};
+  return read_trace(is, error);
+}
+
+}  // namespace wolf

@@ -1,0 +1,28 @@
+// Text (de)serialization of traces.
+//
+// WOLF's pipeline is offline: detection consumes a recorded trace, possibly
+// from an earlier process. The format is line-oriented and versioned:
+//
+//   # wolf-trace v1
+//   <seq> <kind> <thread> <site> <occurrence> <lock> <other>
+//
+// with kind as the short names from event.cpp. Round-tripping is exact.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace wolf {
+
+void write_trace(std::ostream& os, const Trace& trace);
+std::string trace_to_string(const Trace& trace);
+
+// Returns nullopt and fills *error on malformed input.
+std::optional<Trace> read_trace(std::istream& is, std::string* error = nullptr);
+std::optional<Trace> trace_from_string(const std::string& text,
+                                       std::string* error = nullptr);
+
+}  // namespace wolf

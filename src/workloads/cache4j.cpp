@@ -1,0 +1,79 @@
+#include "workloads/cache4j.hpp"
+
+#include "support/check.hpp"
+
+namespace wolf::workloads {
+
+sim::Program make_cache4j(const Cache4jConfig& config) {
+  WOLF_CHECK(config.stripes >= 1);
+  sim::Program p;
+  p.name = "cache4j";
+
+  LockId global = p.add_lock("CacheConfig.lock", p.site("Cache.<init>", 10));
+  std::vector<LockId> stripes;
+  for (int s = 0; s < config.stripes; ++s)
+    stripes.push_back(p.add_lock("Stripe-" + std::to_string(s),
+                                 p.site("Stripe.<init>", 20)));
+
+  ThreadId main = p.add_thread("main");
+  std::vector<ThreadId> workers;
+
+  SiteId s_put = p.site("Cache.put", 200);
+  SiteId s_put_stripe = p.site("Cache.put(stripe)", 201);
+  SiteId s_put_exit1 = p.site("Cache.put(stripe-exit)", 202);
+  SiteId s_put_exit2 = p.site("Cache.put(exit)", 203);
+  SiteId s_get = p.site("Cache.get", 210);
+  SiteId s_get_exit = p.site("Cache.get(exit)", 211);
+  SiteId pad = p.site("Cache.compute", 1);
+
+  // Writers: put() takes the config lock, then the key's stripe — the same
+  // global→stripe order everywhere, so the lock graph is acyclic.
+  for (int wi = 0; wi < config.writers; ++wi) {
+    ThreadId t = p.add_thread("writer-" + std::to_string(wi));
+    workers.push_back(t);
+    for (int op = 0; op < config.ops_per_thread; ++op) {
+      LockId stripe =
+          stripes[static_cast<std::size_t>((wi + op) % config.stripes)];
+      p.lock(t, global, s_put);
+      p.lock(t, stripe, s_put_stripe);
+      p.compute(t, pad, 1);
+      p.unlock(t, stripe, s_put_exit1);
+      p.unlock(t, global, s_put_exit2);
+    }
+  }
+  // Readers: get() touches only the stripe.
+  for (int ri = 0; ri < config.readers; ++ri) {
+    ThreadId t = p.add_thread("reader-" + std::to_string(ri));
+    workers.push_back(t);
+    for (int op = 0; op < config.ops_per_thread; ++op) {
+      LockId stripe =
+          stripes[static_cast<std::size_t>((ri + op) % config.stripes)];
+      p.lock(t, stripe, s_get);
+      p.compute(t, pad, 1);
+      p.unlock(t, stripe, s_get_exit);
+    }
+  }
+  // A cleaner sweeping every stripe under the config lock (still ordered).
+  ThreadId cleaner = p.add_thread("cleaner");
+  workers.push_back(cleaner);
+  SiteId s_clean = p.site("CacheCleaner.clean", 300);
+  SiteId s_clean_stripe = p.site("CacheCleaner.clean(stripe)", 301);
+  p.lock(cleaner, global, s_clean);
+  for (int s = 0; s < config.stripes; ++s) {
+    p.lock(cleaner, stripes[static_cast<std::size_t>(s)], s_clean_stripe);
+    p.compute(cleaner, pad, 1);
+    p.unlock(cleaner, stripes[static_cast<std::size_t>(s)],
+             p.site("CacheCleaner.clean(stripe-exit)", 302));
+  }
+  p.unlock(cleaner, global, p.site("CacheCleaner.clean(exit)", 303));
+
+  SiteId spawn = p.site("CacheTest.spawn", 400);
+  SiteId joinsite = p.site("CacheTest.join", 401);
+  for (ThreadId t : workers) p.start(main, t, spawn);
+  for (ThreadId t : workers) p.join(main, t, joinsite);
+
+  p.finalize();
+  return p;
+}
+
+}  // namespace wolf::workloads

@@ -1,0 +1,21 @@
+// cache4j analogue: a striped object cache with a consistent global→stripe
+// lock order, concurrent reader/writer/cleaner threads, and no deadlocks —
+// the paper's negative control (0 defects, Table 1 row 1). Exercises the
+// detector on a lock-heavy but well-ordered trace and anchors the slowdown
+// measurements.
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+struct Cache4jConfig {
+  int stripes = 4;
+  int writers = 2;
+  int readers = 2;
+  int ops_per_thread = 8;  // put/get rounds (unrolled)
+};
+
+sim::Program make_cache4j(const Cache4jConfig& config = {});
+
+}  // namespace wolf::workloads

@@ -1,0 +1,138 @@
+#include "workloads/collections.hpp"
+
+namespace wolf::workloads {
+
+namespace {
+
+// Method line-number bases mirroring Collections.java's synchronized
+// wrappers; purely cosmetic but they make reports read like the paper's.
+constexpr int kEqualsLine = 1566;
+constexpr int kAddAllLine = 1590;
+constexpr int kRemoveAllLine = 1593;
+constexpr int kSizeLine = 1560;
+
+}  // namespace
+
+CollectionsWorkload make_collections_list(const std::string& class_name,
+                                          int benign_ops) {
+  CollectionsWorkload w;
+  sim::Program& p = w.program;
+  p.name = class_name;
+
+  const std::string cls = "Synchronized" + class_name;
+  SiteId alloc = p.site("Collections.synchronized" + class_name, 1501);
+  LockId l1 = p.add_lock("C1.mutex", alloc);
+  LockId l2 = p.add_lock("C2.mutex", alloc);
+
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("worker-1");
+  ThreadId t2 = p.add_thread("worker-2");
+
+  const char* methods[3] = {"equals", "addAll", "removeAll"};
+  const int lines[3] = {kEqualsLine, kAddAllLine, kRemoveAllLine};
+  for (int m = 0; m < 3; ++m) {
+    w.sites.outer[m] = p.site(cls + "." + methods[m], lines[m]);
+    w.sites.inner[m] = p.site(cls + "." + methods[m] + "(arg)", lines[m] + 1);
+  }
+  SiteId benign = p.site(cls + ".size", kSizeLine);
+  SiteId benign_exit = p.site(cls + ".size(exit)", kSizeLine + 1);
+  SiteId pad = p.site(cls + ".compute", 1);
+
+  // One worker: three two-lock methods on (mine, other), padded with benign
+  // single-lock calls and compute so the workers genuinely overlap.
+  auto worker = [&](ThreadId t, LockId mine, LockId other) {
+    for (int m = 0; m < 3; ++m) {
+      for (int b = 0; b < benign_ops; ++b) {
+        p.lock(t, mine, benign);
+        p.unlock(t, mine, benign_exit);
+      }
+      p.compute(t, pad, 2);
+      p.lock(t, mine, w.sites.outer[m]);
+      p.compute(t, pad, 1);
+      p.lock(t, other, w.sites.inner[m]);
+      p.unlock(t, other, p.site(cls + "." + methods[m] + "(arg-exit)",
+                                lines[m] + 2));
+      p.unlock(t, mine,
+               p.site(cls + "." + methods[m] + "(exit)", lines[m] + 3));
+    }
+  };
+  worker(t1, l1, l2);
+  worker(t2, l2, l1);
+
+  SiteId spawn = p.site("Harness.spawnWorker", 7001);
+  SiteId joinsite = p.site("Harness.joinWorker", 7002);
+  p.start(main, t1, spawn);
+  p.start(main, t2, spawn);
+  p.join(main, t1, joinsite);
+  p.join(main, t2, joinsite);
+
+  p.finalize();
+  return w;
+}
+
+CollectionsWorkload make_collections_map(const std::string& class_name,
+                                         int benign_ops) {
+  CollectionsWorkload w;
+  sim::Program& p = w.program;
+  p.name = class_name;
+
+  const std::string cls = "SynchronizedMap<" + class_name + ">";
+  // Unlike the list driver (one wrapping call in a loop), the map test
+  // driver wraps its two maps on two distinct source lines, so the two
+  // mutexes carry distinguishable allocation-site abstractions — which is
+  // why DeadlockFuzzer manages to reproduce the feasible map cycles.
+  LockId m1 = p.add_lock(
+      "SM1.mutex",
+      p.site("Collections.synchronizedMap<" + class_name + ">", 2001));
+  LockId m2 = p.add_lock(
+      "SM2.mutex",
+      p.site("Collections.synchronizedMap<" + class_name + ">", 2002));
+
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("worker-1");
+  ThreadId t2 = p.add_thread("worker-2");
+
+  w.sites.s_equals = p.site(cls + ".equals", 2024);
+  w.sites.s_size = p.site("AbstractMap.equals(size)", 509);
+  w.sites.s_get = p.site("AbstractMap.equals(get)", 522);
+  SiteId benign = p.site(cls + ".hashCode", 2030);
+  SiteId benign_exit = p.site(cls + ".hashCode(exit)", 2031);
+  SiteId pad = p.site(cls + ".compute", 1);
+
+  // Worker-1 starts with extra warm-up (a cache-population phase in the
+  // original harness), so worker-2 typically runs a method-phase ahead —
+  // the interleaving variety that makes the (509, 522) deadlocks actually
+  // occur in fuzzed re-executions.
+  auto worker = [&](ThreadId t, LockId mine, LockId other, int lead_delay) {
+    for (int d = 0; d < lead_delay; ++d) p.compute(t, pad, 1);
+    for (int b = 0; b < benign_ops; ++b) {
+      p.lock(t, mine, benign);
+      p.unlock(t, mine, benign_exit);
+    }
+    p.compute(t, pad, 2);
+    // equals(): synchronized(mutex) { if (t.size() != size()) ...
+    //           if (!value.equals(t.get(key))) ... }
+    p.lock(t, mine, w.sites.s_equals);
+    p.compute(t, pad, 1);
+    p.lock(t, other, w.sites.s_size);
+    p.unlock(t, other, p.site("AbstractMap.equals(size-exit)", 510));
+    p.compute(t, pad, 1);
+    p.lock(t, other, w.sites.s_get);
+    p.unlock(t, other, p.site("AbstractMap.equals(get-exit)", 523));
+    p.unlock(t, mine, p.site(cls + ".equals(exit)", 2025));
+  };
+  worker(t1, m1, m2, /*lead_delay=*/3);
+  worker(t2, m2, m1, /*lead_delay=*/0);
+
+  SiteId spawn = p.site("Harness.spawnWorker", 7001);
+  SiteId joinsite = p.site("Harness.joinWorker", 7002);
+  p.start(main, t1, spawn);
+  p.start(main, t2, spawn);
+  p.join(main, t1, joinsite);
+  p.join(main, t2, joinsite);
+
+  p.finalize();
+  return w;
+}
+
+}  // namespace wolf::workloads

@@ -1,0 +1,52 @@
+// Synthetic analogues of the paper's java.util.Collections benchmarks
+// (§4.1): the synchronized-wrapper deadlocks among the three list-like
+// classes (ArrayList, Stack, LinkedList) and the five map classes (HashMap,
+// TreeMap, WeakHashMap, LinkedHashMap, IdentityHashMap).
+//
+// List family — two wrapped instances and two workers operating on them in
+// opposite orders through three shared methods (equals / addAll /
+// removeAll), each locking its receiver's mutex and then the argument's.
+// This yields exactly 3×3 = 9 potential cycles collapsing to 6 source-
+// location defects (the unordered method pairs), all real — the counts of
+// Tables 1 and 2. Both wrapper mutexes share an allocation site and both
+// workers a creation site, so DeadlockFuzzer's abstractions reliably confuse
+// the off-diagonal pairs and it reproduces only the 3 "diagonal" defects.
+//
+// Map family — the Fig. 2 structure: equals() holds the receiver's mutex
+// (line 2024) and acquires the argument's twice, once inside size() (509)
+// and once inside get() (522). Four cycles, three defects; the (522, 522)
+// cycle — θ4 — is infeasible and its Gs is cyclic, the Generator's
+// elimination in Tables 1/2.
+#pragma once
+
+#include <string>
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+struct CollectionsSites {
+  // List family outer/inner sites per method (equals, addAll, removeAll).
+  SiteId outer[3] = {kInvalidSite, kInvalidSite, kInvalidSite};
+  SiteId inner[3] = {kInvalidSite, kInvalidSite, kInvalidSite};
+  // Map family sites.
+  SiteId s_equals = kInvalidSite;  // 2024
+  SiteId s_size = kInvalidSite;    // 509
+  SiteId s_get = kInvalidSite;     // 522
+};
+
+struct CollectionsWorkload {
+  sim::Program program;
+  CollectionsSites sites;
+};
+
+// `class_name` only changes the site naming (ArrayList vs Stack vs ...);
+// `benign_ops` adds that many harmless single-lock calls around each method
+// to vary trace length across the three list benchmarks.
+CollectionsWorkload make_collections_list(const std::string& class_name,
+                                          int benign_ops = 2);
+
+CollectionsWorkload make_collections_map(const std::string& class_name,
+                                         int benign_ops = 2);
+
+}  // namespace wolf::workloads

@@ -1,0 +1,162 @@
+#include "workloads/jigsaw.hpp"
+
+#include "support/check.hpp"
+
+namespace wolf::workloads {
+
+JigsawWorkload make_jigsaw(const JigsawConfig& config) {
+  WOLF_CHECK(config.contexts >= 1);
+  JigsawWorkload w;
+  sim::Program& p = w.program;
+  p.name = "Jigsaw";
+
+  ThreadId main = p.add_thread("main");
+  SiteId pad = p.site("httpd.compute", 1);
+  std::vector<ThreadId> to_join;
+
+  // ------------------------------------------------------------------
+  // (1) ThreadCache start-order false positives (Fig. 1), one per instance.
+  // ------------------------------------------------------------------
+  SiteId pool_spawn = p.site("ThreadCache.getCachedThread", 350);
+  for (int k = 0; k < config.fig1_instances; ++k) {
+    const int base = 400 + 40 * k;
+    LockId tc = p.add_lock("TC-" + std::to_string(k),
+                           p.site("ThreadCache.<init>", 2));
+    LockId ct = p.add_lock("CT-" + std::to_string(k),
+                           p.site("CachedThread.<init>", 3));
+    ThreadId parent = p.add_thread("pool-" + std::to_string(k));
+    ThreadId child = p.add_thread("cached-" + std::to_string(k));
+
+    SiteId s_init = p.site("ThreadCache.initialize", base + 1);
+    SiteId s_start = p.site("CachedThread.start", base + 2);
+    SiteId s_wait = p.site("CachedThread.waitForRunner", base + 3);
+    SiteId s_free = p.site("ThreadCache.isFree", base + 4);
+    w.fig1_sites.push_back(s_free);
+
+    p.lock(parent, tc, s_init);
+    p.lock(parent, ct, s_start);
+    p.start(parent, child, p.site("CachedThread.start(super)", base + 5));
+    p.unlock(parent, ct, p.site("CachedThread.start(exit)", base + 6));
+    p.unlock(parent, tc, p.site("ThreadCache.initialize(exit)", base + 7));
+
+    p.lock(child, ct, s_wait);
+    p.compute(child, pad, 1);
+    p.lock(child, tc, s_free);
+    p.unlock(child, tc, p.site("ThreadCache.isFree(exit)", base + 8));
+    p.unlock(child, ct, p.site("CachedThread.waitForRunner(exit)", base + 9));
+
+    p.start(main, parent, pool_spawn);
+    to_join.push_back(parent);
+    to_join.push_back(child);
+  }
+
+  // ------------------------------------------------------------------
+  // (2) Real handler deadlocks: two request handlers, three shared resource
+  // methods on opposite resource orders, each pass under a per-context
+  // session lock.
+  // ------------------------------------------------------------------
+  SiteId handler_spawn = p.site("httpd.spawnHandler", 500);
+  LockId res1 = p.add_lock("Resource-1", p.site("ResourceStore.load", 4));
+  LockId res2 = p.add_lock("Resource-2", p.site("ResourceStore.load", 4));
+  ThreadId h1 = p.add_thread("handler-1");
+  ThreadId h2 = p.add_thread("handler-2");
+
+  const char* methods[3] = {"lookup", "pipeline", "flushCache"};
+  SiteId outer[3];
+  for (int m = 0; m < 3; ++m) {
+    const int base = 600 + 20 * m;
+    outer[m] = p.site(std::string("HttpResource.") + methods[m], base);
+    w.handler_inner.push_back(
+        p.site(std::string("HttpResource.") + methods[m] + "(target)",
+               base + 1));
+  }
+
+  // Heavy request-processing padding between the racy sections keeps the
+  // reversed windows from aligning on most recorded schedules (real Jigsaw
+  // runs rarely deadlock), while every section pair is still a genuine
+  // deadlock some schedule can reach.
+  auto pad_many = [&](ThreadId t, int n) {
+    for (int i = 0; i < n; ++i) p.compute(t, pad, 1);
+  };
+  auto handler = [&](ThreadId t, LockId mine, LockId other, LockId session,
+                     int passes, int initial_delay) {
+    pad_many(t, initial_delay);
+    for (int ctx = 0; ctx < passes; ++ctx) {
+      SiteId ctx_site = p.site("Session.serve", 560 + ctx);
+      SiteId ctx_exit = p.site("Session.serve(exit)", 570 + ctx);
+      p.lock(t, session, ctx_site);
+      for (int m = 0; m < 3; ++m) {
+        pad_many(t, 14);
+        p.lock(t, mine, outer[m]);
+        p.lock(t, other, w.handler_inner[static_cast<std::size_t>(m)]);
+        p.unlock(t, other,
+                 p.site(std::string("HttpResource.") + methods[m] +
+                            "(target-exit)",
+                        602 + 20 * m));
+        p.unlock(t, mine,
+                 p.site(std::string("HttpResource.") + methods[m] + "(exit)",
+                        603 + 20 * m));
+      }
+      p.unlock(t, session, ctx_exit);
+    }
+  };
+  LockId sess1 = p.add_lock("Session-1", p.site("Session.<init>", 5));
+  LockId sess2 = p.add_lock("Session-2", p.site("Session.<init>", 5));
+  handler(h1, res1, res2, sess1, config.contexts, 0);
+  handler(h2, res2, res1, sess2, 1, 8);
+  p.start(main, h1, handler_spawn);
+  p.start(main, h2, handler_spawn);
+  to_join.push_back(h1);
+  to_join.push_back(h2);
+
+  // ------------------------------------------------------------------
+  // (3) Data-dependency unknowns: producer/consumer pairs whose reversed
+  // nested sections are serialized by a flag handshake.
+  // ------------------------------------------------------------------
+  SiteId worker_spawn = p.site("httpd.spawnWorker", 520);
+  ThreadId producer = p.add_thread("indexer");
+  ThreadId consumer = p.add_thread("publisher");
+  for (int k = 0; k < config.data_dep_instances; ++k) {
+    const int base = 800 + 40 * k;
+    LockId x = p.add_lock("Index-" + std::to_string(k),
+                          p.site("Index.<init>", 6));
+    LockId y = p.add_lock("Digest-" + std::to_string(k),
+                          p.site("Digest.<init>", 7));
+    int flag = p.add_flag();
+
+    SiteId s_px = p.site("Indexer.update", base + 1);
+    SiteId s_py = p.site("Indexer.update(digest)", base + 2);
+    SiteId s_cy = p.site("Publisher.publish", base + 3);
+    SiteId s_cx = p.site("Publisher.publish(index)", base + 4);
+    w.datadep_sites.push_back(s_cx);
+
+    // Producer: nested (X, Y), then publish the flag.
+    p.lock(producer, x, s_px);
+    p.lock(producer, y, s_py);
+    p.unlock(producer, y, p.site("Indexer.update(digest-exit)", base + 5));
+    p.unlock(producer, x, p.site("Indexer.update(exit)", base + 6));
+    p.set_flag(producer, flag, 1, p.site("Indexer.ready", base + 7));
+
+    // Consumer: spin until the flag is up, then nested (Y, X) — regions can
+    // never overlap, but nothing in the trace proves it.
+    int loop_pc = p.compute(consumer, p.site("Publisher.poll", base + 8), 1);
+    p.jump_if_flag(consumer, flag, 0, loop_pc,
+                   p.site("Publisher.poll(check)", base + 9));
+    p.lock(consumer, y, s_cy);
+    p.lock(consumer, x, s_cx);
+    p.unlock(consumer, x, p.site("Publisher.publish(index-exit)", base + 10));
+    p.unlock(consumer, y, p.site("Publisher.publish(exit)", base + 11));
+  }
+  p.start(main, producer, worker_spawn);
+  p.start(main, consumer, worker_spawn);
+  to_join.push_back(producer);
+  to_join.push_back(consumer);
+
+  SiteId joinsite = p.site("httpd.join", 530);
+  for (ThreadId t : to_join) p.join(main, t, joinsite);
+
+  p.finalize();
+  return w;
+}
+
+}  // namespace wolf::workloads

@@ -1,0 +1,48 @@
+// Jigsaw analogue — the large benchmark of the evaluation. A miniature web
+// server whose locking structure reproduces the paper's Jigsaw taxonomy of
+// 30 defects:
+//
+//   * `fig1_instances` ThreadCache start-order false positives (Fig. 1):
+//     a pool thread locks (TC_k, CT_k) and starts its cached thread while
+//     holding both — detected as cycles, eliminated by the Pruner.
+//   * 6 real, reproducible defects: two request-handler threads run three
+//     shared resource methods on opposite resource orders (the unordered
+//     method pairs), each under `contexts` different session locks, which
+//     multiplies the dynamic cycles per defect the way Jigsaw's deep call
+//     contexts do.
+//   * `data_dep_instances` data-dependency "unknown" defects (§4.4): a
+//     producer publishes a flag after its nested (X, Y) section and the
+//     consumer busy-waits on the flag before its reversed (Y, X) section.
+//     The regions can never overlap, but neither the vector clocks nor Gs
+//     can prove it, and replay cannot deadlock — WOLF leaves them unknown,
+//     exactly the category the paper attributes its Jigsaw unknowns to.
+//
+// Defaults give 7 + 6 + 17 = 30 detected defects with the paper's
+// classification split (7 Pruner FPs, 6 reproduced, 17 unknown; the baseline
+// reproduces the 3 diagonal handler defects).
+#pragma once
+
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+struct JigsawConfig {
+  int fig1_instances = 7;
+  int data_dep_instances = 17;
+  int contexts = 2;  // session-lock contexts per handler pass
+};
+
+struct JigsawWorkload {
+  sim::Program program;
+  // Deadlocking sites of the three handler methods (defect signatures are
+  // the unordered pairs of these inner sites).
+  std::vector<SiteId> handler_inner;
+  std::vector<SiteId> fig1_sites;     // child-side inner sites, per instance
+  std::vector<SiteId> datadep_sites;  // consumer-side inner sites
+};
+
+JigsawWorkload make_jigsaw(const JigsawConfig& config = {});
+
+}  // namespace wolf::workloads

@@ -1,0 +1,80 @@
+#include "workloads/logging.hpp"
+
+namespace wolf::workloads {
+
+LoggingWorkload make_logging() {
+  LoggingWorkload w;
+  sim::Program& p = w.program;
+  p.name = "JavaLogging";
+
+  LockId logger_a = p.add_lock("LoggerA", p.site("Logger.<init>", 100));
+  LockId handler_a = p.add_lock("HandlerA", p.site("Handler.<init>", 101));
+  LockId logger_b = p.add_lock("LoggerB", p.site("Logger.<init>", 100));
+  LockId handler_b = p.add_lock("HandlerB", p.site("Handler.<init>", 101));
+
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("app");
+  ThreadId t2 = p.add_thread("admin");
+  ThreadId t3 = p.add_thread("flusher");
+  ThreadId t4 = p.add_thread("reconfigurer");
+
+  SiteId pad = p.site("Logging.compute", 1);
+
+  // --- Defect A: Logger.log → Handler.publish vs Handler.close →
+  // Logger.removeHandler (bug-24159 shape).
+  SiteId s_log = p.site("Logger.log", 580);
+  w.s_publish_handler = p.site("Handler.publish", 581);
+  SiteId s_close = p.site("Handler.close", 620);
+  w.s_close_logger = p.site("Logger.removeHandler", 621);
+
+  p.compute(t1, pad, 2);
+  p.lock(t1, logger_a, s_log);
+  p.compute(t1, pad, 1);
+  p.lock(t1, handler_a, w.s_publish_handler);
+  p.unlock(t1, handler_a, p.site("Handler.publish(exit)", 582));
+  p.unlock(t1, logger_a, p.site("Logger.log(exit)", 583));
+
+  p.compute(t2, pad, 2);
+  p.lock(t2, handler_a, s_close);
+  p.compute(t2, pad, 1);
+  p.lock(t2, logger_a, w.s_close_logger);
+  p.unlock(t2, logger_a, p.site("Logger.removeHandler(exit)", 622));
+  p.unlock(t2, handler_a, p.site("Handler.close(exit)", 623));
+
+  // --- Defect B: Logger.flush → Handler.flush vs Handler.reconfigure →
+  // Logger.setLevel. The flusher first calls Handler.flush directly (same
+  // source site, no logger lock held) — the occurrence that confuses
+  // DeadlockFuzzer's abstraction.
+  SiteId s_flush = p.site("Logger.flush", 700);
+  w.s_flush_handler = p.site("Handler.flush", 701);
+  SiteId s_reconf = p.site("Handler.reconfigure", 720);
+  w.s_reconf_logger = p.site("Logger.setLevel", 721);
+
+  // Direct, unnested Handler.flush by the flusher (occurrence 0 of 701).
+  p.lock(t3, handler_b, w.s_flush_handler);
+  p.unlock(t3, handler_b, p.site("Handler.flush(exit)", 702));
+  p.compute(t3, pad, 2);
+  // Nested pass: Logger.flush → Handler.flush (occurrence 1 of 701).
+  p.lock(t3, logger_b, s_flush);
+  p.compute(t3, pad, 1);
+  p.lock(t3, handler_b, w.s_flush_handler);
+  p.unlock(t3, handler_b, p.site("Handler.flush(exit)", 702));
+  p.unlock(t3, logger_b, p.site("Logger.flush(exit)", 703));
+
+  p.compute(t4, pad, 2);
+  p.lock(t4, handler_b, s_reconf);
+  p.compute(t4, pad, 1);
+  p.lock(t4, logger_b, w.s_reconf_logger);
+  p.unlock(t4, logger_b, p.site("Logger.setLevel(exit)", 722));
+  p.unlock(t4, handler_b, p.site("Handler.reconfigure(exit)", 723));
+
+  SiteId spawn = p.site("Harness.spawn", 9001);
+  SiteId joinsite = p.site("Harness.join", 9002);
+  for (ThreadId t : {t1, t2, t3, t4}) p.start(main, t, spawn);
+  for (ThreadId t : {t1, t2, t3, t4}) p.join(main, t, joinsite);
+
+  p.finalize();
+  return w;
+}
+
+}  // namespace wolf::workloads

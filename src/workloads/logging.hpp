@@ -1,0 +1,35 @@
+// Java Logging analogue (the paper's jakarta-log4j / java.util.logging
+// benchmark, including the bug-24159 pattern): two real logger↔handler
+// deadlocks.
+//
+//   Defect A — app thread publishes (logger lock → handler lock) while an
+//   admin thread closes the handler (handler lock → logger lock). Plain
+//   structure: both tools reproduce it.
+//
+//   Defect B — same shape on a second logger/handler pair, but the flushing
+//   thread first acquires the handler lock *unnested* at the same source
+//   site before the nested pass. DeadlockFuzzer's occurrence-blind
+//   abstraction traps that first, harmless pass and never reproduces the
+//   deadlock; WOLF's execution indices distinguish the two occurrences.
+//
+// Totals: 2 cycles, 2 defects, both real — WOLF reproduces 2, the baseline 1
+// (the paper's Java Logging row).
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+struct LoggingWorkload {
+  sim::Program program;
+  // Defect A deadlocking sites.
+  SiteId s_publish_handler = kInvalidSite;  // t1 wants handler inside publish
+  SiteId s_close_logger = kInvalidSite;     // t2 wants logger inside close
+  // Defect B deadlocking sites.
+  SiteId s_flush_handler = kInvalidSite;    // t3 wants handler inside flush
+  SiteId s_reconf_logger = kInvalidSite;    // t4 wants logger inside reconfig
+};
+
+LoggingWorkload make_logging();
+
+}  // namespace wolf::workloads

@@ -1,0 +1,224 @@
+#include "workloads/paper_examples.hpp"
+
+namespace wolf::workloads {
+
+Figure4 make_figure4() {
+  Figure4 f;
+  sim::Program& p = f.program;
+  p.name = "figure4";
+
+  f.l1 = p.add_lock("l1", p.site("Fig4.alloc", 1));
+  f.l2 = p.add_lock("l2", p.site("Fig4.alloc", 2));
+  f.l3 = p.add_lock("l3", p.site("Fig4.alloc", 3));
+
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  ThreadId t3 = p.add_thread("t3");
+
+  auto site = [&](int line) { return p.site("Fig4", line); };
+  f.s11 = site(11);
+  f.s12 = site(12);
+  f.s15 = site(15);
+  f.s16 = site(16);
+  f.s18 = site(18);
+  f.s19 = site(19);
+  f.s21 = site(21);
+  f.s31 = site(31);
+  f.s32 = site(32);
+  f.s33 = site(33);
+
+  // t1: 11 Lock(l1); 12 Lock(l2); 13/14 releases; 15 t2.start();
+  //     16 Lock(l3); 17 Unlock(l3); 18 Lock(l1); 19 Lock(l2); releases.
+  p.lock(t1, f.l1, f.s11);
+  p.lock(t1, f.l2, f.s12);
+  p.unlock(t1, f.l2, site(13));
+  p.unlock(t1, f.l1, site(14));
+  p.start(t1, t2, f.s15);
+  p.lock(t1, f.l3, f.s16);
+  p.unlock(t1, f.l3, site(17));
+  p.lock(t1, f.l1, f.s18);
+  p.lock(t1, f.l2, f.s19);
+  p.unlock(t1, f.l2, site(110));
+  p.unlock(t1, f.l1, site(111));
+
+  // t2: 21 t3.start().
+  p.start(t2, t3, f.s21);
+
+  // t3: 31 Lock(l3); 32 Lock(l2); 33 Lock(l1); 34-36 releases.
+  p.lock(t3, f.l3, f.s31);
+  p.lock(t3, f.l2, f.s32);
+  p.lock(t3, f.l1, f.s33);
+  p.unlock(t3, f.l1, site(34));
+  p.unlock(t3, f.l2, site(35));
+  p.unlock(t3, f.l3, site(36));
+
+  p.finalize();
+  return f;
+}
+
+Figure2 make_figure2() {
+  Figure2 f;
+  sim::Program& p = f.program;
+  p.name = "figure2";
+
+  // Both mutexes are created by the same wrapper code — one allocation site.
+  SiteId alloc = p.site("Collections.synchronizedMap", 2001);
+  f.sm1_mutex = p.add_lock("SM1.mutex", alloc);
+  f.sm2_mutex = p.add_lock("SM2.mutex", alloc);
+
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+
+  f.s2024 = p.site("SynchronizedMap.equals", 2024);
+  f.s509 = p.site("AbstractMap.equals(size)", 509);
+  f.s522 = p.site("AbstractMap.equals(get)", 522);
+
+  // Shared equals() body, instantiated per thread on opposite receivers.
+  auto equals = [&](ThreadId t, LockId mine, LockId other) {
+    p.lock(t, mine, f.s2024);   // synchronized(mutex)
+    p.lock(t, other, f.s509);   // t.size() — interim acquisition
+    p.unlock(t, other, p.site("AbstractMap.equals(size-exit)", 510));
+    p.lock(t, other, f.s522);   // value.equals(t.get())
+    p.unlock(t, other, p.site("AbstractMap.equals(get-exit)", 523));
+    p.unlock(t, mine, p.site("SynchronizedMap.equals(exit)", 2025));
+  };
+  equals(t1, f.sm1_mutex, f.sm2_mutex);
+  equals(t2, f.sm2_mutex, f.sm1_mutex);
+
+  SiteId spawn = p.site("Harness.spawn", 9001);
+  SiteId joinsite = p.site("Harness.join", 9002);
+  p.start(main, t1, spawn);
+  p.start(main, t2, spawn);
+  p.join(main, t1, joinsite);
+  p.join(main, t2, joinsite);
+
+  p.finalize();
+  return f;
+}
+
+Figure1 make_figure1() {
+  Figure1 f;
+  sim::Program& p = f.program;
+  p.name = "figure1";
+
+  f.tc = p.add_lock("TC", p.site("ThreadCache.alloc", 1));
+  f.ct = p.add_lock("CT", p.site("CachedThread.alloc", 2));
+
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+
+  f.s401 = p.site("ThreadCache.initialize", 401);
+  f.s75 = p.site("CachedThread.start", 75);
+  f.s24 = p.site("CachedThread.waitForRunner", 24);
+  f.s175 = p.site("ThreadCache.isFree", 175);
+
+  // t1 starts t2 *while holding* TC and CT — so t2 can never overlap the
+  // deadlocking acquisitions.
+  p.lock(t1, f.tc, f.s401);
+  p.lock(t1, f.ct, f.s75);
+  p.start(t1, t2, p.site("CachedThread.start(super.start)", 76));
+  p.unlock(t1, f.ct, p.site("CachedThread.start(exit)", 78));
+  p.unlock(t1, f.tc, p.site("ThreadCache.initialize(exit)", 417));
+
+  p.lock(t2, f.ct, f.s24);
+  p.lock(t2, f.tc, f.s175);
+  p.unlock(t2, f.tc, p.site("ThreadCache.isFree(exit)", 201));
+  p.unlock(t2, f.ct, p.site("CachedThread.waitForRunner(exit)", 56));
+
+  p.finalize();
+  return f;
+}
+
+Figure9 make_figure9() {
+  Figure9 f;
+  sim::Program& p = f.program;
+  p.name = "figure9";
+
+  SiteId alloc = p.site("Collections.synchronizedCollection", 1501);
+  f.sc1_mutex = p.add_lock("SC1.mutex", alloc);
+  f.sc2_mutex = p.add_lock("SC2.mutex", alloc);
+
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("worker-1");
+  ThreadId t2 = p.add_thread("worker-2");
+
+  f.s1591 = p.site("SynchronizedCollection.addAll", 1591);
+  f.s1570 = p.site("SynchronizedCollection.toArray", 1570);
+  f.s1594 = p.site("SynchronizedCollection.removeAll", 1594);
+  f.s1567 = p.site("SynchronizedCollection.contains", 1567);
+
+  auto add_all = [&](ThreadId t, LockId mine, LockId other) {
+    p.lock(t, mine, f.s1591);
+    p.lock(t, other, f.s1570);
+    p.unlock(t, other, p.site("SynchronizedCollection.toArray(exit)", 1571));
+    p.unlock(t, mine, p.site("SynchronizedCollection.addAll(exit)", 1592));
+  };
+  auto remove_all = [&](ThreadId t, LockId mine, LockId other) {
+    p.lock(t, mine, f.s1594);
+    p.lock(t, other, f.s1567);
+    p.unlock(t, other, p.site("SynchronizedCollection.contains(exit)", 1568));
+    p.unlock(t, mine,
+             p.site("SynchronizedCollection.removeAll(exit)", 1595));
+  };
+
+  // t1: addAll(SC1, SC2).
+  add_all(t1, f.sc1_mutex, f.sc2_mutex);
+  // t2 first runs the same addAll code path on the opposite receivers, then
+  // the removeAll that closes the real deadlock with t1.
+  add_all(t2, f.sc2_mutex, f.sc1_mutex);
+  remove_all(t2, f.sc2_mutex, f.sc1_mutex);
+
+  // Both workers spawned from one source location: identical DeadlockFuzzer
+  // thread abstractions.
+  SiteId spawn = p.site("Harness.spawnWorker", 7001);
+  SiteId joinsite = p.site("Harness.joinWorker", 7002);
+  p.start(main, t1, spawn);
+  p.start(main, t2, spawn);
+  p.join(main, t1, joinsite);
+  p.join(main, t2, joinsite);
+
+  p.finalize();
+  return f;
+}
+
+Philosophers make_philosophers(int n) {
+  WOLF_CHECK(n >= 2);
+  Philosophers f;
+  sim::Program& p = f.program;
+  p.name = "philosophers-" + std::to_string(n);
+
+  for (int i = 0; i < n; ++i)
+    f.forks.push_back(
+        p.add_lock("fork-" + std::to_string(i), p.site("Table.fork", i)));
+
+  ThreadId main = p.add_thread("main");
+  std::vector<ThreadId> phils;
+  for (int i = 0; i < n; ++i)
+    phils.push_back(p.add_thread("phil-" + std::to_string(i)));
+
+  for (int i = 0; i < n; ++i) {
+    ThreadId t = phils[static_cast<std::size_t>(i)];
+    SiteId pick1 = p.site("Philosopher.pickLeft", i);
+    SiteId pick2 = p.site("Philosopher.pickRight", i);
+    f.first_pick.push_back(pick1);
+    f.second_pick.push_back(pick2);
+    LockId left = f.forks[static_cast<std::size_t>(i)];
+    LockId right = f.forks[static_cast<std::size_t>((i + 1) % n)];
+    p.lock(t, left, pick1);
+    p.lock(t, right, pick2);
+    p.compute(t, p.site("Philosopher.eat", i));
+    p.unlock(t, right, p.site("Philosopher.dropRight", i));
+    p.unlock(t, left, p.site("Philosopher.dropLeft", i));
+  }
+
+  SiteId spawn = p.site("Table.spawn", 1);
+  SiteId joinsite = p.site("Table.join", 2);
+  for (ThreadId t : phils) p.start(main, t, spawn);
+  for (ThreadId t : phils) p.join(main, t, joinsite);
+
+  p.finalize();
+  return f;
+}
+
+}  // namespace wolf::workloads

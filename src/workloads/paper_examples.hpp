@@ -1,0 +1,71 @@
+// Literal encodings of the paper's illustrative examples, used by the test
+// suite to pin the algorithms to the paper's exact figures and by the
+// examples/benches as small canonical inputs.
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+// Figure 4: threads t1/t2/t3 (ids 0/1/2), locks ℓ1/ℓ2/ℓ3 (ids 0/1/2).
+// Site line numbers equal the paper's execution indices (11..19, 21, 31..36;
+// releases not shown in the figure use lines 110+). Two cycles exist: θ1
+// {η2, η5} (infeasible: t1 transitively starts t3 after releasing ℓ1ℓ2) and
+// θ2 {η8, η5} (a real deadlock).
+struct Figure4 {
+  sim::Program program;
+  LockId l1, l2, l3;
+  // Sites by paper line number.
+  SiteId s11, s12, s15, s16, s18, s19, s21, s31, s32, s33;
+};
+Figure4 make_figure4();
+
+// Figure 2: two SynchronizedMap wrappers; both threads run the shared
+// Collections.equals code (sites 2024, 509, 522), t1 on (SM1, SM2) and t2 on
+// (SM2, SM1). Four cycles θ1..θ4 arise; θ4 — both threads blocking at 522 —
+// is infeasible because of the interim size() acquisition at 509, and its Gs
+// is cyclic (Fig. 7(b)).
+struct Figure2 {
+  sim::Program program;
+  LockId sm1_mutex, sm2_mutex;
+  SiteId s2024, s509, s522;
+};
+Figure2 make_figure2();
+
+// Figure 1: the Jigsaw ThreadCache pattern. t1 locks TC (line 401) then CT
+// (line 75) and, while holding both, starts t2 (line 76, inside
+// CachedThread.start); t2 locks CT (line 24) then TC (line 175). The lock
+// graph has a cycle but the deadlock is impossible: the Pruner eliminates it
+// via the S component of the vector clock.
+struct Figure1 {
+  sim::Program program;
+  LockId tc, ct;
+  SiteId s401, s75, s24, s175;
+};
+Figure1 make_figure1();
+
+// Figure 9: the Java Collections deadlock WOLF reproduces reliably and
+// DeadlockFuzzer never did in 100 runs. Two worker threads are spawned at
+// the *same* source site (equal DeadlockFuzzer abstractions) and both locks
+// share an allocation site. t2 first executes the same addAll code path as
+// t1 (sites 1591/1570) on the opposite collections, then the deadlocking
+// removeAll (1594/1567); DeadlockFuzzer pauses t2 at its first pass through
+// 1570 and misses the real interleaving.
+struct Figure9 {
+  sim::Program program;
+  LockId sc1_mutex, sc2_mutex;
+  SiteId s1591, s1570, s1594, s1567;
+};
+Figure9 make_figure9();
+
+// Dining philosophers with N >= 2 philosophers and a clockwise fork order —
+// one N-thread cycle; exercises k>2 cycle enumeration, generation and
+// replay.
+struct Philosophers {
+  sim::Program program;
+  std::vector<LockId> forks;
+  std::vector<SiteId> first_pick, second_pick;
+};
+Philosophers make_philosophers(int n);
+
+}  // namespace wolf::workloads

@@ -1,0 +1,53 @@
+#include "workloads/slowdown.hpp"
+
+#include "support/check.hpp"
+
+namespace wolf::workloads {
+
+sim::Program make_slowdown_mirror(const std::string& name,
+                                  const SlowdownProfile& profile) {
+  WOLF_CHECK(profile.threads >= 1);
+  sim::Program p;
+  p.name = name + "-slowdown";
+
+  ThreadId main = p.add_thread("main");
+  SiteId pad = p.site("Mirror.compute", 1);
+  SiteId s_outer = p.site("Mirror.outer", 10);
+  SiteId s_inner = p.site("Mirror.inner", 11);
+  SiteId s_outer_x = p.site("Mirror.outer(exit)", 12);
+  SiteId s_inner_x = p.site("Mirror.inner(exit)", 13);
+  SiteId spawn = p.site("Mirror.spawn", 20);
+  SiteId joinsite = p.site("Mirror.join", 21);
+
+  // A shared lock (acquired first everywhere — consistent order, no
+  // deadlock) plus one private lock per thread: contention on the recording
+  // path without any cyclic dependency.
+  LockId shared = p.add_lock("shared", p.site("Mirror.<init>", 2));
+
+  std::vector<ThreadId> workers;
+  for (int w = 0; w < profile.threads; ++w) {
+    ThreadId t = p.add_thread("mirror-" + std::to_string(w));
+    workers.push_back(t);
+    LockId mine = p.add_lock("private-" + std::to_string(w),
+                             p.site("Mirror.<init>", 3));
+    LockId mine2 = p.add_lock("private2-" + std::to_string(w),
+                              p.site("Mirror.<init>", 4));
+    for (int op = 0; op < profile.ops_per_thread; ++op) {
+      // Mostly-private nested round; every 16th round goes through the
+      // shared lock to model cross-thread locking.
+      LockId outer = (op % 16 == 0) ? shared : mine;
+      p.lock(t, outer, s_outer);
+      p.lock(t, mine2, s_inner);
+      if (profile.compute_units > 0) p.compute(t, pad, profile.compute_units);
+      p.unlock(t, mine2, s_inner_x);
+      p.unlock(t, outer, s_outer_x);
+    }
+  }
+  for (ThreadId t : workers) p.start(main, t, spawn);
+  for (ThreadId t : workers) p.join(main, t, joinsite);
+
+  p.finalize();
+  return p;
+}
+
+}  // namespace wolf::workloads

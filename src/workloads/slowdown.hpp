@@ -1,0 +1,28 @@
+// Scaled, deadlock-free mirrors of each benchmark's locking profile, used
+// exclusively for the Table-1 detection-slowdown measurement.
+//
+// The defect benchmarks themselves finish in well under a millisecond of
+// OS-thread time, so an instrumented/uninstrumented ratio measured on them
+// is pure noise. The paper's slowdown column is measured over full benchmark
+// executions with millions of synchronization operations; these mirrors
+// recreate that regime — the same nesting structure, thousands of lock
+// operations, per-benchmark compute-to-locking ratios — while keeping a
+// globally consistent lock order so the uninstrumented baseline cannot hang.
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+struct SlowdownProfile {
+  int threads = 4;
+  int ops_per_thread = 1500;  // nested lock/unlock rounds
+  // Busy-work units between rounds: higher means locking is a smaller share
+  // of runtime and the measured slowdown shrinks toward 1.
+  int compute_units = 1;
+};
+
+sim::Program make_slowdown_mirror(const std::string& name,
+                                  const SlowdownProfile& profile);
+
+}  // namespace wolf::workloads

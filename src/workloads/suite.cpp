@@ -1,0 +1,144 @@
+#include "workloads/suite.hpp"
+
+#include "support/check.hpp"
+#include "workloads/cache4j.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/jigsaw.hpp"
+#include "workloads/logging.hpp"
+#include "workloads/slowdown.hpp"
+
+namespace wolf::workloads {
+
+namespace {
+
+PaperRow cache4j_row() {
+  PaperRow r;
+  r.slowdown = 1.32;
+  return r;
+}
+
+PaperRow jigsaw_row() {
+  PaperRow r;
+  r.detected = 30;
+  r.fp_pruner = 7;
+  r.fp_generator = 0;
+  r.tp_wolf = 6;
+  r.tp_df = 3;
+  r.unknown_wolf = 17;
+  r.unknown_df = 27;
+  r.slowdown = 1.23;
+  r.cycles = 265;
+  r.cyc_fp_wolf = 83;
+  r.cyc_tp_wolf = 97;
+  r.cyc_tp_df = 35;
+  r.cyc_unknown_wolf = 85;
+  r.cyc_unknown_df = 230;
+  return r;
+}
+
+PaperRow logging_row() {
+  PaperRow r;
+  r.detected = 2;
+  r.tp_wolf = 2;
+  r.tp_df = 1;
+  r.unknown_df = 1;
+  r.slowdown = 1.07;
+  r.cycles = 2;
+  r.cyc_tp_wolf = 2;
+  r.cyc_tp_df = 1;
+  r.cyc_unknown_df = 1;
+  return r;
+}
+
+PaperRow list_row(double slowdown) {
+  PaperRow r;
+  r.detected = 6;
+  r.tp_wolf = 6;
+  r.tp_df = 3;
+  r.unknown_df = 3;
+  r.slowdown = slowdown;
+  r.cycles = 9;
+  r.cyc_tp_wolf = 9;
+  r.cyc_tp_df = 3;
+  r.cyc_unknown_df = 6;
+  return r;
+}
+
+PaperRow map_row(double slowdown) {
+  PaperRow r;
+  r.detected = 3;
+  r.fp_generator = 1;
+  r.tp_wolf = 2;
+  r.tp_df = 2;
+  r.unknown_df = 1;
+  r.slowdown = slowdown;
+  r.cycles = 4;
+  r.cyc_fp_wolf = 1;
+  r.cyc_tp_wolf = 3;
+  r.cyc_tp_df = 3;
+  r.cyc_unknown_df = 1;
+  return r;
+}
+
+Benchmark make(std::string name, sim::Program program, PaperRow row,
+               const SlowdownProfile& slowdown_profile,
+               std::uint64_t max_steps = 2'000'000) {
+  Benchmark b;
+  b.name = std::move(name);
+  b.program = std::move(program);
+  b.paper = row;
+  b.max_steps = max_steps;
+  b.slowdown_program = make_slowdown_mirror(b.name, slowdown_profile);
+  return b;
+}
+
+// Per-benchmark lock/compute ratios for the slowdown mirrors: the
+// lock-dense Collections wrappers sit near 2×, the compute-heavy logging
+// benchmark near 1.1× (paper column 5).
+SlowdownProfile dense() { return SlowdownProfile{2, 12000, 2}; }
+SlowdownProfile medium() { return SlowdownProfile{2, 12000, 8}; }
+SlowdownProfile light() { return SlowdownProfile{2, 12000, 20}; }
+
+}  // namespace
+
+std::vector<Benchmark> standard_suite() {
+  std::vector<Benchmark> suite;
+  suite.push_back(make("cache4j", make_cache4j(), cache4j_row(), medium()));
+  suite.push_back(
+      make("Jigsaw", make_jigsaw().program, jigsaw_row(), medium(), 400'000));
+  suite.push_back(
+      make("JavaLogging", make_logging().program, logging_row(), light()));
+  suite.push_back(make("ArrayList",
+                       make_collections_list("ArrayList", 2).program,
+                       list_row(1.86), dense()));
+  suite.push_back(make("Stack", make_collections_list("Stack", 3).program,
+                       list_row(2.01), dense()));
+  suite.push_back(make("LinkedList",
+                       make_collections_list("LinkedList", 4).program,
+                       list_row(1.98), dense()));
+  suite.push_back(make("HashMap", make_collections_map("HashMap", 2).program,
+                       map_row(2.19), dense()));
+  suite.push_back(make("TreeMap", make_collections_map("TreeMap", 3).program,
+                       map_row(2.17), dense()));
+  suite.push_back(make("WeakHashMap",
+                       make_collections_map("WeakHashMap", 4).program,
+                       map_row(2.24), dense()));
+  suite.push_back(make("LinkedHashMap",
+                       make_collections_map("LinkedHashMap", 5).program,
+                       map_row(2.32), dense()));
+  suite.push_back(make("IdentityHashMap",
+                       make_collections_map("IdentityHashMap", 6).program,
+                       map_row(2.09), dense()));
+  return suite;
+}
+
+const Benchmark& find_benchmark(const std::vector<Benchmark>& suite,
+                                const std::string& name) {
+  for (const Benchmark& b : suite)
+    if (b.name == name) return b;
+  WOLF_CHECK_MSG(false, "no benchmark named " << name);
+  static Benchmark dummy;
+  return dummy;
+}
+
+}  // namespace wolf::workloads

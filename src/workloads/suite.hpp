@@ -1,0 +1,56 @@
+// The evaluation suite: the eleven benchmarks of Tables 1–2 with the
+// paper's published numbers attached, so the bench harnesses can print
+// paper-vs-measured side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace wolf::workloads {
+
+// Published per-benchmark numbers (Tables 1 and 2 of the paper).
+struct PaperRow {
+  // Table 1 (source-location defects).
+  int detected = 0;
+  int fp_pruner = 0;
+  int fp_generator = 0;
+  int tp_wolf = 0;
+  int tp_df = 0;
+  int unknown_wolf = 0;
+  int unknown_df = 0;
+  double slowdown = 0.0;  // detection slowdown vs uninstrumented
+  // Table 2 (cycles).
+  int cycles = 0;
+  int cyc_fp_wolf = 0;
+  int cyc_tp_wolf = 0;
+  int cyc_tp_df = 0;
+  int cyc_unknown_wolf = 0;
+  int cyc_unknown_df = 0;
+};
+
+struct Benchmark {
+  std::string name;
+  sim::Program program;
+  PaperRow paper;
+  // Pipeline tuning: step budget for one (re-)execution of this program.
+  std::uint64_t max_steps = 2'000'000;
+  // Scaled deadlock-free mirror used for the Table-1 slowdown column (see
+  // workloads/slowdown.hpp).
+  sim::Program slowdown_program;
+};
+
+// All eleven benchmarks in the paper's row order: cache4j, Jigsaw,
+// JavaLogging, ArrayList, Stack, LinkedList, HashMap, TreeMap, WeakHashMap,
+// LinkedHashMap, IdentityHashMap.
+std::vector<Benchmark> standard_suite();
+
+// Convenience lookup; aborts when absent. The rvalue overload is deleted:
+// binding the result to a member of a temporary suite would dangle.
+const Benchmark& find_benchmark(const std::vector<Benchmark>& suite,
+                                const std::string& name);
+const Benchmark& find_benchmark(std::vector<Benchmark>&& suite,
+                                const std::string& name) = delete;
+
+}  // namespace wolf::workloads

@@ -1,0 +1,167 @@
+// Tests for the (S, J) vector clocks and the Algorithm-1 update rules.
+#include <gtest/gtest.h>
+
+#include "clock/clock_tracker.hpp"
+#include "clock/vector_clock.hpp"
+
+namespace wolf {
+namespace {
+
+// ---------------------------------------------------------------- VectorClock
+
+TEST(VectorClockTest, DefaultsToBottom) {
+  VectorClock v;
+  EXPECT_EQ(v.at(0).S, kTsBottom);
+  EXPECT_EQ(v.at(42).J, kTsBottom);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(VectorClockTest, MutableAtGrows) {
+  VectorClock v;
+  v.mutable_at(3).S = 7;
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.at(3).S, 7);
+  EXPECT_EQ(v.at(2).S, kTsBottom);
+}
+
+TEST(VectorClockTest, ToStringShowsBottomAsUnderscore) {
+  VectorClock v;
+  v.mutable_at(0).S = 2;
+  EXPECT_EQ(v.to_string(), "<(2,_)>");
+}
+
+// ---------------------------------------------------------------- ClockTracker
+
+TEST(ClockTrackerTest, BeginSetsTimestampOnce) {
+  ClockTracker clocks;
+  EXPECT_EQ(clocks.timestamp(0), kTsBottom);
+  clocks.on_thread_begin(0);
+  EXPECT_EQ(clocks.timestamp(0), 1);
+  clocks.on_thread_begin(0);  // idempotent
+  EXPECT_EQ(clocks.timestamp(0), 1);
+}
+
+TEST(ClockTrackerTest, StartBumpsParentAndInitializesChild) {
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);
+  EXPECT_EQ(clocks.timestamp(0), 2);
+  EXPECT_EQ(clocks.timestamp(1), 1);
+  // Child sees the parent's pre-start work as completed: V_c(p).S = τ_p.
+  EXPECT_EQ(clocks.view(1, 0).S, 2);
+  EXPECT_EQ(clocks.view(1, 0).J, kTsBottom);
+  // Parent learns nothing.
+  EXPECT_EQ(clocks.view(0, 1).S, kTsBottom);
+}
+
+TEST(ClockTrackerTest, GrandchildInheritsSFromChain) {
+  // main starts t1, t1 starts t2: t2 must know that main's epoch-1 work is
+  // in its past even though main never touched t2 (the Fig. 6 situation).
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);
+  clocks.on_start(1, 2);
+  EXPECT_EQ(clocks.view(2, 0).S, 2);  // copied from V_1(0).S
+  EXPECT_EQ(clocks.view(2, 1).S, 2);  // t1's own pre-start epoch
+  EXPECT_EQ(clocks.view(2, 2).S, kTsBottom);
+}
+
+TEST(ClockTrackerTest, JoinRecordsJInParent) {
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);  // τ0 = 2
+  clocks.on_join(0, 1);   // τ0 = 3
+  EXPECT_EQ(clocks.timestamp(0), 3);
+  EXPECT_EQ(clocks.view(0, 1).J, 3);
+  EXPECT_EQ(clocks.view(0, 1).S, kTsBottom);
+}
+
+TEST(ClockTrackerTest, JoinIsTransitiveThroughChildClocks) {
+  // t1 joins t2; later t0 joins t1 — t0 must also learn that t2 can no
+  // longer overlap it (Algorithm 1, lines 24-28).
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);
+  clocks.on_start(1, 2);
+  clocks.on_join(1, 2);  // V_1(2).J set
+  clocks.on_join(0, 1);  // τ0 = 3; V_0(1).J and transitively V_0(2).J
+  EXPECT_EQ(clocks.view(0, 1).J, 3);
+  EXPECT_EQ(clocks.view(0, 2).J, 3);
+}
+
+TEST(ClockTrackerTest, ExistingJNotOverwrittenOnLaterJoin) {
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);
+  clocks.on_start(0, 2);
+  clocks.on_join(0, 1);  // τ0 = 4, V_0(1).J = 4
+  clocks.on_join(0, 2);  // τ0 = 5; V_0(1).J must stay 4
+  EXPECT_EQ(clocks.view(0, 1).J, 4);
+  EXPECT_EQ(clocks.view(0, 2).J, 5);
+}
+
+TEST(ClockTrackerTest, ChildOfJoinerInheritsJKnowledge) {
+  // t0 joins t1, then starts t2: t2 can never overlap t1 — Algorithm 1
+  // line 17 sets V_c(1).J = τ_c = 1 (every t2 instruction is after t1).
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);
+  clocks.on_join(0, 1);
+  clocks.on_start(0, 2);
+  EXPECT_EQ(clocks.view(2, 1).J, 1);
+  EXPECT_EQ(clocks.view(2, 0).S, 4);  // τ0 after start bump
+}
+
+TEST(ClockTrackerTest, ApplyDispatchesEventKinds) {
+  ClockTracker clocks;
+  Event begin;
+  begin.kind = EventKind::kThreadBegin;
+  begin.thread = 0;
+  clocks.apply(begin);
+  Event start;
+  start.kind = EventKind::kThreadStart;
+  start.thread = 0;
+  start.other = 1;
+  clocks.apply(start);
+  Event acquire;
+  acquire.kind = EventKind::kLockAcquire;
+  acquire.thread = 1;
+  acquire.lock = 0;
+  clocks.apply(acquire);  // lazily begins thread 1 (already begun by start)
+  EXPECT_EQ(clocks.timestamp(0), 2);
+  EXPECT_EQ(clocks.timestamp(1), 1);
+}
+
+TEST(ClockTrackerTest, LockEventsDoNotAdvanceTimestamps) {
+  ClockTracker clocks;
+  Event acquire;
+  acquire.kind = EventKind::kLockAcquire;
+  acquire.thread = 0;
+  acquire.lock = 1;
+  clocks.apply(acquire);
+  clocks.apply(acquire);
+  EXPECT_EQ(clocks.timestamp(0), 1);
+}
+
+TEST(ClockTrackerTest, UnknownThreadQueriesAreBottom) {
+  ClockTracker clocks;
+  EXPECT_EQ(clocks.timestamp(5), kTsBottom);
+  EXPECT_EQ(clocks.view(5, 6).S, kTsBottom);
+  EXPECT_EQ(clocks.max_thread(), -1);
+}
+
+TEST(ClockTrackerTest, SequentialWorkersViaJoinNeverOverlap) {
+  // main: start t1; join t1; start t2 — the classic sequential pattern.
+  // t2's clock must prove it cannot overlap t1.
+  ClockTracker clocks;
+  clocks.on_thread_begin(0);
+  clocks.on_start(0, 1);  // τ0=2
+  clocks.on_join(0, 1);   // τ0=3, V0(1).J=3
+  clocks.on_start(0, 2);  // τ0=4, t2 inherits J for t1
+  // Pruner's check: V_t2(t1).J ≠ ⊥ and ≤ any τ_t2 value (all ≥ 1).
+  EXPECT_EQ(clocks.view(2, 1).J, 1);
+  EXPECT_LE(clocks.view(2, 1).J, clocks.timestamp(2));
+}
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,137 @@
+// Tests for the systematic schedule explorer: exhaustiveness, deadlock
+// signature enumeration, budget handling, and agreement with hand analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "explore/explorer.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+using explore::explore;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+
+sim::Program abba_program() {
+  sim::Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  LockId b = p.add_lock("B", p.site("alloc", 2));
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  p.lock(t1, a, p.site("t1.a", 1));
+  p.lock(t1, b, p.site("t1.b", 2));
+  p.unlock(t1, b, p.site("t1.ub", 3));
+  p.unlock(t1, a, p.site("t1.ua", 4));
+  p.lock(t2, b, p.site("t2.b", 1));
+  p.lock(t2, a, p.site("t2.a", 2));
+  p.unlock(t2, a, p.site("t2.ua", 3));
+  p.unlock(t2, b, p.site("t2.ub", 4));
+  p.start(main, t1, p.site("spawn", 1));
+  p.start(main, t2, p.site("spawn", 1));
+  p.join(main, t1, p.site("join", 1));
+  p.join(main, t2, p.site("join", 1));
+  p.finalize();
+  return p;
+}
+
+TEST(ExplorerTest, FindsTheAbbaDeadlock) {
+  sim::Program p = abba_program();
+  ExploreResult result = explore(p);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_EQ(result.deadlock_signatures.size(), 1u);
+  EXPECT_GT(result.deadlock_states, 0u);
+  EXPECT_GT(result.completed_states, 0u);
+  // Both the deadlock and completion are reachable.
+  const auto& sig = *result.deadlock_signatures.begin();
+  EXPECT_EQ(sig.size(), 2u);
+}
+
+TEST(ExplorerTest, ConsistentOrderProgramNeverDeadlocks) {
+  sim::Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  LockId b = p.add_lock("B", p.site("alloc", 2));
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  for (ThreadId t : {t1, t2}) {
+    p.lock(t, a, p.site("outer", 1));
+    p.lock(t, b, p.site("inner", 2));
+    p.unlock(t, b, p.site("iu", 3));
+    p.unlock(t, a, p.site("ou", 4));
+  }
+  p.start(main, t1, p.site("spawn", 1));
+  p.start(main, t2, p.site("spawn", 1));
+  p.join(main, t1, p.site("join", 1));
+  p.join(main, t2, p.site("join", 1));
+  p.finalize();
+
+  ExploreResult result = explore(p);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.deadlock_signatures.empty());
+  EXPECT_EQ(result.deadlock_states, 0u);
+}
+
+TEST(ExplorerTest, SequentialProgramHasLinearStateSpace) {
+  sim::Program p;
+  ThreadId main = p.add_thread("main");
+  for (int i = 0; i < 5; ++i) p.compute(main, p.site("c", i));
+  p.finalize();
+  ExploreResult result = explore(p);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_EQ(result.completed_states, 1u);
+  EXPECT_GE(result.states, 6u);  // init, one per compute, terminated
+  EXPECT_LE(result.states, 7u);
+}
+
+TEST(ExplorerTest, BudgetExhaustionReported) {
+  auto w = workloads::make_philosophers(4);
+  ExploreOptions options;
+  options.max_states = 50;
+  ExploreResult result = explore(w.program, options);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_LE(result.states, 51u);
+}
+
+TEST(ExplorerTest, PhilosophersFullRingIsTheOnlyDeadlock) {
+  auto w = workloads::make_philosophers(3);
+  ExploreResult result = explore(w.program);
+  ASSERT_TRUE(result.exhausted);
+  ASSERT_EQ(result.deadlock_signatures.size(), 1u);
+  // The unique deadlock blocks every philosopher at its second pick.
+  std::vector<SiteId> expected = w.second_pick;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(*result.deadlock_signatures.begin(), expected);
+}
+
+TEST(ExplorerTest, DeadlockReachableAtHelper) {
+  sim::Program p = abba_program();
+  ExploreResult result = explore(p);
+  ASSERT_TRUE(result.exhausted);
+  auto sig = *result.deadlock_signatures.begin();
+  EXPECT_TRUE(result.deadlock_reachable_at(sig));
+  EXPECT_FALSE(result.deadlock_reachable_at({}));
+  EXPECT_FALSE(result.deadlock_reachable_at({999}));
+}
+
+TEST(ExplorerTest, Figure2MatchesPaperFeasibility) {
+  auto fig = workloads::make_figure2();
+  ExploreResult result = explore(fig.program);
+  ASSERT_TRUE(result.exhausted);
+  // θ1 (509,509) and θ2/θ3 (509,522) reachable; θ4 (522,522) not.
+  EXPECT_EQ(result.deadlock_signatures.size(), 2u);
+}
+
+TEST(ExplorerTest, TransitionsAndStatesAreConsistent) {
+  sim::Program p = abba_program();
+  ExploreResult result = explore(p);
+  // Every distinct state except the initial one is reached by at least one
+  // transition.
+  EXPECT_GE(result.transitions + 1, result.states);
+}
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,157 @@
+// Tests for the DeadlockFuzzer baseline: creation-site thread abstractions,
+// target construction, and the Fig. 9 reliability separation vs WOLF.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/deadlock_fuzzer.hpp"
+#include "core/generator.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+using baseline::df_targets;
+using baseline::thread_abstraction;
+
+Detection detect_program(const sim::Program& program, std::uint64_t seed) {
+  auto trace = sim::record_trace(program, seed);
+  EXPECT_TRUE(trace.has_value());
+  return detect(*trace);
+}
+
+const PotentialDeadlock* cycle_with_signature(const Detection& det,
+                                              std::vector<SiteId> sites) {
+  std::sort(sites.begin(), sites.end());
+  for (const PotentialDeadlock& c : det.cycles)
+    if (signature_of(c, det.dep) == sites) return &c;
+  return nullptr;
+}
+
+TEST(ThreadAbstractionTest, RootHasEmptyChain) {
+  auto fig = workloads::make_figure9();
+  EXPECT_TRUE(thread_abstraction(fig.program, 0).empty());
+}
+
+TEST(ThreadAbstractionTest, SameSpawnSiteCollides) {
+  auto fig = workloads::make_figure9();
+  // worker-1 and worker-2 are spawned at the same source site.
+  EXPECT_EQ(thread_abstraction(fig.program, 1),
+            thread_abstraction(fig.program, 2));
+  EXPECT_FALSE(thread_abstraction(fig.program, 1).empty());
+}
+
+TEST(ThreadAbstractionTest, ChainIncludesAncestorSites) {
+  // Figure 4: t3 is started by t2 which is started by t1 — chain length 2.
+  auto fig = workloads::make_figure4();
+  auto chain = thread_abstraction(fig.program, 2);
+  EXPECT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], fig.s15);
+  EXPECT_EQ(chain[1], fig.s21);
+}
+
+TEST(DfTargetsTest, OnePerCycleTupleWithSitesAndAllocs) {
+  auto fig = workloads::make_figure9();
+  Detection det = detect_program(fig.program, 17);
+  const PotentialDeadlock* target_cycle =
+      cycle_with_signature(det, {fig.s1570, fig.s1567});
+  ASSERT_NE(target_cycle, nullptr);
+  auto targets = df_targets(fig.program, *target_cycle, det.dep);
+  ASSERT_EQ(targets.size(), 2u);
+  std::vector<SiteId> sites{targets[0].acquire_site, targets[1].acquire_site};
+  std::sort(sites.begin(), sites.end());
+  std::vector<SiteId> expected{fig.s1570, fig.s1567};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sites, expected);
+  // Both locks were allocated by the same wrapper line.
+  EXPECT_EQ(targets[0].lock_alloc_site, targets[1].lock_alloc_site);
+}
+
+TEST(FuzzerTest, Figure9TargetNeverReproducedByBaseline) {
+  auto fig = workloads::make_figure9();
+  Detection det = detect_program(fig.program, 17);
+  const PotentialDeadlock* target =
+      cycle_with_signature(det, {fig.s1570, fig.s1567});
+  ASSERT_NE(target, nullptr);
+
+  ReplayOptions options;
+  options.attempts = 100;
+  options.stop_on_first_hit = false;
+  options.seed = 5;
+  ReplayStats stats = baseline::fuzz(fig.program, *target, det.dep, options);
+  EXPECT_EQ(stats.hits, 0) << "paper: DF never reproduced this in 100 runs";
+}
+
+TEST(FuzzerTest, Figure9TargetReproducedReliablyByWolf) {
+  auto fig = workloads::make_figure9();
+  Detection det = detect_program(fig.program, 17);
+  const PotentialDeadlock* target =
+      cycle_with_signature(det, {fig.s1570, fig.s1567});
+  ASSERT_NE(target, nullptr);
+  GeneratorResult gen = generate(*target, det.dep);
+  ASSERT_TRUE(gen.feasible);
+
+  ReplayOptions options;
+  options.attempts = 50;
+  options.stop_on_first_hit = false;
+  options.seed = 5;
+  ReplayStats stats = replay(fig.program, *target, det.dep, gen.gs, options);
+  EXPECT_GT(stats.hit_rate(), 0.9);
+}
+
+TEST(FuzzerTest, SymmetricDeadlockIsReproducedByBaseline) {
+  // The (1570, 1570) cycle of the same program has no occurrence ambiguity
+  // the baseline cares about — it reproduces it.
+  auto fig = workloads::make_figure9();
+  Detection det = detect_program(fig.program, 17);
+  const PotentialDeadlock* symmetric =
+      cycle_with_signature(det, {fig.s1570, fig.s1570});
+  ASSERT_NE(symmetric, nullptr);
+
+  ReplayOptions options;
+  options.attempts = 50;
+  options.stop_on_first_hit = false;
+  options.seed = 5;
+  ReplayStats stats =
+      baseline::fuzz(fig.program, *symmetric, det.dep, options);
+  EXPECT_GT(stats.hits, 0);
+}
+
+TEST(FuzzerTest, DiagonalCollectionsDefectsReproduced) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 11);
+  int diagonal_hits = 0, diagonals = 0;
+  for (const PotentialDeadlock& cycle : det.cycles) {
+    DefectSignature sig = signature_of(cycle, det.dep);
+    if (sig[0] != sig[1]) continue;  // only same-method pairs
+    ++diagonals;
+    ReplayOptions options;
+    options.attempts = 20;
+    options.seed = 7;
+    if (baseline::fuzz(w.program, cycle, det.dep, options).reproduced())
+      ++diagonal_hits;
+  }
+  EXPECT_EQ(diagonals, 3);
+  EXPECT_EQ(diagonal_hits, 3);
+}
+
+TEST(FuzzerTest, FuzzSeriesCountsOutcomes) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  ASSERT_FALSE(det.cycles.empty());
+  ReplayOptions options;
+  options.attempts = 10;
+  options.stop_on_first_hit = false;
+  options.seed = 3;
+  ReplayStats stats =
+      baseline::fuzz(fig.program, det.cycles[0], det.dep, options);
+  EXPECT_EQ(stats.attempts, 10);
+  EXPECT_EQ(stats.hits + stats.other_deadlocks + stats.no_deadlocks +
+                stats.step_limits,
+            stats.attempts);
+}
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,244 @@
+// Tests for the Generator (Algorithm 3): exact edge sets, the θ4 cyclic-Gs
+// elimination with its Fig. 7(b) witness, edge-kind precedence, vertex
+// bookkeeping, edge filtering, and explorer-backed soundness of every
+// cyclic-Gs verdict.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/generator.hpp"
+#include "core/pruner.hpp"
+#include "explore/explorer.hpp"
+#include "sim/scheduler.hpp"
+#include "testutil.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+Detection detect_program(const sim::Program& program, std::uint64_t seed) {
+  auto trace = sim::record_trace(program, seed);
+  EXPECT_TRUE(trace.has_value());
+  return detect(*trace);
+}
+
+const PotentialDeadlock* cycle_with_signature(const Detection& det,
+                                              std::vector<SiteId> sites) {
+  std::sort(sites.begin(), sites.end());
+  for (const PotentialDeadlock& c : det.cycles)
+    if (signature_of(c, det.dep) == sites) return &c;
+  return nullptr;
+}
+
+// --------------------------------------------------------- Figure 2 / θ4
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = workloads::make_figure2();
+    det_ = detect_program(fig_.program, 21);
+    ASSERT_EQ(det_.cycles.size(), 4u);
+  }
+  workloads::Figure2 fig_;
+  Detection det_;
+};
+
+TEST_F(Figure2Test, Theta4GsIsCyclicWithTheFig7bWitness) {
+  const PotentialDeadlock* theta4 =
+      cycle_with_signature(det_, {fig_.s522, fig_.s522});
+  ASSERT_NE(theta4, nullptr);
+  GeneratorResult gen = generate(*theta4, det_.dep);
+  EXPECT_FALSE(gen.feasible);
+  // The witness is the Fig. 7(b) loop through both threads' 2024 and 509.
+  ASSERT_FALSE(gen.witness.empty());
+  std::multiset<SiteId> witness_sites;
+  for (const ExecIndex& idx : gen.witness) witness_sites.insert(idx.site);
+  EXPECT_EQ(witness_sites,
+            (std::multiset<SiteId>{fig_.s2024, fig_.s2024, fig_.s509,
+                                   fig_.s509}));
+}
+
+TEST_F(Figure2Test, Theta1Through3AreFeasible) {
+  for (const PotentialDeadlock& cycle : det_.cycles) {
+    DefectSignature sig = signature_of(cycle, det_.dep);
+    GeneratorResult gen = generate(cycle, det_.dep);
+    const bool is_theta4 = sig == DefectSignature{fig_.s522, fig_.s522};
+    EXPECT_EQ(gen.feasible, !is_theta4)
+        << "cycle " << cycle.to_string(det_.dep);
+  }
+}
+
+TEST_F(Figure2Test, Theta4IsIndeedUnreachable) {
+  explore::ExploreResult explored = explore::explore(fig_.program);
+  ASSERT_TRUE(explored.exhausted);
+  EXPECT_FALSE(explored.deadlock_reachable_at({fig_.s522, fig_.s522}));
+  // But the feasible cycles are reachable.
+  std::vector<SiteId> theta1{fig_.s509, fig_.s509};
+  EXPECT_TRUE(explored.deadlock_reachable_at(theta1));
+  std::vector<SiteId> theta23{std::min(fig_.s509, fig_.s522),
+                              std::max(fig_.s509, fig_.s522)};
+  EXPECT_TRUE(explored.deadlock_reachable_at(theta23));
+}
+
+// --------------------------------------------------------- mechanics
+
+TEST(SyncDependencyGraphTest, InternDeduplicatesVertices) {
+  SyncDependencyGraph gs;
+  GsVertex v{0, ExecIndex{0, 5, 0}, 3};
+  Digraph::Node a = gs.intern(v);
+  Digraph::Node b = gs.intern(v);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(gs.vertex_count(), 1);
+}
+
+TEST(SyncDependencyGraphTest, ConflictingVertexForSameIndexThrows) {
+  SyncDependencyGraph gs;
+  gs.intern(GsVertex{0, ExecIndex{0, 5, 0}, 3});
+  EXPECT_THROW(gs.intern(GsVertex{0, ExecIndex{0, 5, 0}, 4}), CheckFailure);
+}
+
+TEST(SyncDependencyGraphTest, FirstEdgeKindWins) {
+  SyncDependencyGraph gs;
+  Digraph::Node a = gs.intern(GsVertex{0, ExecIndex{0, 1, 0}, 1});
+  Digraph::Node b = gs.intern(GsVertex{1, ExecIndex{1, 2, 0}, 1});
+  gs.add_edge(a, b, GsEdgeKind::kTypeD);
+  gs.add_edge(a, b, GsEdgeKind::kTypeC);  // ignored
+  auto edges = gs.edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, GsEdgeKind::kTypeD);
+}
+
+TEST(SyncDependencyGraphTest, CrossThreadInEdgeDetection) {
+  SyncDependencyGraph gs;
+  Digraph::Node a = gs.intern(GsVertex{0, ExecIndex{0, 1, 0}, 1});
+  Digraph::Node b = gs.intern(GsVertex{0, ExecIndex{0, 2, 0}, 2});
+  Digraph::Node c = gs.intern(GsVertex{1, ExecIndex{1, 3, 0}, 1});
+  gs.add_edge(a, b, GsEdgeKind::kTypeP);  // same thread
+  EXPECT_FALSE(gs.has_cross_thread_in_edge(b));
+  gs.add_edge(c, b, GsEdgeKind::kTypeC);  // cross thread
+  EXPECT_TRUE(gs.has_cross_thread_in_edge(b));
+  gs.remove_vertex(c);
+  EXPECT_FALSE(gs.has_cross_thread_in_edge(b));
+}
+
+TEST(SyncDependencyGraphTest, FindIgnoresRemovedVertices) {
+  SyncDependencyGraph gs;
+  ExecIndex idx{0, 1, 0};
+  Digraph::Node a = gs.intern(GsVertex{0, idx, 1});
+  EXPECT_TRUE(gs.find(idx).has_value());
+  gs.remove_vertex(a);
+  EXPECT_FALSE(gs.find(idx).has_value());
+  gs.remove_vertex(a);  // idempotent
+}
+
+TEST(SyncDependencyGraphTest, DotNamesSites) {
+  SiteTable sites;
+  SiteId s = sites.intern("Foo.bar", 7);
+  SyncDependencyGraph gs;
+  gs.intern(GsVertex{0, ExecIndex{0, s, 0}, 1});
+  EXPECT_NE(gs.to_dot(sites).find("Foo.bar:7"), std::string::npos);
+}
+
+TEST(GeneratorTest, FilterEdgesKeepsRequestedKindsOnly) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  const PotentialDeadlock* theta2 =
+      cycle_with_signature(det, {fig.s19, fig.s33});
+  ASSERT_NE(theta2, nullptr);
+  GeneratorResult gen = generate(*theta2, det.dep);
+
+  SyncDependencyGraph d_only = filter_edges(gen.gs, true, false, false);
+  EXPECT_EQ(d_only.vertex_count(), gen.gs.vertex_count());
+  for (const GsEdge& e : d_only.edges())
+    EXPECT_EQ(e.kind, GsEdgeKind::kTypeD);
+  EXPECT_EQ(d_only.edges().size(), 2u);
+
+  SyncDependencyGraph no_c = filter_edges(gen.gs, true, false, true);
+  for (const GsEdge& e : no_c.edges())
+    EXPECT_NE(e.kind, GsEdgeKind::kTypeC);
+}
+
+TEST(GeneratorTest, DeadlockingTuplesAreNotTypeCSources) {
+  // In Figure 4's θ′2, t1's deadlocking acquisition (site 19, lock l2) must
+  // not order t3's l2 acquisition — that edge would close a false cycle.
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  const PotentialDeadlock* theta2 =
+      cycle_with_signature(det, {fig.s19, fig.s33});
+  ASSERT_NE(theta2, nullptr);
+  GeneratorResult gen = generate(*theta2, det.dep);
+  for (const GsEdge& e : gen.gs.edges())
+    EXPECT_FALSE(e.from.site == fig.s19 && e.to.site == fig.s32);
+}
+
+TEST(GeneratorTest, VsCountsAllReferencedAcquisitions) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  const PotentialDeadlock* theta2 =
+      cycle_with_signature(det, {fig.s19, fig.s33});
+  ASSERT_NE(theta2, nullptr);
+  GeneratorResult gen = generate(*theta2, det.dep);
+  EXPECT_EQ(gen.gs.vertex_count(), 8);  // 11,12,16,18,19,31,32,33
+}
+
+TEST(GeneratorTest, PhilosophersGsIsFeasible) {
+  auto w = workloads::make_philosophers(3);
+  auto trace = sim::record_trace(w.program, 3);
+  ASSERT_TRUE(trace.has_value());
+  DetectorOptions options;
+  options.max_cycle_length = 3;
+  Detection det = detect(*trace, options);
+  ASSERT_EQ(det.cycles.size(), 1u);
+  GeneratorResult gen = generate(det.cycles[0], det.dep);
+  EXPECT_TRUE(gen.feasible);
+  EXPECT_EQ(gen.gs.vertex_count(), 6);  // two picks per philosopher
+}
+
+// --------------------------------------------------------- soundness
+
+// Every cyclic-Gs verdict must be sound: the deadlock is unreachable in the
+// exhaustive schedule space (on the recorded path — for branch-free random
+// programs that is the full behaviour).
+class GeneratorSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSoundnessTest, CyclicGsImpliesUnreachable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+  test::RandomProgramConfig config;
+  config.workers = 2 + static_cast<int>(rng.below(2));
+  config.locks = 2 + static_cast<int>(rng.below(2));
+  config.blocks_per_worker = 2;
+  sim::Program program = test::random_program(rng, config);
+
+  auto trace = sim::record_trace(program, rng(), 30);
+  if (!trace.has_value()) GTEST_SKIP() << "recording kept deadlocking";
+  Detection det = detect(*trace);
+
+  bool any_infeasible = false;
+  std::vector<bool> infeasible(det.cycles.size(), false);
+  for (std::size_t c = 0; c < det.cycles.size(); ++c) {
+    GeneratorResult gen = generate(det.cycles[c], det.dep);
+    infeasible[c] = !gen.feasible;
+    any_infeasible |= infeasible[c];
+  }
+  if (!any_infeasible) GTEST_SKIP() << "no cyclic Gs for this seed";
+
+  explore::ExploreOptions explore_options;
+  explore_options.max_states = 400000;
+  explore::ExploreResult explored = explore::explore(program, explore_options);
+  if (!explored.exhausted) GTEST_SKIP() << "state space too large";
+
+  for (std::size_t c = 0; c < det.cycles.size(); ++c) {
+    if (!infeasible[c]) continue;
+    DefectSignature sig = signature_of(det.cycles[c], det.dep);
+    EXPECT_FALSE(explored.deadlock_reachable_at(sig))
+        << "cyclic-Gs cycle " << det.cycles[c].to_string(det.dep)
+        << " is actually reachable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSoundnessTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,247 @@
+// Unit and property tests for the digraph: dynamic mutation, cycle
+// detection with witness extraction, ancestors, SCC, topological order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/digraph.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace wolf {
+namespace {
+
+Digraph path_graph(int n) {
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(DigraphTest, AddAndQueryEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(2), 1);
+}
+
+TEST(DigraphTest, ParallelEdgesCoalesce) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(DigraphTest, RemoveEdge) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+  // Removing a non-existent edge is a no-op.
+  g.remove_edge(0, 1);
+}
+
+TEST(DigraphTest, RemoveNodeDropsIncidentEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.remove_node(1);
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_FALSE(g.alive(1));
+  EXPECT_EQ(g.edge_count(), 1u);  // only 2 -> 0 remains
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(DigraphTest, OperationsOnDeadNodeThrow) {
+  Digraph g(2);
+  g.remove_node(0);
+  EXPECT_THROW(g.add_edge(0, 1), CheckFailure);
+  EXPECT_THROW(g.successors(0), CheckFailure);
+  EXPECT_THROW(g.remove_node(0), CheckFailure);
+}
+
+TEST(DigraphTest, AddNodeGrows) {
+  Digraph g;
+  Digraph::Node a = g.add_node();
+  Digraph::Node b = g.add_node();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  g.add_edge(a, b);
+  EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(DigraphTest, PathIsAcyclic) {
+  Digraph g = path_graph(5);
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.find_cycle(), std::nullopt);
+}
+
+TEST(DigraphTest, SelfLoopIsACycle) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 1u);
+}
+
+TEST(DigraphTest, FindCycleReturnsValidWitness) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  // Witness must be a genuine directed cycle.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    Digraph::Node u = (*cycle)[i];
+    Digraph::Node v = (*cycle)[(i + 1) % cycle->size()];
+    EXPECT_TRUE(g.has_edge(u, v)) << u << "->" << v;
+  }
+  // And must contain the actual loop 1-2-3.
+  std::set<Digraph::Node> nodes(cycle->begin(), cycle->end());
+  EXPECT_EQ(nodes, (std::set<Digraph::Node>{1, 2, 3}));
+}
+
+TEST(DigraphTest, CycleBrokenByNodeRemoval) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.has_cycle());
+  g.remove_node(2);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST(DigraphTest, AncestorsFollowAllPaths) {
+  Digraph g(6);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(4, 3);
+  // Node 5 unrelated.
+  auto anc = g.ancestors(3);
+  std::set<Digraph::Node> expected{0, 1, 2, 4};
+  EXPECT_EQ(std::set<Digraph::Node>(anc.begin(), anc.end()), expected);
+  EXPECT_TRUE(g.ancestors(0).empty());
+}
+
+TEST(DigraphTest, AncestorsExcludeSelfUnlessLoop) {
+  Digraph g = path_graph(3);
+  auto anc = g.ancestors(2);
+  EXPECT_EQ(anc.size(), 2u);
+  EXPECT_EQ(std::count(anc.begin(), anc.end(), 2), 0);
+}
+
+TEST(DigraphTest, SccDecomposition) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // {0,1}
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);  // {2,3}
+  // 4 isolated.
+  auto sccs = g.strongly_connected_components();
+  std::set<std::set<Digraph::Node>> as_sets;
+  for (auto& comp : sccs)
+    as_sets.insert(std::set<Digraph::Node>(comp.begin(), comp.end()));
+  EXPECT_EQ(as_sets.size(), 3u);
+  EXPECT_TRUE(as_sets.count({0, 1}));
+  EXPECT_TRUE(as_sets.count({2, 3}));
+  EXPECT_TRUE(as_sets.count({4}));
+}
+
+TEST(DigraphTest, TopologicalOrderRespectsEdges) {
+  Digraph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(1, 0);
+  g.add_edge(3, 2);
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  auto pos = [&](Digraph::Node n) {
+    return std::find(order->begin(), order->end(), n) - order->begin();
+  };
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(1), pos(0));
+  EXPECT_LT(pos(3), pos(2));
+}
+
+TEST(DigraphTest, TopologicalOrderNulloptOnCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.topological_order(), std::nullopt);
+}
+
+TEST(DigraphTest, DotContainsNodesAndEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::string dot = g.to_dot({"alpha", "beta"});
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- property
+
+class GraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPropertyTest, RandomDagHasNoCycleAndSortsTopologically) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 3 + static_cast<int>(rng.below(20));
+  Digraph g(n);
+  // Edges only from lower to higher id: a DAG by construction.
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.chance(0.25)) g.add_edge(i, j);
+  EXPECT_FALSE(g.has_cycle());
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), static_cast<std::size_t>(n));
+}
+
+TEST_P(GraphPropertyTest, BackEdgeCreatesDetectableCycle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const int n = 4 + static_cast<int>(rng.below(16));
+  Digraph g(n);
+  // A path plus random forward edges, then one back edge closing a loop.
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  for (int e = 0; e < n; ++e) {
+    int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    int j = i + 1 +
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(n - i - 1)));
+    g.add_edge(i, j);
+  }
+  int hi = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+  int lo = static_cast<int>(rng.below(static_cast<std::uint64_t>(hi)));
+  g.add_edge(hi, lo);
+  auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  for (std::size_t i = 0; i < cycle->size(); ++i)
+    EXPECT_TRUE(g.has_edge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+}
+
+TEST_P(GraphPropertyTest, SccAgreesWithCycleDetector) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  const int n = 3 + static_cast<int>(rng.below(12));
+  Digraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j && rng.chance(0.15)) g.add_edge(i, j);
+  bool nontrivial_scc = false;
+  for (const auto& comp : g.strongly_connected_components())
+    if (comp.size() > 1) nontrivial_scc = true;
+  bool self_loop = false;
+  for (int i = 0; i < n; ++i) self_loop |= g.has_edge(i, i);
+  EXPECT_EQ(g.has_cycle(), nontrivial_scc || self_loop);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,120 @@
+// End-to-end integration across module boundaries: trace serialization
+// round-trips feed the same analysis results; traces recorded on OS threads
+// analyze identically to virtual-thread traces; and the whole suite's
+// detection is invariant under the serialize → parse → detect path.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/df_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "rt/executor.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/suite.hpp"
+
+namespace wolf {
+namespace {
+
+std::multiset<DefectSignature> defect_signatures(const Detection& det) {
+  std::multiset<DefectSignature> out;
+  for (const Defect& d : det.defects) out.insert(d.signature);
+  return out;
+}
+
+TEST(IntegrationTest, SerializedTraceAnalyzesIdentically) {
+  for (const workloads::Benchmark& bench : workloads::standard_suite()) {
+    if (bench.name == "Jigsaw") continue;  // covered below, slower
+    auto trace = sim::record_trace(bench.program, 31, 60, bench.max_steps);
+    ASSERT_TRUE(trace.has_value()) << bench.name;
+
+    std::string text = trace_to_string(*trace);
+    std::string error;
+    auto parsed = trace_from_string(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << bench.name << ": " << error;
+
+    Detection direct = detect(*trace);
+    Detection roundtrip = detect(*parsed);
+    EXPECT_EQ(defect_signatures(direct), defect_signatures(roundtrip))
+        << bench.name;
+    EXPECT_EQ(direct.cycles.size(), roundtrip.cycles.size()) << bench.name;
+  }
+}
+
+TEST(IntegrationTest, JigsawSerializedRoundTrip) {
+  auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "Jigsaw");
+  auto trace = sim::record_trace(bench.program, 31, 60, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+  auto parsed = trace_from_string(trace_to_string(*trace));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events, trace->events);
+  EXPECT_EQ(detect(*parsed).defects.size(), 30u);
+}
+
+TEST(IntegrationTest, RtTraceFeedsTheSamePipeline) {
+  // A trace recorded on OS threads drives the sim-substrate pipeline: both
+  // sides speak the same event model and thread naming.
+  workloads::CollectionsWorkload w = workloads::make_collections_map("TreeMap");
+  auto rt_trace = rt::record_trace_rt(w.program, 7);
+  ASSERT_TRUE(rt_trace.has_value());
+
+  WolfOptions options;
+  options.seed = 3;
+  options.replay.attempts = 8;
+  WolfReport report = analyze_trace(w.program, *rt_trace, options);
+  EXPECT_EQ(report.defects.size(), 3u);
+  EXPECT_EQ(report.count_defects(Classification::kReproduced), 2);
+  EXPECT_EQ(report.count_defects(Classification::kFalseByGenerator), 1);
+}
+
+TEST(IntegrationTest, WolfAndDfAgreeOnDetectionCounts) {
+  // Detection (before any tool-specific classification) is shared: both
+  // pipelines must report identical cycle/defect counts on the same trace.
+  workloads::CollectionsWorkload w = workloads::make_collections_list("LinkedList");
+  auto trace = sim::record_trace(w.program, 12);
+  ASSERT_TRUE(trace.has_value());
+
+  WolfOptions wolf_options;
+  wolf_options.replay.attempts = 4;
+  WolfReport wolf_report = analyze_trace(w.program, *trace, wolf_options);
+
+  baseline::DfOptions df_options;
+  df_options.replay.attempts = 4;
+  baseline::DfReport df_report =
+      baseline::analyze_trace_df(w.program, *trace, df_options);
+
+  EXPECT_EQ(wolf_report.cycles.size(), df_report.cycles.size());
+  EXPECT_EQ(wolf_report.defects.size(), df_report.defects.size());
+  // And WOLF dominates on this workload (all 6 real, DF gets diagonals +
+  // maybe more).
+  EXPECT_GE(wolf_report.count_defects(Classification::kReproduced),
+            df_report.count_defects(Classification::kReproduced));
+}
+
+TEST(IntegrationTest, SuiteWideHeadlineNumbersMatchTable1) {
+  // The cumulative defect-level classification across the whole suite —
+  // the paper's headline claim (65 / 12 / 36 / 17) — as a regression test.
+  int detected = 0, fp = 0, tp = 0, unknown = 0;
+  for (const workloads::Benchmark& bench : workloads::standard_suite()) {
+    WolfOptions options;
+    options.seed = 2014;
+    options.replay.attempts = 6;
+    options.max_steps = bench.max_steps;
+    WolfReport report = run_wolf(bench.program, options);
+    ASSERT_TRUE(report.trace_recorded || bench.name == "cache4j")
+        << bench.name;
+    detected += static_cast<int>(report.defects.size());
+    fp += report.false_positive_defects();
+    tp += report.count_defects(Classification::kReproduced);
+    unknown += report.count_defects(Classification::kUnknown);
+  }
+  EXPECT_EQ(detected, 65);
+  EXPECT_EQ(fp, 12);
+  EXPECT_EQ(tp, 36);
+  EXPECT_EQ(unknown, 17);
+}
+
+}  // namespace
+}  // namespace wolf

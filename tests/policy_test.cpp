@@ -1,0 +1,105 @@
+// Tests for the scheduling policies and their interaction with the run loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "sim/policy.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+using sim::FixedChoicePolicy;
+using sim::PreferThreadPolicy;
+using sim::RandomPolicy;
+using sim::RoundRobinPolicy;
+using sim::RunToBlockPolicy;
+
+const std::vector<ThreadId> kEnabled{0, 2, 5};
+
+TEST(PolicyTest, RandomPolicyPicksFromEnabled) {
+  RandomPolicy policy;
+  Rng rng(3);
+  std::set<ThreadId> seen;
+  for (int i = 0; i < 200; ++i) {
+    ThreadId t = policy.pick(kEnabled, rng);
+    EXPECT_TRUE(std::count(kEnabled.begin(), kEnabled.end(), t) == 1);
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), kEnabled.size());  // all eventually picked
+}
+
+TEST(PolicyTest, RoundRobinCyclesThroughThreads) {
+  RoundRobinPolicy policy;
+  Rng rng(1);
+  EXPECT_EQ(policy.pick(kEnabled, rng), 0);
+  EXPECT_EQ(policy.pick(kEnabled, rng), 2);
+  EXPECT_EQ(policy.pick(kEnabled, rng), 5);
+  EXPECT_EQ(policy.pick(kEnabled, rng), 0);  // wraps
+}
+
+TEST(PolicyTest, RoundRobinSkipsDisabled) {
+  RoundRobinPolicy policy;
+  Rng rng(1);
+  EXPECT_EQ(policy.pick({0, 1, 2}, rng), 0);
+  EXPECT_EQ(policy.pick({0, 2}, rng), 2);  // 1 no longer enabled
+}
+
+TEST(PolicyTest, RunToBlockSticksWithCurrentThread) {
+  RunToBlockPolicy policy;
+  Rng rng(7);
+  ThreadId first = policy.pick(kEnabled, rng);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(policy.pick(kEnabled, rng), first);
+  // Once the thread disappears from the enabled set, another is chosen.
+  std::vector<ThreadId> rest;
+  for (ThreadId t : kEnabled)
+    if (t != first) rest.push_back(t);
+  ThreadId next = policy.pick(rest, rng);
+  EXPECT_NE(next, first);
+  EXPECT_EQ(policy.pick(rest, rng), next);
+}
+
+TEST(PolicyTest, FixedChoiceFollowsScriptThenFallsBack) {
+  FixedChoicePolicy policy({2, 0, 1});
+  Rng rng(1);
+  EXPECT_EQ(policy.pick(kEnabled, rng), 5);  // index 2
+  EXPECT_EQ(policy.pick(kEnabled, rng), 0);  // index 0
+  EXPECT_EQ(policy.pick(kEnabled, rng), 2);  // index 1
+  EXPECT_EQ(policy.consumed(), 3u);
+  EXPECT_EQ(policy.pick(kEnabled, rng), 0);  // fallback: first enabled
+}
+
+TEST(PolicyTest, FixedChoiceOutOfRangeThrows) {
+  FixedChoicePolicy policy({7});
+  Rng rng(1);
+  EXPECT_THROW(policy.pick(kEnabled, rng), CheckFailure);
+}
+
+TEST(PolicyTest, PreferThreadChoosesItWhenEnabled) {
+  PreferThreadPolicy policy(5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(policy.pick(kEnabled, rng), 5);
+  ThreadId other = policy.pick({0, 2}, rng);
+  EXPECT_TRUE(other == 0 || other == 2);
+}
+
+TEST(PolicyTest, BiasedPolicyStillCompletesPrograms) {
+  auto fig = workloads::make_figure4();
+  for (auto make_policy : {+[]() -> sim::SchedulePolicy* {
+                             return new RoundRobinPolicy;
+                           },
+                           +[]() -> sim::SchedulePolicy* {
+                             return new RunToBlockPolicy;
+                           }}) {
+    std::unique_ptr<sim::SchedulePolicy> policy(make_policy());
+    Rng rng(4);
+    sim::RunResult result = sim::run_program(fig.program, *policy, rng);
+    EXPECT_NE(result.outcome, sim::RunOutcome::kStepLimit);
+  }
+}
+
+}  // namespace
+}  // namespace wolf

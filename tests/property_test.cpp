@@ -1,0 +1,174 @@
+// Cross-component property tests over randomly generated programs,
+// validated against the exhaustive schedule explorer:
+//
+//   completeness — every deadlock reachable in ANY schedule corresponds to a
+//                  detected cycle of a single recorded trace (branch-free
+//                  programs execute all their operations in a completed run);
+//   soundness    — every cycle the Pruner or the Generator rules out is
+//                  unreachable;
+//   consistency  — every cycle the Replayer reproduces is reachable, and a
+//                  reproduced run's blocked sites equal the cycle signature;
+//   determinism  — recording with the same seed yields the same trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/generator.hpp"
+#include "core/pipeline.hpp"
+#include "core/pruner.hpp"
+#include "explore/explorer.hpp"
+#include "testutil.hpp"
+
+namespace wolf {
+namespace {
+
+struct Case {
+  sim::Program program;
+  Trace trace;
+  Detection detection;
+  explore::ExploreResult explored;
+};
+
+// Builds the full analysis for one seed; nullopt when recording failed or
+// the state space exceeded the budget (both are rare at this size).
+std::optional<Case> build_case(int seed_index) {
+  Rng rng(static_cast<std::uint64_t>(seed_index) * 2654435761ULL + 17);
+  test::RandomProgramConfig config;
+  config.workers = 2 + static_cast<int>(rng.below(2));
+  config.locks = 2 + static_cast<int>(rng.below(2));
+  config.blocks_per_worker = 2;
+  Case c{test::random_program(rng, config), {}, {}, {}};
+
+  auto trace = sim::record_trace(c.program, rng(), 40);
+  if (!trace.has_value()) return std::nullopt;
+  c.trace = std::move(*trace);
+  c.detection = detect(c.trace);
+
+  explore::ExploreOptions options;
+  options.max_states = 500000;
+  c.explored = explore::explore(c.program, options);
+  if (!c.explored.exhausted) return std::nullopt;
+  return c;
+}
+
+class WolfPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WolfPropertyTest, DetectorIsCompleteForReachableDeadlocks) {
+  auto c = build_case(GetParam());
+  if (!c) GTEST_SKIP() << "recording or exploration budget exceeded";
+
+  std::set<DefectSignature> detected;
+  for (const PotentialDeadlock& cycle : c->detection.cycles)
+    detected.insert(signature_of(cycle, c->detection.dep));
+
+  for (const auto& sig : c->explored.deadlock_signatures) {
+    if (sig.empty()) continue;  // join stall, not a lock deadlock
+    EXPECT_TRUE(detected.count(sig) != 0)
+        << "reachable deadlock at signature size " << sig.size()
+        << " was not detected";
+  }
+}
+
+TEST_P(WolfPropertyTest, PrunerAndGeneratorAreSound) {
+  auto c = build_case(GetParam());
+  if (!c) GTEST_SKIP() << "recording or exploration budget exceeded";
+
+  auto verdicts = prune(c->detection);
+  for (std::size_t i = 0; i < c->detection.cycles.size(); ++i) {
+    DefectSignature sig = signature_of(c->detection.cycles[i],
+                                       c->detection.dep);
+    if (is_false(verdicts[i])) {
+      EXPECT_FALSE(c->explored.deadlock_reachable_at(sig))
+          << "Pruner eliminated a reachable deadlock";
+      continue;
+    }
+    GeneratorResult gen = generate(c->detection.cycles[i], c->detection.dep);
+    if (!gen.feasible) {
+      EXPECT_FALSE(c->explored.deadlock_reachable_at(sig))
+          << "Generator eliminated a reachable deadlock";
+    }
+  }
+}
+
+TEST_P(WolfPropertyTest, ReproducedCyclesAreReachable) {
+  auto c = build_case(GetParam());
+  if (!c) GTEST_SKIP() << "recording or exploration budget exceeded";
+
+  auto verdicts = prune(c->detection);
+  for (std::size_t i = 0; i < c->detection.cycles.size(); ++i) {
+    if (is_false(verdicts[i])) continue;
+    GeneratorResult gen = generate(c->detection.cycles[i], c->detection.dep);
+    if (!gen.feasible) continue;
+    ReplayOptions options;
+    options.attempts = 6;
+    options.seed = static_cast<std::uint64_t>(GetParam()) + i;
+    ReplayStats stats = replay(c->program, c->detection.cycles[i],
+                               c->detection.dep, gen.gs, options);
+    if (stats.reproduced()) {
+      DefectSignature sig = signature_of(c->detection.cycles[i],
+                                         c->detection.dep);
+      EXPECT_TRUE(c->explored.deadlock_reachable_at(sig))
+          << "Replayer 'reproduced' an unreachable deadlock";
+    }
+  }
+}
+
+TEST_P(WolfPropertyTest, RecordingIsDeterministicPerSeed) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  test::RandomProgramConfig config;
+  config.workers = 2;
+  sim::Program program = test::random_program(rng, config);
+  const std::uint64_t seed = rng();
+  auto t1 = sim::record_trace(program, seed, 40);
+  auto t2 = sim::record_trace(program, seed, 40);
+  ASSERT_EQ(t1.has_value(), t2.has_value());
+  if (t1) {
+    EXPECT_EQ(t1->events, t2->events);
+  }
+}
+
+TEST_P(WolfPropertyTest, DsigmaStructuralInvariants) {
+  auto c = build_case(GetParam());
+  if (!c) GTEST_SKIP();
+  for (const LockTuple& t : c->detection.dep.tuples) {
+    // Context = lockset acquisitions plus the acquisition itself.
+    EXPECT_EQ(t.context.size(), t.lockset.size() + 1);
+    EXPECT_EQ(t.acquire_index().thread, t.thread);
+    EXPECT_GE(t.tau, 1);
+    // Lockset entries are unique (re-entrant acquisitions never re-enter).
+    std::set<LockId> unique_locks(t.lockset.begin(), t.lockset.end());
+    EXPECT_EQ(unique_locks.size(), t.lockset.size());
+    // The acquired lock is never already held.
+    EXPECT_FALSE(t.holds(t.lock));
+  }
+}
+
+TEST_P(WolfPropertyTest, FullPipelineNeverMisclassifiesOnRandomPrograms) {
+  auto c = build_case(GetParam());
+  if (!c) GTEST_SKIP();
+  WolfOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  options.replay.attempts = 5;
+  WolfReport report = analyze_trace(c->program, c->trace, options);
+  for (const CycleReport& cycle : report.cycles) {
+    DefectSignature sig = signature_of(
+        report.detection.cycles[cycle.cycle_index], report.detection.dep);
+    switch (cycle.classification) {
+      case Classification::kFalseByPruner:
+      case Classification::kFalseByGenerator:
+        EXPECT_FALSE(c->explored.deadlock_reachable_at(sig));
+        break;
+      case Classification::kReproduced:
+        EXPECT_TRUE(c->explored.deadlock_reachable_at(sig));
+        break;
+      case Classification::kUnknown:
+        break;  // no claim made
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WolfPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace wolf

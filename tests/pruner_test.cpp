@@ -1,0 +1,160 @@
+// Tests for the Pruner (Algorithm 2): the S-based "thread hadn't started"
+// elimination, the J-based "thread had already joined" elimination, and —
+// via the systematic explorer — the soundness of every pruning decision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pruner.hpp"
+#include "explore/explorer.hpp"
+#include "sim/scheduler.hpp"
+#include "testutil.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+Detection detect_program(const sim::Program& program, std::uint64_t seed) {
+  auto trace = sim::record_trace(program, seed);
+  EXPECT_TRUE(trace.has_value());
+  return detect(*trace);
+}
+
+TEST(PrunerTest, Figure1StartOrderCycleIsFalse) {
+  auto fig = workloads::make_figure1();
+  Detection det = detect_program(fig.program, 1);
+  ASSERT_EQ(det.cycles.size(), 1u);
+  EXPECT_EQ(prune_cycle(det.cycles[0], det.dep, det.clocks),
+            PruneVerdict::kFalseNotStarted);
+}
+
+TEST(PrunerTest, ConcurrentWorkersAreNotPruned) {
+  // main starts both workers before joining either: genuine overlap.
+  sim::Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  LockId b = p.add_lock("B", p.site("alloc", 2));
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  p.lock(t1, a, p.site("t1.outer", 1));
+  p.lock(t1, b, p.site("t1.inner", 2));
+  p.unlock(t1, b, p.site("t1.x", 3));
+  p.unlock(t1, a, p.site("t1.y", 4));
+  p.lock(t2, b, p.site("t2.outer", 1));
+  p.lock(t2, a, p.site("t2.inner", 2));
+  p.unlock(t2, a, p.site("t2.x", 3));
+  p.unlock(t2, b, p.site("t2.y", 4));
+  p.start(main, t1, p.site("spawn", 1));
+  p.start(main, t2, p.site("spawn", 1));
+  p.join(main, t1, p.site("join", 1));
+  p.join(main, t2, p.site("join", 1));
+  p.finalize();
+
+  Detection det = detect_program(p, 3);
+  ASSERT_EQ(det.cycles.size(), 1u);
+  EXPECT_EQ(prune_cycle(det.cycles[0], det.dep, det.clocks),
+            PruneVerdict::kUnknown);
+}
+
+TEST(PrunerTest, SequentialWorkersViaJoinArePruned) {
+  // main starts t1, joins it, then starts t2 — the J-based elimination.
+  sim::Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  LockId b = p.add_lock("B", p.site("alloc", 2));
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  p.lock(t1, a, p.site("t1.outer", 1));
+  p.lock(t1, b, p.site("t1.inner", 2));
+  p.unlock(t1, b, p.site("t1.x", 3));
+  p.unlock(t1, a, p.site("t1.y", 4));
+  p.lock(t2, b, p.site("t2.outer", 1));
+  p.lock(t2, a, p.site("t2.inner", 2));
+  p.unlock(t2, a, p.site("t2.x", 3));
+  p.unlock(t2, b, p.site("t2.y", 4));
+  p.start(main, t1, p.site("spawn", 1));
+  p.join(main, t1, p.site("join", 1));
+  p.start(main, t2, p.site("spawn", 2));
+  p.join(main, t2, p.site("join", 2));
+  p.finalize();
+
+  Detection det = detect_program(p, 3);
+  ASSERT_EQ(det.cycles.size(), 1u);
+  PruneVerdict verdict = prune_cycle(det.cycles[0], det.dep, det.clocks);
+  EXPECT_TRUE(is_false(verdict));
+
+  // And indeed no schedule can deadlock: the explorer agrees.
+  explore::ExploreResult explored = explore::explore(p);
+  ASSERT_TRUE(explored.exhausted);
+  EXPECT_TRUE(explored.deadlock_signatures.empty());
+}
+
+TEST(PrunerTest, ChainedStartTransitivityIsUsed) {
+  // Figure 4's θ1: t3 is started transitively (t1 → t2 → t3) after t1's
+  // early acquisitions; the S value flows through the chain.
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  auto verdicts = prune(det);
+  int pruned = 0;
+  for (PruneVerdict v : verdicts)
+    if (is_false(v)) ++pruned;
+  EXPECT_EQ(pruned, 1);
+}
+
+TEST(PrunerTest, PruneBatchMatchesPerCycleCalls) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  auto verdicts = prune(det);
+  ASSERT_EQ(verdicts.size(), det.cycles.size());
+  for (std::size_t c = 0; c < det.cycles.size(); ++c)
+    EXPECT_EQ(verdicts[c], prune_cycle(det.cycles[c], det.dep, det.clocks));
+}
+
+TEST(PrunerTest, VerdictNamesAreStable) {
+  EXPECT_STREQ(to_string(PruneVerdict::kUnknown), "unknown");
+  EXPECT_STREQ(to_string(PruneVerdict::kFalseNotStarted),
+               "false(not-started)");
+  EXPECT_STREQ(to_string(PruneVerdict::kFalseJoined), "false(joined)");
+}
+
+// ------------------------------------------------------------- soundness
+
+// Pruner soundness over random programs: every cycle the Pruner eliminates
+// must be unreachable in the exhaustive schedule space. Random programs use
+// unique sites per operation, so signature equality identifies operations.
+class PrunerSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrunerSoundnessTest, PrunedCyclesAreUnreachable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  test::RandomProgramConfig config;
+  config.workers = 2 + static_cast<int>(rng.below(2));
+  config.locks = 2 + static_cast<int>(rng.below(2));
+  config.blocks_per_worker = 2;
+  sim::Program program = test::random_program(rng, config);
+
+  auto trace = sim::record_trace(program, rng(), 30);
+  if (!trace.has_value()) GTEST_SKIP() << "recording kept deadlocking";
+  Detection det = detect(*trace);
+  auto verdicts = prune(det);
+  bool any_pruned = false;
+  for (PruneVerdict v : verdicts) any_pruned |= is_false(v);
+  if (!any_pruned) GTEST_SKIP() << "nothing pruned for this seed";
+
+  explore::ExploreOptions explore_options;
+  explore_options.max_states = 400000;
+  explore::ExploreResult explored = explore::explore(program, explore_options);
+  if (!explored.exhausted) GTEST_SKIP() << "state space too large";
+
+  for (std::size_t c = 0; c < det.cycles.size(); ++c) {
+    if (!is_false(verdicts[c])) continue;
+    DefectSignature sig = signature_of(det.cycles[c], det.dep);
+    EXPECT_FALSE(explored.deadlock_reachable_at(sig))
+        << "pruned cycle " << det.cycles[c].to_string(det.dep)
+        << " is actually reachable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunerSoundnessTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,274 @@
+// Tests for the Replayer (Algorithm 4): pause/release mechanics, skipped-
+// vertex handling under divergent control flow, forced release, trial
+// classification and reliability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "core/replayer.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+Detection detect_program(const sim::Program& program, std::uint64_t seed) {
+  auto trace = sim::record_trace(program, seed);
+  EXPECT_TRUE(trace.has_value());
+  return detect(*trace);
+}
+
+const PotentialDeadlock* cycle_with_signature(const Detection& det,
+                                              std::vector<SiteId> sites) {
+  std::sort(sites.begin(), sites.end());
+  for (const PotentialDeadlock& c : det.cycles)
+    if (signature_of(c, det.dep) == sites) return &c;
+  return nullptr;
+}
+
+TEST(ReplayerTest, ReproducesEveryCollectionsCycle) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 11);
+  ASSERT_EQ(det.cycles.size(), 9u);
+  for (const PotentialDeadlock& cycle : det.cycles) {
+    GeneratorResult gen = generate(cycle, det.dep);
+    ASSERT_TRUE(gen.feasible);
+    ReplayOptions options;
+    options.attempts = 10;
+    options.seed = 17;
+    ReplayStats stats = replay(w.program, cycle, det.dep, gen.gs, options);
+    EXPECT_TRUE(stats.reproduced())
+        << "failed to reproduce " << cycle.to_string(det.dep);
+  }
+}
+
+TEST(ReplayerTest, ExpectedSitesAreSorted) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  for (const PotentialDeadlock& cycle : det.cycles) {
+    auto sites = expected_sites(cycle, det.dep);
+    EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+    EXPECT_EQ(sites.size(), cycle.tuple_idx.size());
+  }
+}
+
+TEST(ReplayerTest, ClassifyRunDistinguishesOutcomes) {
+  std::vector<SiteId> expected{3, 7};
+
+  sim::RunResult completed;
+  completed.outcome = sim::RunOutcome::kCompleted;
+  EXPECT_EQ(classify_run(completed, expected), ReplayOutcome::kNoDeadlock);
+
+  sim::RunResult limited;
+  limited.outcome = sim::RunOutcome::kStepLimit;
+  EXPECT_EQ(classify_run(limited, expected), ReplayOutcome::kStepLimit);
+
+  sim::RunResult hit;
+  hit.outcome = sim::RunOutcome::kDeadlock;
+  hit.deadlock_cycle = {sim::BlockedAt{0, ExecIndex{0, 7, 0}, 1},
+                        sim::BlockedAt{1, ExecIndex{1, 3, 0}, 2}};
+  EXPECT_EQ(classify_run(hit, expected), ReplayOutcome::kReproduced);
+
+  sim::RunResult miss = hit;
+  miss.deadlock_cycle[0].index.site = 9;
+  EXPECT_EQ(classify_run(miss, expected), ReplayOutcome::kOtherDeadlock);
+
+  // A deadlock involving extra threads at other sites is not a hit either.
+  sim::RunResult wider = hit;
+  wider.deadlock_cycle.push_back(sim::BlockedAt{2, ExecIndex{2, 5, 0}, 3});
+  EXPECT_EQ(classify_run(wider, expected), ReplayOutcome::kOtherDeadlock);
+}
+
+TEST(ReplayerTest, ControllerPausesOnCrossThreadInEdge) {
+  // Hand-built Gs: thread 1's acquisition at idx B depends on thread 0's at
+  // idx A. before_lock must pause thread 1 at B until A retires.
+  SyncDependencyGraph gs;
+  ExecIndex a{0, 1, 0}, b{1, 2, 0};
+  Digraph::Node na = gs.intern(GsVertex{0, a, 5});
+  Digraph::Node nb = gs.intern(GsVertex{1, b, 5});
+  gs.add_edge(na, nb, GsEdgeKind::kTypeC);
+
+  ReplayController controller(gs, {0, 1});
+  EXPECT_TRUE(controller.before_lock(1, b, 5));
+  EXPECT_TRUE(controller.take_released().empty());
+
+  // Thread 0 acquires at A: vertex retires, thread 1 is released.
+  Event acquire;
+  acquire.kind = EventKind::kLockAcquire;
+  acquire.thread = 0;
+  acquire.site = 1;
+  acquire.occurrence = 0;
+  acquire.lock = 5;
+  controller.on_event(acquire);
+  auto released = controller.take_released();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 1);
+  // Re-asked, the controller now lets it through.
+  EXPECT_FALSE(controller.before_lock(1, b, 5));
+}
+
+TEST(ReplayerTest, UnmonitoredThreadsAreNeverPaused) {
+  SyncDependencyGraph gs;
+  ExecIndex a{0, 1, 0}, b{1, 2, 0};
+  Digraph::Node na = gs.intern(GsVertex{0, a, 5});
+  Digraph::Node nb = gs.intern(GsVertex{1, b, 5});
+  gs.add_edge(na, nb, GsEdgeKind::kTypeC);
+  ReplayController controller(gs, /*monitored=*/{0});
+  EXPECT_FALSE(controller.before_lock(1, b, 5));
+}
+
+TEST(ReplayerTest, ThreadEndRetiresItsRemainingVertices) {
+  SyncDependencyGraph gs;
+  ExecIndex a{0, 1, 0}, b{1, 2, 0};
+  Digraph::Node na = gs.intern(GsVertex{0, a, 5});
+  Digraph::Node nb = gs.intern(GsVertex{1, b, 5});
+  gs.add_edge(na, nb, GsEdgeKind::kTypeC);
+  ReplayController controller(gs, {0, 1});
+  EXPECT_TRUE(controller.before_lock(1, b, 5));
+
+  // Thread 0 terminates without ever acquiring at A (skipped path): its
+  // vertex must retire so thread 1 can proceed.
+  Event end;
+  end.kind = EventKind::kThreadEnd;
+  end.thread = 0;
+  controller.on_event(end);
+  auto released = controller.take_released();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 1);
+}
+
+TEST(ReplayerTest, SkippedIndexHandledViaAncestorRetirement) {
+  // A program with a flag-controlled branch: during recording thread takes
+  // the branch containing an acquisition; during replay another thread sets
+  // the flag first and the acquisition is skipped — Algorithm 4's ancestor
+  // retirement must keep the replay from wedging forever.
+  sim::Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  LockId b = p.add_lock("B", p.site("alloc", 2));
+  int flag = p.add_flag();
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+
+  // t1: if (!flag) { lock A; unlock A; }  lock A; lock B; unlock; unlock.
+  int jump_pc = p.jump_if_flag(t1, flag, 1, /*target placeholder*/ 0,
+                               p.site("t1.check", 1));
+  p.lock(t1, a, p.site("t1.maybe", 2));
+  p.unlock(t1, a, p.site("t1.maybe.x", 3));
+  int after = p.lock(t1, a, p.site("t1.outer", 4));
+  p.lock(t1, b, p.site("t1.inner", 5));
+  p.unlock(t1, b, p.site("t1.ix", 6));
+  p.unlock(t1, a, p.site("t1.ox", 7));
+  p.patch_jump(t1, jump_pc, after);
+
+  // t2: set the flag, then lock B; lock A (reverse order).
+  p.set_flag(t2, flag, 1, p.site("t2.set", 1));
+  p.lock(t2, b, p.site("t2.outer", 2));
+  p.lock(t2, a, p.site("t2.inner", 3));
+  p.unlock(t2, a, p.site("t2.ix", 4));
+  p.unlock(t2, b, p.site("t2.ox", 5));
+
+  p.start(main, t1, p.site("spawn", 1));
+  p.start(main, t2, p.site("spawn", 1));
+  p.join(main, t1, p.site("join", 1));
+  p.join(main, t2, p.site("join", 1));
+  p.finalize();
+
+  // Record with a schedule where t1 sees flag == 0 (takes the maybe-branch).
+  std::optional<Trace> trace;
+  for (std::uint64_t seed = 0; seed < 64 && !trace; ++seed) {
+    auto candidate = sim::record_trace(p, seed);
+    if (!candidate) continue;
+    LockDependency dep = LockDependency::from_trace(*candidate);
+    if (dep.thread_prefix(t1, candidate->size()).size() == 3)
+      trace = candidate;  // maybe-branch taken: t1 has 3 acquisitions
+  }
+  ASSERT_TRUE(trace.has_value()) << "never recorded the maybe-branch";
+
+  Detection det = detect(*trace);
+  ASSERT_FALSE(det.cycles.empty());
+  const PotentialDeadlock& cycle = det.cycles[0];
+  GeneratorResult gen = generate(cycle, det.dep);
+  ASSERT_TRUE(gen.feasible);
+
+  // Replay many times: some replays will have t2 set the flag early, making
+  // t1 skip the vertex the Gs references. The run must always terminate
+  // (deadlock or completion), never hit the step limit.
+  ReplayOptions options;
+  options.attempts = 50;
+  options.stop_on_first_hit = false;
+  options.seed = 23;
+  options.max_steps = 100000;
+  ReplayStats stats = replay(p, cycle, det.dep, gen.gs, options);
+  EXPECT_EQ(stats.step_limits, 0);
+  EXPECT_GT(stats.hits, 0);
+}
+
+TEST(ReplayerTest, ForceReleaseClearsBookkeeping) {
+  SyncDependencyGraph gs;
+  ExecIndex a{0, 1, 0}, b{1, 2, 0};
+  Digraph::Node na = gs.intern(GsVertex{0, a, 5});
+  Digraph::Node nb = gs.intern(GsVertex{1, b, 5});
+  gs.add_edge(na, nb, GsEdgeKind::kTypeC);
+  ReplayController controller(gs, {0, 1});
+  EXPECT_TRUE(controller.before_lock(1, b, 5));
+  Rng rng(1);
+  EXPECT_EQ(controller.force_release({1}, rng), 1);
+  // After a forced release the thread is no longer tracked as blocked; a
+  // later retirement must not re-release it.
+  Event acquire;
+  acquire.kind = EventKind::kLockAcquire;
+  acquire.thread = 0;
+  acquire.site = 1;
+  acquire.occurrence = 0;
+  acquire.lock = 5;
+  controller.on_event(acquire);
+  EXPECT_TRUE(controller.take_released().empty());
+}
+
+TEST(ReplayerTest, StopOnFirstHitShortens) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  const PotentialDeadlock* theta2 =
+      cycle_with_signature(det, {fig.s19, fig.s33});
+  ASSERT_NE(theta2, nullptr);
+  GeneratorResult gen = generate(*theta2, det.dep);
+  ReplayOptions options;
+  options.attempts = 50;
+  options.stop_on_first_hit = true;
+  options.seed = 5;
+  ReplayStats stats = replay(fig.program, *theta2, det.dep, gen.gs, options);
+  EXPECT_EQ(stats.attempts, 1);  // θ′2 replays deterministically
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(ReplayerTest, ReproducesKWayPhilosopherCycle) {
+  auto w = workloads::make_philosophers(4);
+  auto trace = sim::record_trace(w.program, 3);
+  ASSERT_TRUE(trace.has_value());
+  DetectorOptions det_options;
+  det_options.max_cycle_length = 4;
+  Detection det = detect(*trace, det_options);
+  ASSERT_EQ(det.cycles.size(), 1u);
+  ASSERT_EQ(det.cycles[0].tuple_idx.size(), 4u);
+  GeneratorResult gen = generate(det.cycles[0], det.dep);
+  ASSERT_TRUE(gen.feasible);
+  ReplayOptions options;
+  options.attempts = 10;
+  options.seed = 77;
+  ReplayStats stats =
+      replay(w.program, det.cycles[0], det.dep, gen.gs, options);
+  EXPECT_TRUE(stats.reproduced());
+}
+
+TEST(ReplayerTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(to_string(ReplayOutcome::kReproduced), "reproduced");
+  EXPECT_STREQ(to_string(ReplayOutcome::kOtherDeadlock), "other-deadlock");
+  EXPECT_STREQ(to_string(ReplayOutcome::kNoDeadlock), "no-deadlock");
+  EXPECT_STREQ(to_string(ReplayOutcome::kStepLimit), "step-limit");
+}
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,68 @@
+// Tests for the markdown report writer.
+#include <gtest/gtest.h>
+
+#include "core/report_writer.hpp"
+#include "workloads/collections.hpp"
+
+namespace wolf {
+namespace {
+
+WolfReport hashmap_report(sim::Program& out_program) {
+  auto w = workloads::make_collections_map("HashMap");
+  out_program = w.program;
+  WolfOptions options;
+  options.seed = 2014;
+  options.replay.attempts = 6;
+  return run_wolf(out_program, options);
+}
+
+TEST(ReportWriterTest, ContainsSummaryCounts) {
+  sim::Program program;
+  WolfReport report = hashmap_report(program);
+  std::string md = write_markdown_report(report, program.sites());
+  EXPECT_NE(md.find("# WOLF deadlock analysis"), std::string::npos);
+  EXPECT_NE(md.find("| Potential deadlock cycles | 4 |"), std::string::npos);
+  EXPECT_NE(md.find("| Source-location defects | 3 |"), std::string::npos);
+  EXPECT_NE(md.find("| Confirmed real (reproduced) | 2 |"),
+            std::string::npos);
+  EXPECT_NE(md.find("| False positives (Generator) | 1 |"),
+            std::string::npos);
+}
+
+TEST(ReportWriterTest, RankingSectionOrdersDefects) {
+  sim::Program program;
+  WolfReport report = hashmap_report(program);
+  std::string md = write_markdown_report(report, program.sites());
+  auto first = md.find("1. ");
+  auto last = md.find("3. ");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(last, std::string::npos);
+  // The generator-false θ4 defect must be ranked third.
+  EXPECT_NE(md.find("false(generator)", last), std::string::npos);
+}
+
+TEST(ReportWriterTest, SectionsCanBeDisabled) {
+  sim::Program program;
+  WolfReport report = hashmap_report(program);
+  ReportWriterOptions options;
+  options.include_ranking = false;
+  options.include_cycles = false;
+  options.include_timings = false;
+  options.title = "Custom title";
+  std::string md = write_markdown_report(report, program.sites(), options);
+  EXPECT_NE(md.find("# Custom title"), std::string::npos);
+  EXPECT_EQ(md.find("## Defects"), std::string::npos);
+  EXPECT_EQ(md.find("## Cycle detail"), std::string::npos);
+  EXPECT_EQ(md.find("## Phase timings"), std::string::npos);
+}
+
+TEST(ReportWriterTest, HandlesUnrecordedTrace) {
+  WolfReport report;
+  report.trace_recorded = false;
+  SiteTable sites;
+  std::string md = write_markdown_report(report, sites);
+  EXPECT_NE(md.find("No completed execution"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wolf

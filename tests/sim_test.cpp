@@ -1,0 +1,415 @@
+// Tests for the virtual-thread scheduler: program validation, lock
+// semantics (re-entrancy, blocking, waking), start/join, flags and jumps,
+// wait-for-cycle diagnosis, determinism, controller interaction, and the
+// step limit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/scheduler.hpp"
+#include "support/check.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+using sim::OpCode;
+using sim::Program;
+using sim::RunOutcome;
+using sim::RunResult;
+using sim::Scheduler;
+using sim::SchedulerOptions;
+using sim::ThreadStatus;
+
+// ---------------------------------------------------------------- Program
+
+TEST(ProgramTest, FinalizeRejectsUnstartedThread) {
+  Program p;
+  p.add_thread("main");
+  p.add_thread("orphan");
+  EXPECT_THROW(p.finalize(), CheckFailure);
+}
+
+TEST(ProgramTest, FinalizeRejectsDoubleStart) {
+  Program p;
+  ThreadId main = p.add_thread("main");
+  ThreadId child = p.add_thread("child");
+  SiteId s = p.site("spawn", 1);
+  p.start(main, child, s);
+  p.start(main, child, s);
+  EXPECT_THROW(p.finalize(), CheckFailure);
+}
+
+TEST(ProgramTest, FinalizeRejectsBadLock) {
+  Program p;
+  ThreadId main = p.add_thread("main");
+  sim::Op op;
+  op.code = OpCode::kLock;
+  op.lock = 7;  // no such lock
+  op.site = p.site("bad", 1);
+  p.emit(main, op);
+  EXPECT_THROW(p.finalize(), CheckFailure);
+}
+
+TEST(ProgramTest, FinalizeRejectsBadJumpTarget) {
+  Program p;
+  ThreadId main = p.add_thread("main");
+  p.jump(main, 99, p.site("jump", 1));
+  EXPECT_THROW(p.finalize(), CheckFailure);
+}
+
+TEST(ProgramTest, FinalizeDerivesParentAndCreateSite) {
+  Program p;
+  ThreadId main = p.add_thread("main");
+  ThreadId child = p.add_thread("child");
+  SiteId s = p.site("spawn", 1);
+  p.start(main, child, s);
+  p.join(main, child, p.site("join", 1));
+  p.finalize();
+  EXPECT_EQ(p.thread(child).parent, main);
+  EXPECT_EQ(p.thread(child).create_site, s);
+  EXPECT_EQ(p.thread(main).parent, kInvalidThread);
+}
+
+TEST(ProgramTest, PatchJumpValidatesOpKind) {
+  Program p;
+  ThreadId main = p.add_thread("main");
+  p.compute(main, p.site("c", 1));
+  EXPECT_THROW(p.patch_jump(main, 0, 0), CheckFailure);
+}
+
+// ---------------------------------------------------------------- Scheduler
+
+Program two_thread_abba() {
+  Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  LockId b = p.add_lock("B", p.site("alloc", 2));
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  p.lock(t1, a, p.site("t1.a", 1));
+  p.lock(t1, b, p.site("t1.b", 2));
+  p.unlock(t1, b, p.site("t1.ub", 3));
+  p.unlock(t1, a, p.site("t1.ua", 4));
+  p.lock(t2, b, p.site("t2.b", 1));
+  p.lock(t2, a, p.site("t2.a", 2));
+  p.unlock(t2, a, p.site("t2.ua", 3));
+  p.unlock(t2, b, p.site("t2.ub", 4));
+  p.start(main, t1, p.site("spawn", 1));
+  p.start(main, t2, p.site("spawn", 1));
+  p.join(main, t1, p.site("join", 1));
+  p.join(main, t2, p.site("join", 1));
+  p.finalize();
+  return p;
+}
+
+TEST(SchedulerTest, RunsSingleThreadToCompletion) {
+  Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  ThreadId main = p.add_thread("main");
+  p.lock(main, a, p.site("l", 1));
+  p.compute(main, p.site("c", 2));
+  p.unlock(main, a, p.site("u", 3));
+  p.finalize();
+
+  sim::RoundRobinPolicy policy;
+  Rng rng(1);
+  RunResult result = sim::run_program(p, policy, rng);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+}
+
+TEST(SchedulerTest, EmitsWellFormedTrace) {
+  Program p = two_thread_abba();
+  auto trace = sim::record_trace(p, 3);
+  ASSERT_TRUE(trace.has_value());
+  // Begin precedes every other event of a thread; acquire/release balance.
+  std::map<ThreadId, bool> begun;
+  std::map<std::pair<ThreadId, LockId>, int> depth;
+  for (const Event& e : trace->events) {
+    if (e.kind == EventKind::kThreadBegin) {
+      EXPECT_FALSE(begun[e.thread]);
+      begun[e.thread] = true;
+    } else {
+      EXPECT_TRUE(begun[e.thread]) << e.to_string();
+    }
+    if (e.kind == EventKind::kLockAcquire)
+      ++depth[std::make_pair(e.thread, e.lock)];
+    if (e.kind == EventKind::kLockRelease) {
+      int& d = depth[std::make_pair(e.thread, e.lock)];
+      --d;
+      EXPECT_GE(d, 0);
+    }
+  }
+  for (const auto& [key, d] : depth) EXPECT_EQ(d, 0);
+}
+
+TEST(SchedulerTest, SameSeedSameTrace) {
+  Program p = two_thread_abba();
+  auto t1 = sim::record_trace(p, 12345);
+  auto t2 = sim::record_trace(p, 12345);
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(t1->events, t2->events);
+}
+
+TEST(SchedulerTest, DeadlockDiagnosedWithCycleDetails) {
+  Program p = two_thread_abba();
+  // Force the deadlock with a fixed interleaving: t1 locks A, t2 locks B,
+  // then both block.
+  SchedulerOptions options;
+  Scheduler sched(p, options);
+  // main: spawn t1, spawn t2 (threads 1 and 2 become enabled).
+  sched.step(0);
+  sched.step(0);
+  sched.step(1);  // t1 locks A
+  sched.step(2);  // t2 locks B
+  sched.step(1);  // t1 blocks on B
+  EXPECT_FALSE(sched.deadlock_diagnosed());
+  sched.step(2);  // t2 blocks on A -> cycle
+  EXPECT_TRUE(sched.deadlock_diagnosed());
+  RunResult result = sched.result();
+  EXPECT_EQ(result.outcome, RunOutcome::kDeadlock);
+  ASSERT_EQ(result.deadlock_cycle.size(), 2u);
+  std::set<ThreadId> blocked;
+  for (const auto& b : result.deadlock_cycle) blocked.insert(b.thread);
+  EXPECT_EQ(blocked, (std::set<ThreadId>{1, 2}));
+  EXPECT_EQ(result.all_blocked.size(), 2u);
+}
+
+TEST(SchedulerTest, BlockedThreadWakesOnRelease) {
+  Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  p.lock(main, a, p.site("m.l", 1));
+  p.start(main, t1, p.site("m.s", 2));
+  p.compute(main, p.site("m.c", 3));
+  p.unlock(main, a, p.site("m.u", 4));
+  p.join(main, t1, p.site("m.j", 5));
+  p.lock(t1, a, p.site("t1.l", 1));
+  p.unlock(t1, a, p.site("t1.u", 2));
+  p.finalize();
+
+  Scheduler sched(p, {});
+  sched.step(0);  // main locks A
+  sched.step(0);  // main starts t1
+  sched.step(1);  // t1 blocks on A
+  EXPECT_EQ(sched.status(1), ThreadStatus::kBlockedOnLock);
+  sched.step(0);  // compute
+  sched.step(0);  // unlock -> t1 wakes
+  EXPECT_EQ(sched.status(1), ThreadStatus::kEnabled);
+  while (!sched.finished()) {
+    auto enabled = sched.enabled_threads();
+    ASSERT_FALSE(enabled.empty());
+    sched.step(enabled.front());
+  }
+  EXPECT_TRUE(sched.all_terminated());
+}
+
+TEST(SchedulerTest, ReentrantLockNeverBlocksAndEmitsOnce) {
+  Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  ThreadId main = p.add_thread("main");
+  p.lock(main, a, p.site("outer", 1));
+  p.lock(main, a, p.site("inner", 2));
+  p.unlock(main, a, p.site("iu", 3));
+  p.unlock(main, a, p.site("ou", 4));
+  p.finalize();
+
+  TraceRecorder recorder;
+  SchedulerOptions options;
+  options.sink = &recorder;
+  sim::RoundRobinPolicy policy;
+  Rng rng(1);
+  RunResult result = sim::run_program(p, policy, rng, options);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+  int acquires = 0, releases = 0;
+  for (const Event& e : recorder.trace().events) {
+    acquires += e.kind == EventKind::kLockAcquire;
+    releases += e.kind == EventKind::kLockRelease;
+  }
+  EXPECT_EQ(acquires, 1);
+  EXPECT_EQ(releases, 1);
+}
+
+TEST(SchedulerTest, UnlockingUnownedLockThrows) {
+  Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  ThreadId main = p.add_thread("main");
+  p.unlock(main, a, p.site("u", 1));
+  p.finalize();
+  Scheduler sched(p, {});
+  EXPECT_THROW(sched.step(0), CheckFailure);
+}
+
+TEST(SchedulerTest, TerminatingWhileHoldingLockThrows) {
+  Program p;
+  LockId a = p.add_lock("A", p.site("alloc", 1));
+  ThreadId main = p.add_thread("main");
+  p.lock(main, a, p.site("l", 1));
+  p.finalize();
+  Scheduler sched(p, {});
+  EXPECT_THROW(sched.step(0), CheckFailure);
+}
+
+TEST(SchedulerTest, FlagsAndJumpsImplementLoops) {
+  Program p;
+  int flag = p.add_flag();
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  // t1 spins until the flag is set.
+  int loop = p.compute(t1, p.site("spin", 1));
+  p.jump_if_flag(t1, flag, 0, loop, p.site("check", 2));
+  // main sets it after starting t1.
+  p.start(main, t1, p.site("spawn", 1));
+  p.compute(main, p.site("pad", 2));
+  p.set_flag(main, flag, 1, p.site("set", 3));
+  p.join(main, t1, p.site("join", 4));
+  p.finalize();
+
+  sim::RandomPolicy policy;
+  Rng rng(9);
+  RunResult result = sim::run_program(p, policy, rng);
+  EXPECT_EQ(result.outcome, RunOutcome::kCompleted);
+}
+
+TEST(SchedulerTest, StepLimitReported) {
+  Program p;
+  ThreadId main = p.add_thread("main");
+  int loop = p.compute(main, p.site("spin", 1));
+  p.jump(main, loop, p.site("again", 2));
+  p.finalize();
+
+  SchedulerOptions options;
+  options.max_steps = 100;
+  sim::RoundRobinPolicy policy;
+  Rng rng(1);
+  RunResult result = sim::run_program(p, policy, rng, options);
+  EXPECT_EQ(result.outcome, RunOutcome::kStepLimit);
+}
+
+TEST(SchedulerTest, JoinStallWithoutLockCycleIsDeadlock) {
+  // Two threads joining each other: no lock cycle, but nothing can run.
+  Program p;
+  ThreadId main = p.add_thread("main");
+  ThreadId t1 = p.add_thread("t1");
+  ThreadId t2 = p.add_thread("t2");
+  p.join(t1, t2, p.site("t1.join", 1));
+  p.join(t2, t1, p.site("t2.join", 1));
+  p.start(main, t1, p.site("spawn", 1));
+  p.start(main, t2, p.site("spawn", 2));
+  p.join(main, t1, p.site("join", 3));
+  p.finalize();
+
+  sim::RandomPolicy policy;
+  Rng rng(4);
+  RunResult result = sim::run_program(p, policy, rng);
+  EXPECT_EQ(result.outcome, RunOutcome::kDeadlock);
+  EXPECT_TRUE(result.deadlock_cycle.empty());
+}
+
+TEST(SchedulerTest, StateHashDistinguishesProgress) {
+  Program p = two_thread_abba();
+  Scheduler a(p, {});
+  Scheduler b(p, {});
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  a.step(0);
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  b.step(0);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+TEST(SchedulerTest, CopiedSchedulerDivergesIndependently) {
+  Program p = two_thread_abba();
+  Scheduler a(p, {});
+  a.step(0);
+  a.step(0);
+  Scheduler fork = a;  // explorer-style branch
+  a.step(1);
+  EXPECT_NE(a.pc(1), fork.pc(1));
+  fork.step(2);
+  EXPECT_EQ(fork.pc(1), 0);
+}
+
+// Controller interaction: a controller that pauses the first acquisition of
+// a given thread until another thread has acquired once.
+class OneShotPause final : public sim::ScheduleController {
+ public:
+  explicit OneShotPause(ThreadId victim) : victim_(victim) {}
+  bool before_lock(ThreadId t, const ExecIndex&, LockId) override {
+    if (t == victim_ && !released_once_) {
+      paused_ = true;
+      return true;
+    }
+    return false;
+  }
+  void on_event(const Event& e) override {
+    if (e.kind == EventKind::kLockAcquire && e.thread != victim_ && paused_) {
+      released_once_ = true;
+      release_ = true;
+    }
+  }
+  std::vector<ThreadId> take_released() override {
+    if (!release_) return {};
+    release_ = false;
+    return {victim_};
+  }
+
+ private:
+  ThreadId victim_;
+  bool paused_ = false;
+  bool released_once_ = false;
+  bool release_ = false;
+};
+
+TEST(SchedulerTest, ControllerPauseAndReleaseRoundTrip) {
+  Program p = two_thread_abba();
+  OneShotPause controller(1);
+  SchedulerOptions options;
+  options.controller = &controller;
+  sim::RandomPolicy policy;
+  Rng rng(8);
+  Scheduler sched(p, options);
+  RunResult result = sim::run(sched, policy, rng);
+  // The run must finish one way or the other; pausing t1 until t2 acquired
+  // makes the AB/BA deadlock very likely but scheduling may avoid it.
+  EXPECT_NE(result.outcome, RunOutcome::kStepLimit);
+}
+
+TEST(SchedulerTest, AllPausedForceReleasesOne) {
+  // A controller that pauses every first acquisition forever; the run-loop
+  // must force-release threads rather than wedge.
+  class PauseAll final : public sim::ScheduleController {
+   public:
+    bool before_lock(ThreadId, const ExecIndex&, LockId) override {
+      return true;
+    }
+  };
+  Program p = two_thread_abba();
+  PauseAll controller;
+  SchedulerOptions options;
+  options.controller = &controller;
+  sim::RandomPolicy policy;
+  Rng rng(8);
+  RunResult result = sim::run_program(p, policy, rng, options);
+  EXPECT_NE(result.outcome, RunOutcome::kStepLimit);
+}
+
+TEST(SchedulerTest, Figure4RunsToCompletionOrDiagnosedDeadlock) {
+  auto fig = workloads::make_figure4();
+  int completed = 0, deadlocked = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    sim::RandomPolicy policy;
+    Rng rng(seed);
+    RunResult result = sim::run_program(fig.program, policy, rng);
+    completed += result.outcome == RunOutcome::kCompleted;
+    deadlocked += result.outcome == RunOutcome::kDeadlock;
+  }
+  EXPECT_EQ(completed + deadlocked, 30);
+  EXPECT_GT(completed, 0);  // θ2 is timing-dependent
+}
+
+}  // namespace
+}  // namespace wolf

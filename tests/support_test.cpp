@@ -1,0 +1,288 @@
+// Unit tests for the support utilities: RNG, stats, tables, flags, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/flags.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace wolf {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::map<std::uint64_t, int> histogram;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) ++histogram[rng.below(8)];
+  for (const auto& [bucket, count] : histogram) {
+    EXPECT_GT(count, kSamples / 8 * 0.85) << "bucket " << bucket;
+    EXPECT_LT(count, kSamples / 8 * 1.15) << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(42);
+  Rng fork1 = a.fork();
+  Rng b(42);
+  Rng fork2 = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fork1(), fork2());
+}
+
+TEST(RngTest, Mix64IsStable) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StatsTest, EmptyDefaults) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, MeanAndSum) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(StatsTest, StddevMatchesHandComputation) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Sample stddev (n-1): variance = 32/7.
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  Stats s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(StatsTest, PercentileSingleSample) {
+  Stats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.5);
+}
+
+TEST(StatsTest, PercentileAfterLaterAdd) {
+  Stats s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // sorted cache must invalidate
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(StatsTest, ClearResets) {
+  Stats s;
+  s.add(1);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+// ---------------------------------------------------------------- TextTable
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(TextTableTest, NumAndPctFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllForms) {
+  Flags flags;
+  flags.define_int("n", 1, "int");
+  flags.define_bool("verbose", false, "bool");
+  flags.define_string("name", "x", "string");
+  const char* argv[] = {"prog", "--n=5", "--verbose", "--name", "hello"};
+  ASSERT_TRUE(flags.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("n"), 5);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_string("name"), "hello");
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyArgv) {
+  Flags flags;
+  flags.define_int("n", 7, "int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("n"), 7);
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  Flags flags;
+  flags.define_int("n", 7, "int");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagsTest, RejectsBadInt) {
+  Flags flags;
+  flags.define_int("n", 7, "int");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  Flags flags;
+  flags.define_bool("x", true, "bool");
+  const char* argv[] = {"prog", "--x=false"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(flags.get_bool("x"));
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Flags flags;
+  flags.define_string("s", "", "string");
+  const char* argv[] = {"prog", "--s"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+// ---------------------------------------------------------------- str
+
+TEST(StrTest, SplitBasic) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrTest, SplitNoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrTest, TrimWhitespace) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(StrTest, ParseInt) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int(" -7 ", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("12x", v));
+}
+
+TEST(StrTest, Join) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+}
+
+// ---------------------------------------------------------------- check
+
+TEST(CheckTest, FailureCarriesMessage) {
+  try {
+    WOLF_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(WOLF_CHECK(1 + 1 == 2));
+}
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,94 @@
+#include "testutil.hpp"
+
+#include <algorithm>
+
+namespace wolf::test {
+
+namespace {
+
+// Emits one well-nested lock region for `thread`, choosing locks uniformly
+// (re-acquiring a held lock exercises re-entrancy on purpose).
+void emit_block(sim::Program& p, Rng& rng, const RandomProgramConfig& config,
+                ThreadId thread, const std::vector<LockId>& locks, int depth,
+                int& site_counter) {
+  auto fresh_site = [&] {
+    return p.site("rand.t" + std::to_string(thread), site_counter++);
+  };
+  LockId lock = locks[rng.index(locks)];
+  p.lock(thread, lock, fresh_site());
+  if (depth < config.max_nesting && rng.chance(config.nest_probability)) {
+    emit_block(p, rng, config, thread, locks, depth + 1, site_counter);
+  } else if (rng.chance(0.5)) {
+    p.compute(thread, fresh_site());
+  }
+  p.unlock(thread, lock, fresh_site());
+}
+
+}  // namespace
+
+sim::Program random_program(Rng& rng, const RandomProgramConfig& config) {
+  sim::Program p;
+  p.name = "random";
+  int site_counter = 0;
+
+  std::vector<LockId> locks;
+  for (int l = 0; l < config.locks; ++l)
+    locks.push_back(
+        p.add_lock("L" + std::to_string(l), p.site("rand.alloc", l)));
+
+  ThreadId main = p.add_thread("main");
+  std::vector<ThreadId> workers;
+  for (int w = 0; w < config.workers; ++w)
+    workers.push_back(p.add_thread("w" + std::to_string(w)));
+
+  // Worker bodies.
+  for (ThreadId w : workers) {
+    const int blocks = 1 + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(
+                                   config.blocks_per_worker)));
+    for (int b = 0; b < blocks; ++b)
+      emit_block(p, rng, config, w, locks, 1, site_counter);
+  }
+
+  // Start/join topology: worker i is started either by main or (sometimes)
+  // by worker i-1 *after* that worker's lock blocks — the start-ordering
+  // structure the Pruner reasons about; main sometimes joins a worker before
+  // starting the next, creating non-overlap regions.
+  std::vector<ThreadId> joined;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const bool chained =
+        i > 0 && rng.chance(config.chained_start_probability);
+    if (chained) {
+      sim::Op op;
+      op.code = sim::OpCode::kStart;
+      op.target_thread = workers[i];
+      op.site = p.site("rand.chain", site_counter++);
+      p.emit(workers[i - 1], op);
+    } else {
+      p.start(main, workers[i],
+              p.site("rand.spawn", site_counter++));
+      if (rng.chance(config.early_join_probability)) {
+        p.join(main, workers[i], p.site("rand.earlyjoin", site_counter++));
+        joined.push_back(workers[i]);
+      }
+    }
+  }
+  for (ThreadId w : workers) {
+    if (std::find(joined.begin(), joined.end(), w) == joined.end())
+      p.join(main, w, p.site("rand.join", site_counter++));
+  }
+
+  p.finalize();
+  return p;
+}
+
+std::vector<SiteId> deadlock_signature(const sim::RunResult& result) {
+  std::vector<SiteId> sig;
+  sig.reserve(result.deadlock_cycle.size());
+  for (const sim::BlockedAt& b : result.deadlock_cycle)
+    sig.push_back(b.index.site);
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace wolf::test

@@ -1,0 +1,201 @@
+// Tests for the trace layer: ids, execution indices, events, recording and
+// serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "trace/event.hpp"
+#include "trace/exec_index.hpp"
+#include "trace/ids.hpp"
+#include "trace/recorder.hpp"
+#include "trace/serialize.hpp"
+
+namespace wolf {
+namespace {
+
+Event make_event(EventKind kind, ThreadId t, SiteId site = 0,
+                 std::int32_t occ = 0, LockId lock = kInvalidLock,
+                 ThreadId other = kInvalidThread) {
+  Event e;
+  e.kind = kind;
+  e.thread = t;
+  e.site = site;
+  e.occurrence = occ;
+  e.lock = lock;
+  e.other = other;
+  return e;
+}
+
+// ---------------------------------------------------------------- SiteTable
+
+TEST(SiteTableTest, InternDeduplicates) {
+  SiteTable sites;
+  SiteId a = sites.intern("Foo.bar", 10);
+  SiteId b = sites.intern("Foo.bar", 10);
+  SiteId c = sites.intern("Foo.bar", 11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(sites.size(), 2);
+}
+
+TEST(SiteTableTest, NameFormatsFunctionAndLine) {
+  SiteTable sites;
+  SiteId a = sites.intern("Foo.bar", 10);
+  EXPECT_EQ(sites.name(a), "Foo.bar:10");
+  EXPECT_EQ(sites.name(kInvalidSite), "<none>");
+}
+
+TEST(SiteTableTest, BadIdThrows) {
+  SiteTable sites;
+  EXPECT_THROW(sites.loc(0), CheckFailure);
+}
+
+// ---------------------------------------------------------------- ExecIndex
+
+TEST(ExecIndexTest, EqualityAndOrdering) {
+  ExecIndex a{1, 5, 0};
+  ExecIndex b{1, 5, 0};
+  ExecIndex c{1, 5, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(ExecIndexTest, HashDistinguishesFields) {
+  ExecIndexHash hash;
+  EXPECT_EQ(hash(ExecIndex{1, 2, 3}), hash(ExecIndex{1, 2, 3}));
+  EXPECT_NE(hash(ExecIndex{1, 2, 3}), hash(ExecIndex{1, 3, 2}));
+  EXPECT_NE(hash(ExecIndex{1, 2, 3}), hash(ExecIndex{2, 2, 3}));
+}
+
+TEST(ExecIndexTest, ToStringMentionsOccurrenceOnlyWhenNonZero) {
+  EXPECT_EQ((ExecIndex{1, 2, 0}).to_string(), "t1@s2");
+  EXPECT_EQ((ExecIndex{1, 2, 3}).to_string(), "t1@s2#3");
+}
+
+TEST(ExecIndexTest, Validity) {
+  EXPECT_FALSE(ExecIndex{}.valid());
+  EXPECT_TRUE((ExecIndex{0, 0, 0}).valid());
+}
+
+// ---------------------------------------------------------------- Trace
+
+TEST(TraceTest, ThreadsCollectsActorsAndTargets) {
+  Trace trace;
+  trace.events.push_back(make_event(EventKind::kThreadBegin, 0));
+  trace.events.push_back(
+      make_event(EventKind::kThreadStart, 0, 1, 0, kInvalidLock, 2));
+  auto threads = trace.threads();
+  EXPECT_EQ(threads, (std::vector<ThreadId>{0, 2}));
+  EXPECT_EQ(trace.max_thread_id(), 2);
+}
+
+TEST(TraceTest, EmptyTraceDefaults) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.max_thread_id(), -1);
+  EXPECT_TRUE(trace.threads().empty());
+}
+
+TEST(EventTest, ToStringIsInformative) {
+  Event e = make_event(EventKind::kLockAcquire, 3, 7, 1, 9);
+  e.seq = 12;
+  std::string s = e.to_string();
+  EXPECT_NE(s.find("#12"), std::string::npos);
+  EXPECT_NE(s.find("t3"), std::string::npos);
+  EXPECT_NE(s.find("acquire"), std::string::npos);
+  EXPECT_NE(s.find("lock=9"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Recorder
+
+TEST(RecorderTest, AssignsMonotonicSequence) {
+  TraceRecorder recorder;
+  for (int i = 0; i < 5; ++i)
+    recorder.on_event(make_event(EventKind::kThreadBegin, i));
+  const Trace& trace = recorder.trace();
+  ASSERT_EQ(trace.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(trace.events[i].seq, i);
+}
+
+TEST(RecorderTest, TakeResetsSequence) {
+  TraceRecorder recorder;
+  recorder.on_event(make_event(EventKind::kThreadBegin, 0));
+  Trace first = recorder.take();
+  EXPECT_EQ(first.size(), 1u);
+  recorder.on_event(make_event(EventKind::kThreadBegin, 1));
+  EXPECT_EQ(recorder.trace().events[0].seq, 0u);
+}
+
+TEST(RecorderTest, NullSinkDiscards) {
+  NullSink sink;
+  sink.on_event(make_event(EventKind::kThreadBegin, 0));  // no crash
+}
+
+// ---------------------------------------------------------------- Serialize
+
+Trace sample_trace() {
+  Trace trace;
+  std::uint64_t seq = 0;
+  auto push = [&](Event e) {
+    e.seq = seq++;
+    trace.events.push_back(e);
+  };
+  push(make_event(EventKind::kThreadBegin, 0));
+  push(make_event(EventKind::kThreadStart, 0, 1, 0, kInvalidLock, 1));
+  push(make_event(EventKind::kThreadBegin, 1));
+  push(make_event(EventKind::kLockAcquire, 1, 2, 0, 5));
+  push(make_event(EventKind::kLockRelease, 1, 3, 0, 5));
+  push(make_event(EventKind::kThreadEnd, 1));
+  push(make_event(EventKind::kThreadJoin, 0, 4, 0, kInvalidLock, 1));
+  push(make_event(EventKind::kThreadEnd, 0));
+  return trace;
+}
+
+TEST(SerializeTest, RoundTripsExactly) {
+  Trace original = sample_trace();
+  std::string text = trace_to_string(original);
+  std::string error;
+  auto parsed = trace_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->events, original.events);
+}
+
+TEST(SerializeTest, HeaderIsRequired) {
+  std::string error;
+  EXPECT_EQ(trace_from_string("0 begin 0 0 0 -1 -1\n", &error), std::nullopt);
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(SerializeTest, MalformedLineReportsLineNumber) {
+  std::string text = "# wolf-trace v1\n0 begin 0 0 0 -1 -1\nnot an event\n";
+  std::string error;
+  EXPECT_EQ(trace_from_string(text, &error), std::nullopt);
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(SerializeTest, UnknownKindRejected) {
+  std::string text = "# wolf-trace v1\n0 frobnicate 0 0 0 -1 -1\n";
+  std::string error;
+  EXPECT_EQ(trace_from_string(text, &error), std::nullopt);
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  std::string text =
+      "# wolf-trace v1\n\n# a comment\n0 begin 0 0 0 -1 -1\n";
+  auto parsed = trace_from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(SerializeTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  auto parsed = trace_from_string(trace_to_string(empty));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace wolf

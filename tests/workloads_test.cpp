@@ -1,0 +1,149 @@
+// Detection-count contracts for the benchmark suite: each workload's cycle
+// and defect counts (which Tables 1–2 depend on) are structural properties
+// of the programs and must be stable across recording seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/detector.hpp"
+#include "core/pruner.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/cache4j.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/jigsaw.hpp"
+#include "workloads/logging.hpp"
+#include "workloads/slowdown.hpp"
+#include "workloads/suite.hpp"
+
+namespace wolf {
+namespace {
+
+Detection detect_program(const sim::Program& program, std::uint64_t seed,
+                         std::uint64_t max_steps = 2'000'000) {
+  auto trace = sim::record_trace(program, seed, 60, max_steps);
+  EXPECT_TRUE(trace.has_value()) << program.name;
+  return detect(*trace);
+}
+
+TEST(WorkloadsTest, Cache4jIsDeadlockFree) {
+  Detection det = detect_program(workloads::make_cache4j(), 1);
+  EXPECT_TRUE(det.cycles.empty());
+}
+
+TEST(WorkloadsTest, ListFamilyHasNineCyclesSixDefects) {
+  for (const char* kind : {"ArrayList", "Stack", "LinkedList"}) {
+    Detection det =
+        detect_program(workloads::make_collections_list(kind).program, 7);
+    EXPECT_EQ(det.cycles.size(), 9u) << kind;
+    EXPECT_EQ(det.defects.size(), 6u) << kind;
+    // None are pruned — the workers genuinely overlap.
+    for (PruneVerdict v : prune(det))
+      EXPECT_EQ(v, PruneVerdict::kUnknown) << kind;
+  }
+}
+
+TEST(WorkloadsTest, MapFamilyHasFourCyclesThreeDefects) {
+  for (const char* kind : {"HashMap", "TreeMap", "WeakHashMap",
+                           "LinkedHashMap", "IdentityHashMap"}) {
+    Detection det =
+        detect_program(workloads::make_collections_map(kind).program, 7);
+    EXPECT_EQ(det.cycles.size(), 4u) << kind;
+    EXPECT_EQ(det.defects.size(), 3u) << kind;
+  }
+}
+
+TEST(WorkloadsTest, LoggingHasTwoRealCycles) {
+  Detection det = detect_program(workloads::make_logging().program, 7);
+  EXPECT_EQ(det.cycles.size(), 2u);
+  EXPECT_EQ(det.defects.size(), 2u);
+  for (PruneVerdict v : prune(det)) EXPECT_EQ(v, PruneVerdict::kUnknown);
+}
+
+TEST(WorkloadsTest, JigsawTaxonomyMatchesDesign) {
+  auto w = workloads::make_jigsaw();
+  Detection det = detect_program(w.program, 2014, 400000);
+  EXPECT_EQ(det.defects.size(), 30u);  // 7 + 6 + 17, like the paper's 30
+
+  auto verdicts = prune(det);
+  // Defect-level pruning: exactly the 7 ThreadCache instances.
+  std::set<DefectSignature> pruned_defects;
+  for (std::size_t c = 0; c < det.cycles.size(); ++c)
+    if (is_false(verdicts[c]))
+      pruned_defects.insert(signature_of(det.cycles[c], det.dep));
+  EXPECT_EQ(pruned_defects.size(), 7u);
+}
+
+TEST(WorkloadsTest, JigsawCountsScaleWithConfig) {
+  workloads::JigsawConfig config;
+  config.fig1_instances = 2;
+  config.data_dep_instances = 3;
+  auto w = workloads::make_jigsaw(config);
+  Detection det = detect_program(w.program, 5, 400000);
+  EXPECT_EQ(det.defects.size(), 2u + 6u + 3u);
+}
+
+TEST(WorkloadsTest, DetectionCountsAreSeedIndependent) {
+  auto w = workloads::make_collections_list("Stack");
+  std::set<std::size_t> cycle_counts, defect_counts;
+  for (std::uint64_t seed : {1ULL, 99ULL, 12345ULL}) {
+    Detection det = detect_program(w.program, seed);
+    cycle_counts.insert(det.cycles.size());
+    defect_counts.insert(det.defects.size());
+  }
+  EXPECT_EQ(cycle_counts.size(), 1u);
+  EXPECT_EQ(defect_counts.size(), 1u);
+}
+
+TEST(WorkloadsTest, StandardSuiteHasElevenBenchmarksInPaperOrder) {
+  auto suite = workloads::standard_suite();
+  ASSERT_EQ(suite.size(), 11u);
+  EXPECT_EQ(suite[0].name, "cache4j");
+  EXPECT_EQ(suite[1].name, "Jigsaw");
+  EXPECT_EQ(suite[2].name, "JavaLogging");
+  EXPECT_EQ(suite.back().name, "IdentityHashMap");
+  // Paper totals embedded in the rows must sum to Table 1's counts.
+  int detected = 0, fp = 0, tp_wolf = 0, tp_df = 0;
+  for (const auto& b : suite) {
+    detected += b.paper.detected;
+    fp += b.paper.fp_pruner + b.paper.fp_generator;
+    tp_wolf += b.paper.tp_wolf;
+    tp_df += b.paper.tp_df;
+  }
+  EXPECT_EQ(detected, 65);
+  EXPECT_EQ(fp, 12);
+  EXPECT_EQ(tp_wolf, 36);
+  EXPECT_EQ(tp_df, 23);
+}
+
+TEST(WorkloadsTest, FindBenchmarkLooksUpAndThrows) {
+  auto suite = workloads::standard_suite();
+  EXPECT_EQ(workloads::find_benchmark(suite, "Jigsaw").name, "Jigsaw");
+  EXPECT_THROW(workloads::find_benchmark(suite, "nope"), CheckFailure);
+}
+
+TEST(WorkloadsTest, SlowdownMirrorIsDeadlockFree) {
+  workloads::SlowdownProfile profile;
+  profile.ops_per_thread = 50;
+  sim::Program p = workloads::make_slowdown_mirror("test", profile);
+  Detection det = detect_program(p, 3);
+  EXPECT_TRUE(det.cycles.empty());
+}
+
+TEST(WorkloadsTest, ListFamilySignaturesAreMethodPairs) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 7);
+  std::set<DefectSignature> signatures;
+  for (const Defect& d : det.defects) signatures.insert(d.signature);
+  // All six unordered pairs over the three inner sites.
+  std::set<DefectSignature> expected;
+  for (int i = 0; i < 3; ++i)
+    for (int j = i; j < 3; ++j) {
+      DefectSignature sig{w.sites.inner[i], w.sites.inner[j]};
+      std::sort(sig.begin(), sig.end());
+      expected.insert(sig);
+    }
+  EXPECT_EQ(signatures, expected);
+}
+
+}  // namespace
+}  // namespace wolf

@@ -1,0 +1,230 @@
+// wolf — command-line front end to the WOLF pipeline.
+//
+//   wolf record   --workload=HashMap --seed=7 --out=trace.txt
+//   wolf detect   --workload=HashMap --trace=trace.txt [--magic-prune]
+//   wolf analyze  --workload=HashMap [--trace=trace.txt] [--rank]
+//   wolf replay   --workload=HashMap --cycle=2 --attempts=10 [--rt]
+//   wolf list
+//
+// Workloads are the built-in benchmark suite plus the paper's figure
+// programs; `record` serializes a trace to disk, `detect`/`analyze` consume
+// a recorded trace (or record one on the fly), `replay` reproduces one
+// detected cycle — optionally on real OS threads (--rt).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/magic_prune.hpp"
+#include "core/pipeline.hpp"
+#include "core/ranking.hpp"
+#include "core/report_writer.hpp"
+#include "rt/replay_rt.hpp"
+#include "support/flags.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/suite.hpp"
+
+using namespace wolf;
+
+namespace {
+
+std::optional<sim::Program> find_workload(const std::string& name) {
+  for (workloads::Benchmark& b : workloads::standard_suite())
+    if (b.name == name) return std::move(b.program);
+  if (name == "figure1") return workloads::make_figure1().program;
+  if (name == "figure2") return workloads::make_figure2().program;
+  if (name == "figure4") return workloads::make_figure4().program;
+  if (name == "figure9") return workloads::make_figure9().program;
+  if (name == "philosophers") return workloads::make_philosophers(4).program;
+  return std::nullopt;
+}
+
+void list_workloads() {
+  std::cout << "built-in workloads:\n";
+  for (const workloads::Benchmark& b : workloads::standard_suite())
+    std::cout << "  " << b.name << '\n';
+  for (const char* f :
+       {"figure1", "figure2", "figure4", "figure9", "philosophers"})
+    std::cout << "  " << f << '\n';
+}
+
+std::optional<Trace> load_or_record(const sim::Program& program,
+                                    const std::string& trace_path,
+                                    std::uint64_t seed) {
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::cerr << "cannot open " << trace_path << '\n';
+      return std::nullopt;
+    }
+    std::string error;
+    auto trace = read_trace(in, &error);
+    if (!trace) std::cerr << "bad trace: " << error << '\n';
+    return trace;
+  }
+  auto trace = sim::record_trace(program, seed, 60);
+  if (!trace) std::cerr << "every recording run deadlocked\n";
+  return trace;
+}
+
+int cmd_record(const sim::Program& program, const Flags& flags) {
+  auto trace = sim::record_trace(
+      program, static_cast<std::uint64_t>(flags.get_int("seed")), 60);
+  if (!trace) {
+    std::cerr << "every recording run deadlocked\n";
+    return 1;
+  }
+  const std::string out = flags.get_string("out");
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  write_trace(os, *trace);
+  std::cout << "recorded " << trace->size() << " events -> " << out << '\n';
+  return 0;
+}
+
+int cmd_detect(const sim::Program& program, const Flags& flags) {
+  auto trace =
+      load_or_record(program, flags.get_string("trace"),
+                     static_cast<std::uint64_t>(flags.get_int("seed")));
+  if (!trace) return 1;
+
+  DetectorOptions options;
+  options.magic_prune = flags.get_bool("magic-prune");
+  Detection det = detect(*trace, options);
+  auto verdicts = prune(det);
+
+  std::cout << det.dep.tuples.size() << " tuples ("
+            << det.dep.unique.size() << " canonical), "
+            << det.cycles.size() << " cycles, " << det.defects.size()
+            << " defects\n";
+  for (std::size_t c = 0; c < det.cycles.size(); ++c) {
+    std::cout << "cycle " << c << ": "
+              << det.cycles[c].to_string(det.dep) << "\n  sites:";
+    for (SiteId s : signature_of(det.cycles[c], det.dep))
+      std::cout << ' ' << program.sites().name(s);
+    std::cout << "\n  pruner: " << to_string(verdicts[c]);
+    if (!is_false(verdicts[c])) {
+      GeneratorResult gen = generate(det.cycles[c], det.dep);
+      std::cout << ", Gs: " << gen.gs.vertex_count() << " vertices, "
+                << (gen.feasible ? "acyclic" : "CYCLIC (false positive)");
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_analyze(const sim::Program& program, const Flags& flags) {
+  WolfOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.replay.attempts = static_cast<int>(flags.get_int("attempts"));
+
+  WolfReport report;
+  const std::string trace_path = flags.get_string("trace");
+  if (!trace_path.empty()) {
+    auto trace = load_or_record(program, trace_path, options.seed);
+    if (!trace) return 1;
+    report = analyze_trace(program, *trace, options);
+  } else {
+    report = run_wolf(program, options);
+    if (!report.trace_recorded) {
+      std::cerr << "every recording run deadlocked\n";
+      return 1;
+    }
+  }
+
+  const std::string report_path = flags.get_string("report");
+  if (!report_path.empty()) {
+    std::ofstream os(report_path);
+    if (!os) {
+      std::cerr << "cannot write " << report_path << '\n';
+      return 1;
+    }
+    os << write_markdown_report(report, program.sites());
+    std::cout << "report written to " << report_path << '\n';
+  }
+  std::cout << report.summary(program.sites());
+  if (flags.get_bool("rank"))
+    std::cout << "\nranking (most actionable first):\n"
+              << format_ranking(report, program.sites());
+  return 0;
+}
+
+int cmd_replay(const sim::Program& program, const Flags& flags) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed"));
+  auto trace = load_or_record(program, flags.get_string("trace"), seed);
+  if (!trace) return 1;
+  Detection det = detect(*trace);
+  const auto cycle_index =
+      static_cast<std::size_t>(flags.get_int("cycle"));
+  if (cycle_index >= det.cycles.size()) {
+    std::cerr << "cycle " << cycle_index << " out of range (have "
+              << det.cycles.size() << ")\n";
+    return 1;
+  }
+  GeneratorResult gen = generate(det.cycles[cycle_index], det.dep);
+  if (!gen.feasible) {
+    std::cout << "Gs is cyclic: this cycle is a false positive; nothing to "
+                 "replay\n";
+    return 0;
+  }
+  ReplayOptions options;
+  options.attempts = static_cast<int>(flags.get_int("attempts"));
+  options.seed = seed + 1;
+  ReplayStats stats =
+      flags.get_bool("rt")
+          ? rt::replay_rt(program, det.cycles[cycle_index], det.dep, gen.gs,
+                          options)
+          : replay(program, det.cycles[cycle_index], det.dep, gen.gs,
+                   options);
+  std::cout << (stats.reproduced() ? "REPRODUCED" : "not reproduced")
+            << " after " << stats.attempts << " attempt(s) [hits "
+            << stats.hits << ", other-deadlocks " << stats.other_deadlocks
+            << ", clean " << stats.no_deadlocks << "]\n";
+  return stats.reproduced() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: wolf <record|detect|analyze|replay|list> [flags]\n";
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "list") {
+    list_workloads();
+    return 0;
+  }
+
+  Flags flags;
+  flags.define_string("workload", "", "built-in workload name (see `list`)");
+  flags.define_string("trace", "", "path to a recorded trace (optional)");
+  flags.define_string("out", "trace.txt", "output path for `record`");
+  flags.define_int("seed", 2014, "seed");
+  flags.define_int("attempts", 10, "replay attempts");
+  flags.define_int("cycle", 0, "cycle index for `replay`");
+  flags.define_bool("magic-prune", false, "MagicFuzzer tuple reduction");
+  flags.define_bool("rank", false, "print the defect ranking");
+  flags.define_bool("rt", false, "replay on real OS threads");
+  flags.define_string("report", "", "write a markdown report to this path");
+  if (!flags.parse(argc - 1, argv + 1)) return 1;
+
+  auto program = find_workload(flags.get_string("workload"));
+  if (!program) {
+    std::cerr << "unknown workload '" << flags.get_string("workload")
+              << "'; try `wolf list`\n";
+    return 1;
+  }
+
+  if (command == "record") return cmd_record(*program, flags);
+  if (command == "detect") return cmd_detect(*program, flags);
+  if (command == "analyze") return cmd_analyze(*program, flags);
+  if (command == "replay") return cmd_replay(*program, flags);
+  std::cerr << "unknown command '" << command << "'\n";
+  return 1;
+}
