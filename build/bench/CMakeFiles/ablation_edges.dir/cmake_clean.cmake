@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edges.dir/ablation_edges.cpp.o"
+  "CMakeFiles/ablation_edges.dir/ablation_edges.cpp.o.d"
+  "ablation_edges"
+  "ablation_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hitrate.dir/fig8_hitrate.cpp.o"
+  "CMakeFiles/fig8_hitrate.dir/fig8_hitrate.cpp.o.d"
+  "fig8_hitrate"
+  "fig8_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

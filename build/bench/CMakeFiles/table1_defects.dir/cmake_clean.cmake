@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_defects.dir/table1_defects.cpp.o"
+  "CMakeFiles/table1_defects.dir/table1_defects.cpp.o.d"
+  "table1_defects"
+  "table1_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cycles.dir/table2_cycles.cpp.o"
+  "CMakeFiles/table2_cycles.dir/table2_cycles.cpp.o.d"
+  "table2_cycles"
+  "table2_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_benchutil.dir/suite_runner.cpp.o"
+  "CMakeFiles/wolf_benchutil.dir/suite_runner.cpp.o.d"
+  "libwolf_benchutil.a"
+  "libwolf_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collections_audit.dir/collections_audit.cpp.o"
+  "CMakeFiles/collections_audit.dir/collections_audit.cpp.o.d"
+  "collections_audit"
+  "collections_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collections_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

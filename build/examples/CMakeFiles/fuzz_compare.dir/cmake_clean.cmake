@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_compare.dir/fuzz_compare.cpp.o"
+  "CMakeFiles/fuzz_compare.dir/fuzz_compare.cpp.o.d"
+  "fuzz_compare"
+  "fuzz_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_replay.dir/webserver_replay.cpp.o"
+  "CMakeFiles/webserver_replay.dir/webserver_replay.cpp.o.d"
+  "webserver_replay"
+  "webserver_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

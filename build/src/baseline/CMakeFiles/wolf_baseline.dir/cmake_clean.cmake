@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_baseline.dir/deadlock_fuzzer.cpp.o"
+  "CMakeFiles/wolf_baseline.dir/deadlock_fuzzer.cpp.o.d"
+  "CMakeFiles/wolf_baseline.dir/df_pipeline.cpp.o"
+  "CMakeFiles/wolf_baseline.dir/df_pipeline.cpp.o.d"
+  "libwolf_baseline.a"
+  "libwolf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

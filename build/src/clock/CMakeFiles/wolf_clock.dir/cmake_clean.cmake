@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_clock.dir/clock_tracker.cpp.o"
+  "CMakeFiles/wolf_clock.dir/clock_tracker.cpp.o.d"
+  "libwolf_clock.a"
+  "libwolf_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

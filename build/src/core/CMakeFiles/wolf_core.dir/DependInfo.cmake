@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/wolf_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/wolf_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/lock_dependency.cpp" "src/core/CMakeFiles/wolf_core.dir/lock_dependency.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/lock_dependency.cpp.o.d"
+  "/root/repo/src/core/magic_prune.cpp" "src/core/CMakeFiles/wolf_core.dir/magic_prune.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/magic_prune.cpp.o.d"
+  "/root/repo/src/core/multi.cpp" "src/core/CMakeFiles/wolf_core.dir/multi.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/multi.cpp.o.d"
+  "/root/repo/src/core/online_sink.cpp" "src/core/CMakeFiles/wolf_core.dir/online_sink.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/online_sink.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/wolf_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/pruner.cpp" "src/core/CMakeFiles/wolf_core.dir/pruner.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/pruner.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/core/CMakeFiles/wolf_core.dir/ranking.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/ranking.cpp.o.d"
+  "/root/repo/src/core/replayer.cpp" "src/core/CMakeFiles/wolf_core.dir/replayer.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/replayer.cpp.o.d"
+  "/root/repo/src/core/report_writer.cpp" "src/core/CMakeFiles/wolf_core.dir/report_writer.cpp.o" "gcc" "src/core/CMakeFiles/wolf_core.dir/report_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wolf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wolf_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wolf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wolf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wolf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_core.dir/detector.cpp.o"
+  "CMakeFiles/wolf_core.dir/detector.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/generator.cpp.o"
+  "CMakeFiles/wolf_core.dir/generator.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/lock_dependency.cpp.o"
+  "CMakeFiles/wolf_core.dir/lock_dependency.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/magic_prune.cpp.o"
+  "CMakeFiles/wolf_core.dir/magic_prune.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/multi.cpp.o"
+  "CMakeFiles/wolf_core.dir/multi.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/online_sink.cpp.o"
+  "CMakeFiles/wolf_core.dir/online_sink.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/wolf_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/pruner.cpp.o"
+  "CMakeFiles/wolf_core.dir/pruner.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/ranking.cpp.o"
+  "CMakeFiles/wolf_core.dir/ranking.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/replayer.cpp.o"
+  "CMakeFiles/wolf_core.dir/replayer.cpp.o.d"
+  "CMakeFiles/wolf_core.dir/report_writer.cpp.o"
+  "CMakeFiles/wolf_core.dir/report_writer.cpp.o.d"
+  "libwolf_core.a"
+  "libwolf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

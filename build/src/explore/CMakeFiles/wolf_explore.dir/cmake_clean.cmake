@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_explore.dir/explorer.cpp.o"
+  "CMakeFiles/wolf_explore.dir/explorer.cpp.o.d"
+  "libwolf_explore.a"
+  "libwolf_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_graph.dir/digraph.cpp.o"
+  "CMakeFiles/wolf_graph.dir/digraph.cpp.o.d"
+  "libwolf_graph.a"
+  "libwolf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

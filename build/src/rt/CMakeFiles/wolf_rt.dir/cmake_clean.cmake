@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_rt.dir/executor.cpp.o"
+  "CMakeFiles/wolf_rt.dir/executor.cpp.o.d"
+  "CMakeFiles/wolf_rt.dir/replay_rt.cpp.o"
+  "CMakeFiles/wolf_rt.dir/replay_rt.cpp.o.d"
+  "libwolf_rt.a"
+  "libwolf_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

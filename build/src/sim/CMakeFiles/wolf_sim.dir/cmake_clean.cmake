@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_sim.dir/program.cpp.o"
+  "CMakeFiles/wolf_sim.dir/program.cpp.o.d"
+  "CMakeFiles/wolf_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/wolf_sim.dir/scheduler.cpp.o.d"
+  "libwolf_sim.a"
+  "libwolf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_support.dir/flags.cpp.o"
+  "CMakeFiles/wolf_support.dir/flags.cpp.o.d"
+  "CMakeFiles/wolf_support.dir/stats.cpp.o"
+  "CMakeFiles/wolf_support.dir/stats.cpp.o.d"
+  "CMakeFiles/wolf_support.dir/str.cpp.o"
+  "CMakeFiles/wolf_support.dir/str.cpp.o.d"
+  "CMakeFiles/wolf_support.dir/table.cpp.o"
+  "CMakeFiles/wolf_support.dir/table.cpp.o.d"
+  "libwolf_support.a"
+  "libwolf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwolf_support.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_trace.dir/event.cpp.o"
+  "CMakeFiles/wolf_trace.dir/event.cpp.o.d"
+  "CMakeFiles/wolf_trace.dir/serialize.cpp.o"
+  "CMakeFiles/wolf_trace.dir/serialize.cpp.o.d"
+  "libwolf_trace.a"
+  "libwolf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

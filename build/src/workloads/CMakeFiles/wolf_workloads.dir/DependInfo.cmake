@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cache4j.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/cache4j.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/cache4j.cpp.o.d"
+  "/root/repo/src/workloads/collections.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/collections.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/collections.cpp.o.d"
+  "/root/repo/src/workloads/jigsaw.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/jigsaw.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/jigsaw.cpp.o.d"
+  "/root/repo/src/workloads/logging.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/logging.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/logging.cpp.o.d"
+  "/root/repo/src/workloads/paper_examples.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/paper_examples.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/paper_examples.cpp.o.d"
+  "/root/repo/src/workloads/slowdown.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/slowdown.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/slowdown.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/wolf_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/wolf_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wolf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wolf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wolf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_workloads.dir/cache4j.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/cache4j.cpp.o.d"
+  "CMakeFiles/wolf_workloads.dir/collections.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/collections.cpp.o.d"
+  "CMakeFiles/wolf_workloads.dir/jigsaw.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/jigsaw.cpp.o.d"
+  "CMakeFiles/wolf_workloads.dir/logging.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/logging.cpp.o.d"
+  "CMakeFiles/wolf_workloads.dir/paper_examples.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/paper_examples.cpp.o.d"
+  "CMakeFiles/wolf_workloads.dir/slowdown.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/slowdown.cpp.o.d"
+  "CMakeFiles/wolf_workloads.dir/suite.cpp.o"
+  "CMakeFiles/wolf_workloads.dir/suite.cpp.o.d"
+  "libwolf_workloads.a"
+  "libwolf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

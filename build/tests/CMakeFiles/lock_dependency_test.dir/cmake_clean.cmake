@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_dependency_test.dir/lock_dependency_test.cpp.o"
+  "CMakeFiles/lock_dependency_test.dir/lock_dependency_test.cpp.o.d"
+  "lock_dependency_test"
+  "lock_dependency_test.pdb"
+  "lock_dependency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_dependency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

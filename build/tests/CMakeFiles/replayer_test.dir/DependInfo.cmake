@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replayer_test.cpp" "tests/CMakeFiles/replayer_test.dir/replayer_test.cpp.o" "gcc" "tests/CMakeFiles/replayer_test.dir/replayer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/wolf_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wolf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wolf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wolf_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wolf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wolf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wolf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wolf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

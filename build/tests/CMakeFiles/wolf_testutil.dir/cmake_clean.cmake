@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_testutil.dir/testutil.cpp.o"
+  "CMakeFiles/wolf_testutil.dir/testutil.cpp.o.d"
+  "libwolf_testutil.a"
+  "libwolf_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

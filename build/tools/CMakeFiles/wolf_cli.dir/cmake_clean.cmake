@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolf_cli.dir/wolf_cli.cpp.o"
+  "CMakeFiles/wolf_cli.dir/wolf_cli.cpp.o.d"
+  "wolf"
+  "wolf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
