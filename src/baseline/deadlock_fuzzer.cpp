@@ -130,24 +130,13 @@ ReplayStats fuzz(const sim::Program& program, const PotentialDeadlock& cycle,
                  const LockDependency& dep, const ReplayOptions& options) {
   ReplayStats stats;
   Rng seeds(options.seed);
-  for (int i = 0; i < options.attempts; ++i) {
+  robust::RetryPolicy policy = options.retry;
+  policy.max_attempts = options.attempts;
+  robust::RetryState attempts(policy, options.seed);
+  while (attempts.next_attempt()) {
     ReplayTrial trial =
         fuzz_once(program, cycle, dep, seeds(), options.max_steps);
-    ++stats.attempts;
-    switch (trial.outcome) {
-      case ReplayOutcome::kReproduced:
-        ++stats.hits;
-        break;
-      case ReplayOutcome::kOtherDeadlock:
-        ++stats.other_deadlocks;
-        break;
-      case ReplayOutcome::kNoDeadlock:
-        ++stats.no_deadlocks;
-        break;
-      case ReplayOutcome::kStepLimit:
-        ++stats.step_limits;
-        break;
-    }
+    record_outcome(stats, trial.outcome);
     if (stats.hits > 0 && options.stop_on_first_hit) break;
   }
   return stats;

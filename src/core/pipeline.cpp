@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
+#include "robust/fault.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -50,6 +52,12 @@ std::string WolfReport::summary(const SiteTable& sites) const {
   std::ostringstream os;
   os << "WOLF report: " << detection.cycles.size() << " cycle(s), "
      << detection.defects.size() << " defect(s)\n";
+  int degraded = 0;
+  for (const CycleReport& r : cycles)
+    if (r.degraded()) ++degraded;
+  if (degraded > 0)
+    os << "  " << degraded
+       << " cycle(s) degraded to unknown by classification failures\n";
   for (const DefectReport& d : defects) {
     os << "  defect [";
     for (std::size_t i = 0; i < d.signature.size(); ++i) {
@@ -62,6 +70,29 @@ std::string WolfReport::summary(const SiteTable& sites) const {
   return os.str();
 }
 
+namespace {
+
+// Fills `report.failure_reason` for a replay series that produced nothing but
+// timed-out trials — the cycle is kept (kUnknown) instead of wedging or
+// aborting the whole analysis.
+void note_all_timeouts(CycleReport& report) {
+  const ReplayStats& s = report.replay_stats;
+  if (s.attempts > 0 && s.timeouts == s.attempts)
+    report.failure_reason = "every replay trial timed out";
+}
+
+// Test hook: FaultPlan::classify_throw_cycle simulates a classification stage
+// crashing for one specific cycle.
+void maybe_throw_injected(const WolfOptions& options, std::size_t cycle_index) {
+  if (options.fault != nullptr &&
+      options.fault->classify_throw_cycle == static_cast<int>(cycle_index))
+    throw std::runtime_error(
+        "fault injection: classification stage threw for cycle " +
+        std::to_string(cycle_index));
+}
+
+}  // namespace
+
 CycleReport classify_cycle(const sim::Program& program,
                            const Detection& detection, std::size_t cycle_index,
                            const WolfOptions& options) {
@@ -70,27 +101,37 @@ CycleReport classify_cycle(const sim::Program& program,
 
   CycleReport report;
   report.cycle_index = cycle_index;
-  report.prune_verdict =
-      prune_cycle(cycle, detection.dep, detection.clocks);
-  if (is_false(report.prune_verdict)) {
-    report.classification = Classification::kFalseByPruner;
-    return report;
-  }
+  try {
+    maybe_throw_injected(options, cycle_index);
+    report.prune_verdict =
+        prune_cycle(cycle, detection.dep, detection.clocks);
+    if (is_false(report.prune_verdict)) {
+      report.classification = Classification::kFalseByPruner;
+      return report;
+    }
 
-  GeneratorResult gen = generate(cycle, detection.dep);
-  report.gs_vertices = gen.gs.vertex_count();
-  if (!gen.feasible) {
-    report.classification = Classification::kFalseByGenerator;
-    return report;
-  }
+    GeneratorResult gen = generate(cycle, detection.dep);
+    report.gs_vertices = gen.gs.vertex_count();
+    if (!gen.feasible) {
+      report.classification = Classification::kFalseByGenerator;
+      return report;
+    }
 
-  ReplayOptions replay_options = options.replay;
-  replay_options.max_steps = options.max_steps;
-  report.replay_stats =
-      replay(program, cycle, detection.dep, gen.gs, replay_options);
-  report.classification = report.replay_stats.reproduced()
-                              ? Classification::kReproduced
-                              : Classification::kUnknown;
+    ReplayOptions replay_options = options.replay;
+    replay_options.max_steps = options.max_steps;
+    replay_options.fault = options.fault;
+    report.replay_stats =
+        replay(program, cycle, detection.dep, gen.gs, replay_options);
+    if (report.replay_stats.reproduced()) {
+      report.classification = Classification::kReproduced;
+    } else {
+      report.classification = Classification::kUnknown;
+      note_all_timeouts(report);
+    }
+  } catch (const std::exception& e) {
+    report.classification = Classification::kUnknown;
+    report.failure_reason = e.what();
+  }
   return report;
 }
 
@@ -139,45 +180,59 @@ WolfReport analyze(const sim::Program& program, Trace trace,
   // Fig. 10 harness can report detection (prune+generate) and reproduction
   // overheads separately.
   std::uint64_t replay_seed = mix64(options.seed ^ 0x57a7e5ULL);
+  // A stage that throws or times out degrades only its own cycle to
+  // kUnknown (with the reason recorded); the remaining cycles still
+  // classify normally.
   for (std::size_t c = 0; c < report.detection.cycles.size(); ++c) {
     CycleReport cycle_report;
     cycle_report.cycle_index = c;
 
-    watch.reset();
-    cycle_report.prune_verdict = prune_cycle(
-        report.detection.cycles[c], report.detection.dep,
-        report.detection.clocks);
-    report.timings.prune_seconds += watch.seconds();
+    try {
+      maybe_throw_injected(options, c);
 
-    if (options.enable_pruner && is_false(cycle_report.prune_verdict)) {
-      cycle_report.classification = Classification::kFalseByPruner;
-      report.cycles.push_back(cycle_report);
-      continue;
+      watch.reset();
+      cycle_report.prune_verdict = prune_cycle(
+          report.detection.cycles[c], report.detection.dep,
+          report.detection.clocks);
+      report.timings.prune_seconds += watch.seconds();
+
+      if (options.enable_pruner && is_false(cycle_report.prune_verdict)) {
+        cycle_report.classification = Classification::kFalseByPruner;
+        report.cycles.push_back(cycle_report);
+        continue;
+      }
+
+      watch.reset();
+      GeneratorResult gen =
+          generate(report.detection.cycles[c], report.detection.dep);
+      report.timings.generate_seconds += watch.seconds();
+      cycle_report.gs_vertices = gen.gs.vertex_count();
+
+      if (options.enable_generator_check && !gen.feasible) {
+        cycle_report.classification = Classification::kFalseByGenerator;
+        report.cycles.push_back(cycle_report);
+        continue;
+      }
+
+      ReplayOptions replay_options = options.replay;
+      replay_options.seed = replay_seed = mix64(replay_seed);
+      replay_options.max_steps = options.max_steps;
+      replay_options.fault = options.fault;
+      watch.reset();
+      cycle_report.replay_stats =
+          replay(program, report.detection.cycles[c], report.detection.dep,
+                 gen.gs, replay_options);
+      report.timings.replay_seconds += watch.seconds();
+      if (cycle_report.replay_stats.reproduced()) {
+        cycle_report.classification = Classification::kReproduced;
+      } else {
+        cycle_report.classification = Classification::kUnknown;
+        note_all_timeouts(cycle_report);
+      }
+    } catch (const std::exception& e) {
+      cycle_report.classification = Classification::kUnknown;
+      cycle_report.failure_reason = e.what();
     }
-
-    watch.reset();
-    GeneratorResult gen =
-        generate(report.detection.cycles[c], report.detection.dep);
-    report.timings.generate_seconds += watch.seconds();
-    cycle_report.gs_vertices = gen.gs.vertex_count();
-
-    if (options.enable_generator_check && !gen.feasible) {
-      cycle_report.classification = Classification::kFalseByGenerator;
-      report.cycles.push_back(cycle_report);
-      continue;
-    }
-
-    ReplayOptions replay_options = options.replay;
-    replay_options.seed = replay_seed = mix64(replay_seed);
-    replay_options.max_steps = options.max_steps;
-    watch.reset();
-    cycle_report.replay_stats =
-        replay(program, report.detection.cycles[c], report.detection.dep,
-               gen.gs, replay_options);
-    report.timings.replay_seconds += watch.seconds();
-    cycle_report.classification = cycle_report.replay_stats.reproduced()
-                                      ? Classification::kReproduced
-                                      : Classification::kUnknown;
     report.cycles.push_back(cycle_report);
   }
 
@@ -207,8 +262,10 @@ WolfReport analyze(const sim::Program& program, Trace trace,
 
 WolfReport run_wolf(const sim::Program& program, const WolfOptions& options) {
   Stopwatch watch;
-  auto trace = sim::record_trace(program, options.seed, options.record_attempts,
-                                 options.max_steps);
+  robust::RetryPolicy record_retry = options.replay.retry;
+  record_retry.max_attempts = options.record_attempts;
+  auto trace =
+      sim::record_trace(program, options.seed, record_retry, options.max_steps);
   double record_seconds = watch.seconds();
   if (!trace.has_value()) {
     WolfReport report;

@@ -31,6 +31,12 @@ struct CycleReport {
   PruneVerdict prune_verdict = PruneVerdict::kUnknown;
   int gs_vertices = 0;  // |Vs| (0 when pruned before generation)
   ReplayStats replay_stats;
+  // Non-empty when this cycle's classification was degraded to kUnknown
+  // because its prune/generate/replay stages threw or every replay trial
+  // timed out. Other cycles are unaffected (per-cycle error isolation).
+  std::string failure_reason;
+
+  bool degraded() const { return !failure_reason.empty(); }
 };
 
 struct DefectReport {
@@ -65,6 +71,9 @@ struct WolfOptions {
   // released at random).
   bool enable_pruner = true;
   bool enable_generator_check = true;
+  // Injected faults, forwarded to the replay substrate and consulted by the
+  // classification loop (robust/fault.hpp). nullptr = no faults. Not owned.
+  const robust::FaultPlan* fault = nullptr;
 };
 
 struct WolfReport {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "robust/fault.hpp"
 #include "support/check.hpp"
 
 namespace wolf {
@@ -101,6 +102,8 @@ const char* to_string(ReplayOutcome outcome) {
       return "no-deadlock";
     case ReplayOutcome::kStepLimit:
       return "step-limit";
+    case ReplayOutcome::kTimeout:
+      return "timeout";
   }
   return "?";
 }
@@ -122,6 +125,8 @@ ReplayOutcome classify_run(const sim::RunResult& run,
       return ReplayOutcome::kNoDeadlock;
     case sim::RunOutcome::kStepLimit:
       return ReplayOutcome::kStepLimit;
+    case sim::RunOutcome::kTimeout:
+      return ReplayOutcome::kTimeout;
     case sim::RunOutcome::kDeadlock:
       break;
   }
@@ -140,7 +145,8 @@ ReplayTrial replay_once(const sim::Program& program,
                         const PotentialDeadlock& cycle,
                         const LockDependency& dep,
                         const SyncDependencyGraph& gs, std::uint64_t seed,
-                        std::uint64_t max_steps) {
+                        std::uint64_t max_steps,
+                        const robust::FaultPlan* fault) {
   std::set<ThreadId> monitored;
   for (std::size_t i : cycle.tuple_idx)
     monitored.insert(dep.tuples[i].thread);
@@ -149,6 +155,7 @@ ReplayTrial replay_once(const sim::Program& program,
   sim::SchedulerOptions options;
   options.controller = &controller;
   options.max_steps = max_steps;
+  options.fault = fault;
 
   sim::RandomPolicy policy;
   Rng rng(seed);
@@ -158,29 +165,39 @@ ReplayTrial replay_once(const sim::Program& program,
   return trial;
 }
 
+void record_outcome(ReplayStats& stats, ReplayOutcome outcome) {
+  ++stats.attempts;
+  switch (outcome) {
+    case ReplayOutcome::kReproduced:
+      ++stats.hits;
+      break;
+    case ReplayOutcome::kOtherDeadlock:
+      ++stats.other_deadlocks;
+      break;
+    case ReplayOutcome::kNoDeadlock:
+      ++stats.no_deadlocks;
+      break;
+    case ReplayOutcome::kStepLimit:
+      ++stats.step_limits;
+      break;
+    case ReplayOutcome::kTimeout:
+      ++stats.timeouts;
+      break;
+  }
+}
+
 ReplayStats replay(const sim::Program& program, const PotentialDeadlock& cycle,
                    const LockDependency& dep, const SyncDependencyGraph& gs,
                    const ReplayOptions& options) {
   ReplayStats stats;
   Rng seeds(options.seed);
-  for (int i = 0; i < options.attempts; ++i) {
-    ReplayTrial trial =
-        replay_once(program, cycle, dep, gs, seeds(), options.max_steps);
-    ++stats.attempts;
-    switch (trial.outcome) {
-      case ReplayOutcome::kReproduced:
-        ++stats.hits;
-        break;
-      case ReplayOutcome::kOtherDeadlock:
-        ++stats.other_deadlocks;
-        break;
-      case ReplayOutcome::kNoDeadlock:
-        ++stats.no_deadlocks;
-        break;
-      case ReplayOutcome::kStepLimit:
-        ++stats.step_limits;
-        break;
-    }
+  robust::RetryPolicy policy = options.retry;
+  policy.max_attempts = options.attempts;
+  robust::RetryState attempts(policy, options.seed);
+  while (attempts.next_attempt()) {
+    ReplayTrial trial = replay_once(program, cycle, dep, gs, seeds(),
+                                    options.max_steps, options.fault);
+    record_outcome(stats, trial.outcome);
     if (stats.hits > 0 && options.stop_on_first_hit) break;
   }
   return stats;

@@ -26,6 +26,7 @@
 
 #include "core/detector.hpp"
 #include "core/generator.hpp"
+#include "robust/retry.hpp"
 #include "sim/controller.hpp"
 #include "sim/scheduler.hpp"
 
@@ -61,6 +62,7 @@ enum class ReplayOutcome : std::uint8_t {
   kOtherDeadlock,  // deadlocked, but elsewhere
   kNoDeadlock,     // ran to completion
   kStepLimit,      // aborted (step budget)
+  kTimeout,        // aborted (wall-clock watchdog or injected stall)
 };
 
 const char* to_string(ReplayOutcome outcome);
@@ -83,13 +85,19 @@ ReplayTrial replay_once(const sim::Program& program,
                         const PotentialDeadlock& cycle,
                         const LockDependency& dep,
                         const SyncDependencyGraph& gs, std::uint64_t seed,
-                        std::uint64_t max_steps = 2'000'000);
+                        std::uint64_t max_steps = 2'000'000,
+                        const robust::FaultPlan* fault = nullptr);
 
 struct ReplayOptions {
   int attempts = 5;              // the paper's "pre-determined number"
   bool stop_on_first_hit = true;  // false for hit-rate measurements
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 2'000'000;
+  // Inter-trial backoff and per-trial wall-clock deadline (consumed by the
+  // rt substrate's watchdog); retry.max_attempts is overridden by `attempts`.
+  robust::RetryPolicy retry;
+  // Injected faults forwarded to the substrate (drills and tests). Not owned.
+  const robust::FaultPlan* fault = nullptr;
 };
 
 struct ReplayStats {
@@ -98,6 +106,7 @@ struct ReplayStats {
   int other_deadlocks = 0;
   int no_deadlocks = 0;
   int step_limits = 0;
+  int timeouts = 0;
 
   bool reproduced() const { return hits > 0; }
   double hit_rate() const {
@@ -105,6 +114,10 @@ struct ReplayStats {
                          : static_cast<double>(hits) / attempts;
   }
 };
+
+// Folds one finished trial into the stats (incrementing `attempts`); shared
+// by every trial series (sim replay, rt replay, the fuzzer baseline).
+void record_outcome(ReplayStats& stats, ReplayOutcome outcome);
 
 ReplayStats replay(const sim::Program& program, const PotentialDeadlock& cycle,
                    const LockDependency& dep, const SyncDependencyGraph& gs,

@@ -1,0 +1,123 @@
+#include "robust/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/str.hpp"
+
+namespace wolf::robust {
+
+namespace {
+
+void fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const std::string text(s);
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool parse_delay_clause(std::string_view body, FaultPlan::Delay& delay,
+                        std::string* error) {
+  bool have_thread = false;
+  for (const std::string& field : split(body, ',')) {
+    auto kv = split(trim(field), '=');
+    long long value = 0;
+    if (kv.size() != 2 || !parse_int(trim(kv[1]), value)) {
+      fail(error, "malformed delay field '" + field + "'");
+      return false;
+    }
+    const auto key = trim(kv[0]);
+    if (key == "t") {
+      delay.thread = static_cast<ThreadId>(value);
+      have_thread = true;
+    } else if (key == "op") {
+      delay.at_op = static_cast<int>(value);
+    } else if (key == "ms") {
+      delay.wall_ms = value;
+    } else if (key == "steps") {
+      delay.steps = static_cast<int>(value);
+    } else {
+      fail(error, "unknown delay field '" + std::string(key) + "'");
+      return false;
+    }
+  }
+  if (!have_thread) {
+    fail(error, "delay clause needs t=<thread>");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const FaultPlan::Delay* FaultPlan::find_delay(ThreadId thread, int pc) const {
+  for (const Delay& d : delays)
+    if (d.thread == thread && d.at_op == pc) return &d;
+  return nullptr;
+}
+
+std::optional<FaultPlan> parse_fault_plan(const std::string& spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const auto clause = trim(raw);
+    if (clause.empty()) continue;
+    if (starts_with(clause, "delay:")) {
+      FaultPlan::Delay delay;
+      if (!parse_delay_clause(clause.substr(6), delay, error))
+        return std::nullopt;
+      plan.delays.push_back(delay);
+    } else if (clause == "drop-releases") {
+      plan.drop_force_releases = true;
+    } else if (starts_with(clause, "classify-throw=")) {
+      long long cycle = 0;
+      if (!parse_int(clause.substr(15), cycle)) {
+        fail(error, "malformed clause '" + std::string(clause) + "'");
+        return std::nullopt;
+      }
+      plan.classify_throw_cycle = static_cast<int>(cycle);
+    } else if (starts_with(clause, "truncate=")) {
+      double fraction = 0;
+      if (!parse_double(clause.substr(9), fraction) || fraction < 0 ||
+          fraction > 1) {
+        fail(error, "malformed clause '" + std::string(clause) + "'");
+        return std::nullopt;
+      }
+      plan.truncate_fraction = fraction;
+    } else if (starts_with(clause, "garble=")) {
+      long long line = 0;
+      if (!parse_int(clause.substr(7), line) || line < 0) {
+        fail(error, "malformed clause '" + std::string(clause) + "'");
+        return std::nullopt;
+      }
+      plan.garble_line = static_cast<int>(line);
+    } else {
+      fail(error, "unknown fault clause '" + std::string(clause) + "'");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+std::string corrupt_trace_text(std::string text, const FaultPlan& plan) {
+  if (plan.garble_line >= 0) {
+    std::vector<std::string> lines = split(text, '\n');
+    if (static_cast<std::size_t>(plan.garble_line) < lines.size()) {
+      lines[static_cast<std::size_t>(plan.garble_line)] =
+          "@@ corrupted by fault injection @@";
+      text = join(lines, "\n");
+    }
+  }
+  if (plan.truncate_fraction >= 0.0 && plan.truncate_fraction < 1.0) {
+    text.resize(static_cast<std::size_t>(
+        static_cast<double>(text.size()) *
+        std::clamp(plan.truncate_fraction, 0.0, 1.0)));
+  }
+  return text;
+}
+
+}  // namespace wolf::robust

@@ -1,0 +1,36 @@
+#include "robust/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace wolf::robust {
+
+std::int64_t backoff_before_attempt(const RetryPolicy& policy, int attempt,
+                                    Rng& rng) {
+  if (attempt <= 0 || policy.initial_backoff_ms <= 0) return 0;
+  double b = static_cast<double>(policy.initial_backoff_ms) *
+             std::pow(std::max(policy.backoff_multiplier, 1.0),
+                      static_cast<double>(attempt - 1));
+  b = std::min(b, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0) b *= 1.0 + policy.jitter * (rng.uniform() * 2.0 - 1.0);
+  b = std::clamp(b, 0.0, static_cast<double>(policy.max_backoff_ms));
+  return static_cast<std::int64_t>(b);
+}
+
+RetryState::RetryState(const RetryPolicy& policy, std::uint64_t seed)
+    : policy_(policy), rng_(mix64(seed ^ 0x7e7251f5a11ULL)) {}
+
+bool RetryState::next_attempt() {
+  ++attempt_;
+  if (attempt_ >= policy_.max_attempts) return false;
+  const std::int64_t sleep_ms = backoff_before_attempt(policy_, attempt_, rng_);
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    slept_ms_ += sleep_ms;
+  }
+  return true;
+}
+
+}  // namespace wolf::robust

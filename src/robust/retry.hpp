@@ -1,0 +1,68 @@
+// Reusable retry/backoff policy for trial-based phases.
+//
+// WOLF's offline pipeline is built out of repeated trials: recording runs
+// that must complete without deadlocking, replay trials that may or may not
+// hit, fuzzer series. A production-scale harness needs those loops to share
+// one notion of "how many attempts, how spaced, and how long each attempt
+// may take" instead of three ad-hoc counters. RetryPolicy captures that;
+// RetryState drives a loop:
+//
+//   robust::RetryState state(policy, seed);
+//   while (state.next_attempt()) {
+//     if (try_once(state.attempt())) break;
+//   }
+//
+// Backoff grows exponentially with optional jitter and is slept between
+// attempts; with the default zero initial backoff the loop never sleeps, so
+// virtual-time callers (the sim scheduler) pay nothing. The per-attempt
+// deadline is consumed by substrates that support wall-clock budgets (the rt
+// executor's watchdog, rt/executor.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace wolf::robust {
+
+struct RetryPolicy {
+  int max_attempts = 20;
+  // Sleep between attempts: initial_backoff_ms before the second attempt,
+  // growing by backoff_multiplier for each further attempt, clamped to
+  // max_backoff_ms. 0 disables sleeping entirely.
+  std::int64_t initial_backoff_ms = 0;
+  double backoff_multiplier = 2.0;
+  std::int64_t max_backoff_ms = 1000;
+  // Fraction of the backoff randomized: the sleep is drawn uniformly from
+  // [b*(1-jitter), b*(1+jitter)], then clamped to [0, max_backoff_ms].
+  double jitter = 0.0;
+  // Wall-clock budget per attempt; 0 = unlimited.
+  std::int64_t attempt_deadline_ms = 0;
+};
+
+// The sleep before `attempt` (0-based; attempt 0 never sleeps), jittered by
+// `rng`. Pure apart from the rng draw — exposed so tests can pin the
+// schedule without sleeping.
+std::int64_t backoff_before_attempt(const RetryPolicy& policy, int attempt,
+                                    Rng& rng);
+
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, std::uint64_t seed);
+
+  // Starts the next attempt, sleeping the backoff first; returns false once
+  // max_attempts have started.
+  bool next_attempt();
+
+  int attempt() const { return attempt_; }  // 0-based; -1 before the first
+  const RetryPolicy& policy() const { return policy_; }
+  std::int64_t total_backoff_ms() const { return slept_ms_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempt_ = -1;
+  std::int64_t slept_ms_ = 0;
+};
+
+}  // namespace wolf::robust

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "robust/fault.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -36,12 +38,26 @@ class Executor {
       std::unique_lock<std::mutex> lk(mu_);
       spawn_locked(0);
     }
+    std::thread watchdog;
+    if (options_.deadline_ms > 0)
+      watchdog = std::thread([this] { watchdog_main(); });
     join_all();
+    if (watchdog.joinable()) {
+      {
+        std::unique_lock<std::mutex> lk(watch_mu_);
+        run_done_ = true;
+      }
+      watch_cv_.notify_all();
+      watchdog.join();
+    }
     std::unique_lock<std::mutex> lk(mu_);
     sim::RunResult result;
     if (deadlock_) {
       result.outcome = sim::RunOutcome::kDeadlock;
       result.deadlock_cycle = deadlock_cycle_;
+      result.all_blocked = all_blocked_;
+    } else if (timed_out_) {
+      result.outcome = sim::RunOutcome::kTimeout;
       result.all_blocked = all_blocked_;
     } else {
       result.outcome = sim::RunOutcome::kCompleted;
@@ -189,6 +205,11 @@ class Executor {
     }
     if (any_runnable) return;
     if (!paused.empty()) {
+      // Injected fault: the force-release that would unwedge the run is
+      // dropped, leaving every thread waiting. Only the watchdog (or a
+      // controller release) can now end the trial.
+      if (options_.fault != nullptr && options_.fault->drop_force_releases)
+        return;
       ThreadId victim =
           options_.controller != nullptr
               ? options_.controller->force_release(paused, rng_)
@@ -209,6 +230,45 @@ class Executor {
 
   void check_abort() {
     if (aborted_.load(std::memory_order_relaxed)) throw AbortRun{};
+  }
+
+  // ---- the watchdog (runs on its own thread when deadline_ms > 0) ----
+
+  // Sleeps until the run finishes or the deadline expires; on expiry the
+  // trial is torn down exactly like a diagnosed deadlock (all threads are
+  // woken and unwind) but reports kTimeout.
+  void watchdog_main() {
+    {
+      std::unique_lock<std::mutex> lk(watch_mu_);
+      if (watch_cv_.wait_for(lk,
+                             std::chrono::milliseconds(options_.deadline_ms),
+                             [&] { return run_done_; }))
+        return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (deadlock_) return;  // already being torn down with a better diagnosis
+    bool all_done = true;
+    for (const ThreadState& ts : threads_)
+      if (ts.st != St::kTerminated && ts.st != St::kNotStarted) {
+        all_done = false;
+        break;
+      }
+    if (all_done) return;  // natural completion raced the deadline
+    timed_out_ = true;
+    abort_locked();
+  }
+
+  // Injected wall-clock stall (FaultPlan): holds the thread outside all
+  // bookkeeping states — other threads still see it as runnable — but stays
+  // abort-interruptible so the watchdog can always end the trial.
+  void fault_delay(ThreadId t, int pc) {
+    if (options_.fault == nullptr) return;
+    const robust::FaultPlan::Delay* delay = options_.fault->find_delay(t, pc);
+    if (delay == nullptr || delay->wall_ms <= 0) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::milliseconds(delay->wall_ms),
+                 [&] { return aborted_.load(std::memory_order_relaxed); });
+    check_abort();
   }
 
   // ---- the per-thread interpreter (owns no locks on entry) ----
@@ -244,6 +304,7 @@ class Executor {
     int pc = 0;
     while (pc < static_cast<int>(ops.size())) {
       check_abort();
+      fault_delay(t, pc);
       const sim::Op& op = ops[static_cast<std::size_t>(pc)];
       switch (op.code) {
         case sim::OpCode::kLock:
@@ -460,8 +521,14 @@ class Executor {
   std::vector<int> flags_;
   std::atomic<bool> aborted_{false};
   bool deadlock_ = false;
+  bool timed_out_ = false;
   std::vector<sim::BlockedAt> deadlock_cycle_;
   std::vector<sim::BlockedAt> all_blocked_;
+  // Watchdog rendezvous; separate from mu_ so the monitor never contends
+  // with the interpreter's hot path.
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool run_done_ = false;
   Rng rng_;
   std::atomic<std::uint64_t> sink_{0};
 };
@@ -475,17 +542,27 @@ sim::RunResult execute(const sim::Program& program,
 }
 
 std::optional<Trace> record_trace_rt(const sim::Program& program,
-                                     std::uint64_t seed, int max_attempts) {
+                                     std::uint64_t seed,
+                                     const robust::RetryPolicy& retry) {
   Rng rng(seed);
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  robust::RetryState attempts(retry, seed);
+  while (attempts.next_attempt()) {
     TraceRecorder recorder;
     ExecutorOptions options;
     options.sink = &recorder;
     options.seed = rng();
+    options.deadline_ms = retry.attempt_deadline_ms;
     sim::RunResult result = execute(program, options);
     if (result.outcome == sim::RunOutcome::kCompleted) return recorder.take();
   }
   return std::nullopt;
+}
+
+std::optional<Trace> record_trace_rt(const sim::Program& program,
+                                     std::uint64_t seed, int max_attempts) {
+  robust::RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  return record_trace_rt(program, seed, retry);
 }
 
 }  // namespace wolf::rt

@@ -19,15 +19,29 @@
 // (lock states, wait-for graph, controller calls, trace recording, flags);
 // Compute ops spin outside it. The "nothing is runnable but paused threads
 // remain" rule of Algorithm 4 is evaluated synchronously whenever a thread
-// is about to block, so no watchdog thread is needed.
+// is about to block, so cycles the wait-for graph can see never need a
+// monitor thread.
+//
+// Deadline handling: the synchronous rule only covers stalls the graph can
+// see. A livelocked trial, an injected fault, or a genuinely-hung thread is
+// covered by the optional wall-clock watchdog (ExecutorOptions::deadline_ms):
+// a monitor thread arms when the run starts and, if the deadline expires
+// first, aborts the trial exactly like a diagnosed deadlock — every thread
+// is woken and unwinds — but the run reports RunOutcome::kTimeout. A wedged
+// trial can therefore never hang the process.
 #pragma once
 
 #include <cstdint>
 
+#include "robust/retry.hpp"
 #include "sim/controller.hpp"
 #include "sim/program.hpp"
 #include "sim/scheduler.hpp"  // RunResult / BlockedAt / RunOutcome
 #include "trace/recorder.hpp"
+
+namespace wolf::robust {
+struct FaultPlan;
+}
 
 namespace wolf::rt {
 
@@ -41,6 +55,12 @@ struct ExecutorOptions {
   bool instrument = true;
   std::uint64_t seed = 1;     // randomness for forced releases
   int compute_spin = 64;      // busy-work iterations per Compute unit
+  // Wall-clock watchdog: > 0 arms a monitor that aborts the trial after this
+  // many milliseconds (RunOutcome::kTimeout); 0 disables it.
+  std::int64_t deadline_ms = 0;
+  // Injected faults (robust/fault.hpp): wall-clock thread delays and dropped
+  // force-releases. nullptr = no faults. Not owned.
+  const robust::FaultPlan* fault = nullptr;
 };
 
 // Runs the program to completion, deadlock, or abort; joins all threads
@@ -48,8 +68,14 @@ struct ExecutorOptions {
 sim::RunResult execute(const sim::Program& program,
                        const ExecutorOptions& options = {});
 
-// Records an OS-thread trace (retrying deadlocked runs like
-// sim::record_trace).
+// Records an OS-thread trace (retrying deadlocked or timed-out runs like
+// sim::record_trace). retry.attempt_deadline_ms arms the watchdog per
+// attempt, so one hung recording run cannot wedge the batch.
+std::optional<Trace> record_trace_rt(const sim::Program& program,
+                                     std::uint64_t seed,
+                                     const robust::RetryPolicy& retry);
+
+// Convenience: retry up to `max_attempts` times, no backoff, no deadline.
 std::optional<Trace> record_trace_rt(const sim::Program& program,
                                      std::uint64_t seed,
                                      int max_attempts = 20);

@@ -12,23 +12,12 @@ ReplayStats run_series(const ReplayOptions& options,
                        const std::function<ReplayTrial(std::uint64_t)>& once) {
   ReplayStats stats;
   Rng seeds(options.seed);
-  for (int i = 0; i < options.attempts; ++i) {
+  robust::RetryPolicy policy = options.retry;
+  policy.max_attempts = options.attempts;
+  robust::RetryState attempts(policy, options.seed);
+  while (attempts.next_attempt()) {
     ReplayTrial trial = once(seeds());
-    ++stats.attempts;
-    switch (trial.outcome) {
-      case ReplayOutcome::kReproduced:
-        ++stats.hits;
-        break;
-      case ReplayOutcome::kOtherDeadlock:
-        ++stats.other_deadlocks;
-        break;
-      case ReplayOutcome::kNoDeadlock:
-        ++stats.no_deadlocks;
-        break;
-      case ReplayOutcome::kStepLimit:
-        ++stats.step_limits;
-        break;
-    }
+    record_outcome(stats, trial.outcome);
     if (stats.hits > 0 && options.stop_on_first_hit) break;
   }
   return stats;
@@ -39,7 +28,9 @@ ReplayStats run_series(const ReplayOptions& options,
 ReplayTrial replay_once_rt(const sim::Program& program,
                            const PotentialDeadlock& cycle,
                            const LockDependency& dep,
-                           const SyncDependencyGraph& gs, std::uint64_t seed) {
+                           const SyncDependencyGraph& gs, std::uint64_t seed,
+                           std::int64_t deadline_ms,
+                           const robust::FaultPlan* fault) {
   std::set<ThreadId> monitored;
   for (std::size_t i : cycle.tuple_idx)
     monitored.insert(dep.tuples[i].thread);
@@ -48,6 +39,8 @@ ReplayTrial replay_once_rt(const sim::Program& program,
   ExecutorOptions options;
   options.controller = &controller;
   options.seed = seed;
+  options.deadline_ms = deadline_ms;
+  options.fault = fault;
 
   ReplayTrial trial;
   trial.run = execute(program, options);
@@ -57,13 +50,17 @@ ReplayTrial replay_once_rt(const sim::Program& program,
 
 ReplayTrial fuzz_once_rt(const sim::Program& program,
                          const PotentialDeadlock& cycle,
-                         const LockDependency& dep, std::uint64_t seed) {
+                         const LockDependency& dep, std::uint64_t seed,
+                         std::int64_t deadline_ms,
+                         const robust::FaultPlan* fault) {
   baseline::DeadlockFuzzerController controller(
       program, baseline::df_targets(program, cycle, dep));
 
   ExecutorOptions options;
   options.controller = &controller;
   options.seed = seed;
+  options.deadline_ms = deadline_ms;
+  options.fault = fault;
 
   ReplayTrial trial;
   trial.run = execute(program, options);
@@ -77,14 +74,16 @@ ReplayStats replay_rt(const sim::Program& program,
                       const SyncDependencyGraph& gs,
                       const ReplayOptions& options) {
   return run_series(options, [&](std::uint64_t seed) {
-    return replay_once_rt(program, cycle, dep, gs, seed);
+    return replay_once_rt(program, cycle, dep, gs, seed,
+                          options.retry.attempt_deadline_ms, options.fault);
   });
 }
 
 ReplayStats fuzz_rt(const sim::Program& program, const PotentialDeadlock& cycle,
                     const LockDependency& dep, const ReplayOptions& options) {
   return run_series(options, [&](std::uint64_t seed) {
-    return fuzz_once_rt(program, cycle, dep, seed);
+    return fuzz_once_rt(program, cycle, dep, seed,
+                        options.retry.attempt_deadline_ms, options.fault);
   });
 }
 

@@ -12,16 +12,21 @@
 
 namespace wolf::rt {
 
-// One WOLF replay trial over real threads.
+// One WOLF replay trial over real threads. `deadline_ms > 0` arms the
+// executor's watchdog; `fault` forwards injected faults (tests/drills).
 ReplayTrial replay_once_rt(const sim::Program& program,
                            const PotentialDeadlock& cycle,
                            const LockDependency& dep,
-                           const SyncDependencyGraph& gs, std::uint64_t seed);
+                           const SyncDependencyGraph& gs, std::uint64_t seed,
+                           std::int64_t deadline_ms = 0,
+                           const robust::FaultPlan* fault = nullptr);
 
 // One DeadlockFuzzer trial over real threads.
 ReplayTrial fuzz_once_rt(const sim::Program& program,
                          const PotentialDeadlock& cycle,
-                         const LockDependency& dep, std::uint64_t seed);
+                         const LockDependency& dep, std::uint64_t seed,
+                         std::int64_t deadline_ms = 0,
+                         const robust::FaultPlan* fault = nullptr);
 
 // Trial series, mirroring core/replayer's replay()/baseline's fuzz().
 ReplayStats replay_rt(const sim::Program& program,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "robust/fault.hpp"
 #include "support/check.hpp"
 
 namespace wolf::sim {
@@ -14,8 +15,15 @@ Scheduler::Scheduler(const Program& program, SchedulerOptions options)
   flags_.assign(static_cast<std::size_t>(program.flag_count()), 0);
   for (auto& ts : threads_)
     ts.site_counts.assign(static_cast<std::size_t>(program.sites().size()), 0);
+  if (options_.fault != nullptr)
+    for (const auto& delay : options_.fault->delays)
+      fault_delay_left_.push_back(delay.steps);
   // Thread 0 is the root and is immediately runnable.
   threads_[0].status = ThreadStatus::kEnabled;
+}
+
+bool Scheduler::fault_drops_force_releases() const {
+  return options_.fault != nullptr && options_.fault->drop_force_releases;
 }
 
 void Scheduler::emit(Event e) {
@@ -178,6 +186,18 @@ void Scheduler::step(ThreadId t) {
   if (ts.pc >= static_cast<int>(ops.size())) {
     terminate_thread(t);
     return;
+  }
+  // Injected stall: the step is consumed without progress while the delay
+  // budget for this (thread, pc) lasts — a virtual-time slow thread.
+  if (options_.fault != nullptr) {
+    for (std::size_t i = 0; i < options_.fault->delays.size(); ++i) {
+      const auto& delay = options_.fault->delays[i];
+      if (delay.thread == t && delay.at_op == ts.pc &&
+          fault_delay_left_[i] > 0) {
+        --fault_delay_left_[i];
+        return;
+      }
+    }
   }
   const Op& op = ops[static_cast<std::size_t>(ts.pc)];
   const int cur_pc = ts.pc;
@@ -362,6 +382,7 @@ std::uint64_t Scheduler::state_hash() const {
 }
 
 RunResult run(Scheduler& scheduler, SchedulePolicy& policy, Rng& rng) {
+  bool fault_stalled = false;
   while (!scheduler.finished() &&
          scheduler.steps_executed() < scheduler.max_steps()) {
     // Apply any releases the controller granted since the last step.
@@ -370,6 +391,13 @@ RunResult run(Scheduler& scheduler, SchedulePolicy& policy, Rng& rng) {
     if (enabled.empty()) {
       auto paused = scheduler.paused_threads();
       if (paused.empty()) break;  // stall: nothing is runnable at all
+      // Injected fault: the force-release that would unwedge the run is
+      // dropped. On real threads this run would hang until the watchdog
+      // fires; in virtual time we end the trial immediately as a timeout.
+      if (scheduler.fault_drops_force_releases()) {
+        fault_stalled = true;
+        break;
+      }
       // Algorithm 4, lines 5–7: move a paused thread back to Enabled. The
       // controller may bias the choice; the default picks randomly.
       ThreadId victim =
@@ -382,7 +410,9 @@ RunResult run(Scheduler& scheduler, SchedulePolicy& policy, Rng& rng) {
     ThreadId t = policy.pick(enabled, rng);
     scheduler.step(t);
   }
-  return scheduler.result();
+  RunResult result = scheduler.result();
+  if (fault_stalled) result.outcome = RunOutcome::kTimeout;
+  return result;
 }
 
 RunResult run_program(const Program& program, SchedulePolicy& policy, Rng& rng,
@@ -392,9 +422,11 @@ RunResult run_program(const Program& program, SchedulePolicy& policy, Rng& rng,
 }
 
 std::optional<Trace> record_trace(const Program& program, std::uint64_t seed,
-                                  int max_attempts, std::uint64_t max_steps) {
+                                  const robust::RetryPolicy& retry,
+                                  std::uint64_t max_steps) {
   Rng rng(seed);
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  robust::RetryState attempts(retry, seed);
+  while (attempts.next_attempt()) {
     TraceRecorder recorder;
     SchedulerOptions options;
     options.sink = &recorder;
@@ -405,6 +437,13 @@ std::optional<Trace> record_trace(const Program& program, std::uint64_t seed,
     if (result.outcome == RunOutcome::kCompleted) return recorder.take();
   }
   return std::nullopt;
+}
+
+std::optional<Trace> record_trace(const Program& program, std::uint64_t seed,
+                                  int max_attempts, std::uint64_t max_steps) {
+  robust::RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  return record_trace(program, seed, retry, max_steps);
 }
 
 }  // namespace wolf::sim

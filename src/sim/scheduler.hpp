@@ -22,11 +22,16 @@
 #include <string>
 #include <vector>
 
+#include "robust/retry.hpp"
 #include "sim/controller.hpp"
 #include "sim/policy.hpp"
 #include "sim/program.hpp"
 #include "support/rng.hpp"
 #include "trace/recorder.hpp"
+
+namespace wolf::robust {
+struct FaultPlan;
+}
 
 namespace wolf::sim {
 
@@ -51,6 +56,8 @@ enum class RunOutcome : std::uint8_t {
   kCompleted,  // every thread terminated
   kDeadlock,   // wait-for cycle (or a start/join stall with nothing runnable)
   kStepLimit,  // max_steps exhausted
+  kTimeout,    // wall-clock watchdog fired (rt) or a fault-injected stall
+               // wedged the run (sim); the trial was aborted, not hung
 };
 
 struct RunResult {
@@ -68,6 +75,9 @@ struct SchedulerOptions {
   std::uint64_t max_steps = 2'000'000;
   TraceSink* sink = nullptr;                 // may be nullptr
   ScheduleController* controller = nullptr;  // may be nullptr
+  // Injected faults (robust/fault.hpp): per-thread step delays and dropped
+  // force-releases. nullptr = no faults. Not owned.
+  const robust::FaultPlan* fault = nullptr;
 };
 
 class Scheduler {
@@ -98,6 +108,9 @@ class Scheduler {
   std::uint64_t steps_executed() const { return steps_; }
   std::uint64_t max_steps() const { return options_.max_steps; }
   ScheduleController* controller() const { return options_.controller; }
+  // True when an injected fault swallows Algorithm-4 force-releases; the run
+  // loop then ends a wedged run with RunOutcome::kTimeout instead of looping.
+  bool fault_drops_force_releases() const;
 
   // Applies all pending controller releases (take_released()).
   void drain_releases() { drain_controller_releases(); }
@@ -160,6 +173,9 @@ class Scheduler {
   std::uint64_t steps_ = 0;
   bool deadlock_diagnosed_ = false;
   std::vector<BlockedAt> deadlock_cycle_;
+  // Remaining injected-stall budget per FaultPlan delay entry (copyable so
+  // the explorer can fork mid-run states).
+  std::vector<int> fault_delay_left_;
 };
 
 // Policy-driven run loop, including the controller release protocol.
@@ -171,8 +187,13 @@ RunResult run_program(const Program& program, SchedulePolicy& policy, Rng& rng,
 
 // One random recording run: executes the program under RandomPolicy with the
 // given seed, recording the trace. Retries with derived seeds if the run
-// deadlocks (detection needs completed executions) up to `max_attempts`;
-// returns nullopt if every attempt deadlocked.
+// deadlocks (detection needs completed executions) under `retry`; returns
+// nullopt if every attempt deadlocked.
+std::optional<Trace> record_trace(const Program& program, std::uint64_t seed,
+                                  const robust::RetryPolicy& retry,
+                                  std::uint64_t max_steps = 2'000'000);
+
+// Convenience: retry up to `max_attempts` times with no backoff.
 std::optional<Trace> record_trace(const Program& program, std::uint64_t seed,
                                   int max_attempts = 20,
                                   std::uint64_t max_steps = 2'000'000);

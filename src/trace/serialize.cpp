@@ -4,13 +4,18 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/rng.hpp"
 #include "support/str.hpp"
 
 namespace wolf {
 
 namespace {
 
-constexpr const char* kHeader = "# wolf-trace v1";
+constexpr const char* kHeaderV1 = "# wolf-trace v1";
+constexpr const char* kHeaderV2 = "# wolf-trace v2";
+constexpr const char* kFooterPrefix = "# wolf-trace-end";
+constexpr std::uint64_t kChecksumSeed = 0x9e3779b97f4a7c15ULL;
+constexpr std::size_t kMaxDiagnostics = 8;
 
 std::optional<EventKind> kind_from_string(std::string_view s) {
   if (s == "begin") return EventKind::kThreadBegin;
@@ -26,57 +31,189 @@ void fail(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
 }
 
+std::uint64_t checksum_event(std::uint64_t h, const Event& e) {
+  h = mix64(h ^ e.seq);
+  h = mix64(h ^ static_cast<std::uint64_t>(e.kind));
+  h = mix64(h ^ static_cast<std::uint64_t>(e.thread));
+  h = mix64(h ^ static_cast<std::uint64_t>(e.site));
+  h = mix64(h ^ static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(e.occurrence)));
+  h = mix64(h ^ static_cast<std::uint64_t>(e.lock));
+  h = mix64(h ^ static_cast<std::uint64_t>(e.other));
+  return h;
+}
+
+std::string to_hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = v;
+  return true;
+}
+
+// Parses one event line; on failure fills `err` with a message naming
+// `lineno`.
+bool parse_event_line(std::string_view text, int lineno, Event& out,
+                      std::string& err) {
+  std::istringstream fields{std::string(text)};
+  std::string kind_str;
+  long long seq = 0, thread = 0, site = 0, occ = 0, lock = 0, other = 0;
+  if (!(fields >> seq >> kind_str >> thread >> site >> occ >> lock >> other)) {
+    err = "malformed event at line " + std::to_string(lineno);
+    return false;
+  }
+  auto kind = kind_from_string(kind_str);
+  if (!kind) {
+    err = "unknown event kind '" + kind_str + "' at line " +
+          std::to_string(lineno);
+    return false;
+  }
+  out.seq = static_cast<std::uint64_t>(seq);
+  out.kind = *kind;
+  out.thread = static_cast<ThreadId>(thread);
+  out.site = static_cast<SiteId>(site);
+  out.occurrence = static_cast<std::int32_t>(occ);
+  out.lock = static_cast<LockId>(lock);
+  out.other = static_cast<ThreadId>(other);
+  return true;
+}
+
+// Parses "# wolf-trace-end <count> <checksum-hex>".
+bool parse_footer(std::string_view text, std::uint64_t& count,
+                  std::uint64_t& checksum) {
+  std::string_view rest = trim(text.substr(std::string_view(kFooterPrefix).size()));
+  std::vector<std::string> parts = split(rest, ' ');
+  // split may produce empties on repeated spaces; filter them.
+  std::vector<std::string> fields;
+  for (std::string& p : parts)
+    if (!p.empty()) fields.push_back(std::move(p));
+  if (fields.size() != 2) return false;
+  long long n = 0;
+  if (!parse_int(fields[0], n) || n < 0) return false;
+  if (!parse_hex(fields[1], checksum)) return false;
+  count = static_cast<std::uint64_t>(n);
+  return true;
+}
+
 }  // namespace
 
-void write_trace(std::ostream& os, const Trace& trace) {
-  os << kHeader << '\n';
+void write_trace(std::ostream& os, const Trace& trace, TraceFormat format) {
+  os << (format == TraceFormat::kV1 ? kHeaderV1 : kHeaderV2) << '\n';
+  std::uint64_t checksum = kChecksumSeed;
   for (const Event& e : trace.events) {
     os << e.seq << ' ' << to_string(e.kind) << ' ' << e.thread << ' ' << e.site
        << ' ' << e.occurrence << ' ' << e.lock << ' ' << e.other << '\n';
+    checksum = checksum_event(checksum, e);
+  }
+  if (format == TraceFormat::kV2) {
+    os << kFooterPrefix << ' ' << trace.events.size() << ' '
+       << to_hex(checksum) << '\n';
   }
 }
 
-std::string trace_to_string(const Trace& trace) {
+std::string trace_to_string(const Trace& trace, TraceFormat format) {
   std::ostringstream os;
-  write_trace(os, trace);
+  write_trace(os, trace, format);
   return os.str();
+}
+
+std::uint64_t trace_checksum(const Trace& trace) {
+  std::uint64_t checksum = kChecksumSeed;
+  for (const Event& e : trace.events) checksum = checksum_event(checksum, e);
+  return checksum;
 }
 
 std::optional<Trace> read_trace(std::istream& is, std::string* error) {
   std::string line;
-  if (!std::getline(is, line) || trim(line) != kHeader) {
+  if (!std::getline(is, line)) {
     fail(error, "missing wolf-trace header");
     return std::nullopt;
   }
+  int version = 0;
+  auto header = trim(line);
+  if (header == kHeaderV1) version = 1;
+  else if (header == kHeaderV2) version = 2;
+  else {
+    fail(error, "missing wolf-trace header");
+    return std::nullopt;
+  }
+
   Trace trace;
   int lineno = 1;
+  bool footer_seen = false;
+  std::uint64_t footer_count = 0, footer_checksum = 0;
+  std::uint64_t checksum = kChecksumSeed;
+  bool have_prev = false;
+  std::uint64_t prev_seq = 0;
   while (std::getline(is, line)) {
     ++lineno;
     auto text = trim(line);
-    if (text.empty() || text.front() == '#') continue;
-    std::istringstream fields{std::string(text)};
-    std::string kind_str;
-    long long seq = 0, thread = 0, site = 0, occ = 0, lock = 0, other = 0;
-    if (!(fields >> seq >> kind_str >> thread >> site >> occ >> lock >>
-          other)) {
-      fail(error, "malformed event at line " + std::to_string(lineno));
-      return std::nullopt;
+    if (text.empty()) continue;
+    if (text.front() == '#') {
+      if (version == 2 && starts_with(text, kFooterPrefix)) {
+        if (footer_seen) {
+          fail(error,
+               "duplicate wolf-trace footer at line " + std::to_string(lineno));
+          return std::nullopt;
+        }
+        if (!parse_footer(text, footer_count, footer_checksum)) {
+          fail(error,
+               "malformed wolf-trace footer at line " + std::to_string(lineno));
+          return std::nullopt;
+        }
+        footer_seen = true;
+      }
+      continue;
     }
-    auto kind = kind_from_string(kind_str);
-    if (!kind) {
-      fail(error, "unknown event kind '" + kind_str + "' at line " +
-                      std::to_string(lineno));
+    if (footer_seen) {
+      fail(error,
+           "event after wolf-trace footer at line " + std::to_string(lineno));
       return std::nullopt;
     }
     Event e;
-    e.seq = static_cast<std::uint64_t>(seq);
-    e.kind = *kind;
-    e.thread = static_cast<ThreadId>(thread);
-    e.site = static_cast<SiteId>(site);
-    e.occurrence = static_cast<std::int32_t>(occ);
-    e.lock = static_cast<LockId>(lock);
-    e.other = static_cast<ThreadId>(other);
+    std::string err;
+    if (!parse_event_line(text, lineno, e, err)) {
+      fail(error, err);
+      return std::nullopt;
+    }
+    if (have_prev && e.seq <= prev_seq) {
+      fail(error, "non-monotonic sequence number at line " +
+                      std::to_string(lineno));
+      return std::nullopt;
+    }
+    prev_seq = e.seq;
+    have_prev = true;
+    checksum = checksum_event(checksum, e);
     trace.events.push_back(e);
+  }
+  if (version == 2) {
+    if (!footer_seen) {
+      fail(error, "missing wolf-trace footer (truncated trace?)");
+      return std::nullopt;
+    }
+    if (footer_count != trace.events.size()) {
+      fail(error, "footer event count mismatch (footer says " +
+                      std::to_string(footer_count) + ", trace has " +
+                      std::to_string(trace.events.size()) + ")");
+      return std::nullopt;
+    }
+    if (footer_checksum != checksum) {
+      fail(error, "trace checksum mismatch");
+      return std::nullopt;
+    }
   }
   return trace;
 }
@@ -85,6 +222,126 @@ std::optional<Trace> trace_from_string(const std::string& text,
                                        std::string* error) {
   std::istringstream is{text};
   return read_trace(is, error);
+}
+
+SalvageReport read_trace_salvage(std::istream& is) {
+  SalvageReport report;
+  auto diagnose = [&](std::string msg) {
+    if (report.diagnostics.size() < kMaxDiagnostics)
+      report.diagnostics.push_back(std::move(msg));
+  };
+
+  std::string line;
+  if (!std::getline(is, line)) {
+    diagnose("empty input");
+    return report;
+  }
+  int lineno = 1;
+  bool reparse_first = false;
+  auto header = trim(line);
+  if (header == kHeaderV1) {
+    report.version = 1;
+  } else if (header == kHeaderV2) {
+    report.version = 2;
+  } else {
+    diagnose("missing wolf-trace header");
+    reparse_first = true;  // maybe only the header was lost
+  }
+
+  bool prefix_open = true;  // still extending the valid prefix
+  bool footer_seen = false;
+  std::uint64_t footer_count = 0, footer_checksum = 0;
+  std::uint64_t checksum = kChecksumSeed;
+  bool have_prev = false;
+  std::uint64_t prev_seq = 0;
+
+  auto consume = [&](std::string_view text) {
+    if (text.empty()) return;
+    if (text.front() == '#') {
+      // Footer lines matter for v2 and for headerless input (which may be a
+      // v2 trace whose first line was lost); under v1 they are comments.
+      if (report.version != 1 && starts_with(text, kFooterPrefix)) {
+        if (footer_seen) {
+          diagnose("duplicate wolf-trace footer at line " +
+                   std::to_string(lineno));
+          return;
+        }
+        if (!parse_footer(text, footer_count, footer_checksum)) {
+          diagnose("malformed wolf-trace footer at line " +
+                   std::to_string(lineno));
+          return;
+        }
+        footer_seen = true;
+      }
+      return;
+    }
+    if (!prefix_open || footer_seen) {
+      if (footer_seen && prefix_open)
+        diagnose("event after wolf-trace footer at line " +
+                 std::to_string(lineno));
+      prefix_open = false;
+      ++report.events_dropped;
+      return;
+    }
+    Event e;
+    std::string err;
+    if (!parse_event_line(text, lineno, e, err)) {
+      diagnose(err);
+      prefix_open = false;
+      ++report.events_dropped;
+      return;
+    }
+    if (have_prev && e.seq <= prev_seq) {
+      diagnose("non-monotonic sequence number at line " +
+               std::to_string(lineno));
+      prefix_open = false;
+      ++report.events_dropped;
+      return;
+    }
+    prev_seq = e.seq;
+    have_prev = true;
+    checksum = checksum_event(checksum, e);
+    report.trace.events.push_back(e);
+  };
+
+  if (reparse_first) consume(header);
+  while (std::getline(is, line)) {
+    ++lineno;
+    consume(trim(line));
+  }
+
+  if (report.version == 2 && !footer_seen) {
+    diagnose("missing wolf-trace footer (truncated trace?)");
+  } else if (footer_seen) {
+    if (footer_count != report.trace.events.size()) {
+      diagnose("footer event count mismatch (footer says " +
+               std::to_string(footer_count) + ", salvaged " +
+               std::to_string(report.trace.events.size()) + ")");
+    } else if (footer_checksum != checksum) {
+      diagnose("trace checksum mismatch");
+    }
+  }
+  report.complete = report.diagnostics.empty() && report.events_dropped == 0;
+  return report;
+}
+
+SalvageReport salvage_trace_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return read_trace_salvage(is);
+}
+
+std::string SalvageReport::summary() const {
+  std::ostringstream os;
+  os << "salvaged " << trace.events.size() << " event(s)";
+  if (version > 0) os << " from a v" << version << " trace";
+  if (complete) {
+    os << " (complete)";
+  } else {
+    os << " (incomplete: " << events_dropped << " line(s) dropped";
+    if (!diagnostics.empty()) os << "; " << diagnostics.front();
+    os << ")";
+  }
+  return os.str();
 }
 
 }  // namespace wolf

@@ -1,28 +1,72 @@
 // Text (de)serialization of traces.
 //
 // WOLF's pipeline is offline: detection consumes a recorded trace, possibly
-// from an earlier process. The format is line-oriented and versioned:
+// from an earlier process, so the on-disk format must both round-trip exactly
+// and fail loudly when a recording run died mid-write. The format is
+// line-oriented and versioned:
 //
-//   # wolf-trace v1
+//   # wolf-trace v2
 //   <seq> <kind> <thread> <site> <occurrence> <lock> <other>
+//   ...
+//   # wolf-trace-end <count> <checksum-hex>
 //
-// with kind as the short names from event.cpp. Round-tripping is exact.
+// with kind as the short names from event.cpp. v2 appends a footer carrying
+// the event count and a chained mix64 checksum over every event's fields;
+// the strict reader rejects a v2 trace whose footer is missing or does not
+// match (a truncated or corrupted file). v1 traces (no footer) still load.
+// Sequence numbers must be strictly increasing in both versions.
+//
+// Two readers are provided:
+//   * read_trace — strict: any defect returns nullopt with a message;
+//   * read_trace_salvage — recovers the longest valid event prefix from a
+//     damaged file, with per-line diagnostics, so a crash-truncated
+//     recording can still feed detection.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "trace/event.hpp"
 
 namespace wolf {
 
-void write_trace(std::ostream& os, const Trace& trace);
-std::string trace_to_string(const Trace& trace);
+enum class TraceFormat : std::uint8_t {
+  kV1,  // header only (legacy)
+  kV2,  // header + count/checksum footer
+};
 
-// Returns nullopt and fills *error on malformed input.
+void write_trace(std::ostream& os, const Trace& trace,
+                 TraceFormat format = TraceFormat::kV2);
+std::string trace_to_string(const Trace& trace,
+                            TraceFormat format = TraceFormat::kV2);
+
+// The checksum a v2 footer carries for `trace`.
+std::uint64_t trace_checksum(const Trace& trace);
+
+// Strict readers: return nullopt and fill *error on malformed input.
 std::optional<Trace> read_trace(std::istream& is, std::string* error = nullptr);
 std::optional<Trace> trace_from_string(const std::string& text,
                                        std::string* error = nullptr);
+
+// Result of a salvage read: the longest valid event prefix plus diagnostics
+// describing everything that had to be dropped.
+struct SalvageReport {
+  Trace trace;              // the recovered prefix
+  int version = 0;          // 0 when the header is missing/unrecognized
+  bool complete = false;    // true iff nothing was wrong (strict would pass)
+  std::size_t events_dropped = 0;  // non-comment lines not in the prefix
+  std::vector<std::string> diagnostics;  // per-defect messages (capped)
+
+  std::string summary() const;  // one human-readable line
+};
+
+// Tolerant readers: never fail. A missing header, a garbled line, a
+// truncated tail, or a bad footer ends the prefix (or adds a diagnostic)
+// instead of discarding the whole trace.
+SalvageReport read_trace_salvage(std::istream& is);
+SalvageReport salvage_trace_from_string(const std::string& text);
 
 }  // namespace wolf

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "support/check.hpp"
+#include "support/str.hpp"
 #include "trace/event.hpp"
 #include "trace/exec_index.hpp"
 #include "trace/ids.hpp"
@@ -195,6 +199,156 @@ TEST(SerializeTest, EmptyTraceRoundTrips) {
   auto parsed = trace_from_string(trace_to_string(empty));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(parsed->empty());
+}
+
+// ------------------------------------------------------------ v2 format ----
+
+TEST(SerializeV2Test, DefaultFormatCarriesFooter) {
+  std::string text = trace_to_string(sample_trace());
+  EXPECT_NE(text.find("# wolf-trace v2"), std::string::npos);
+  EXPECT_NE(text.find("# wolf-trace-end 8 "), std::string::npos);
+}
+
+TEST(SerializeV2Test, V1FormatStillWritesAndLoads) {
+  Trace original = sample_trace();
+  std::string text = trace_to_string(original, TraceFormat::kV1);
+  EXPECT_NE(text.find("# wolf-trace v1"), std::string::npos);
+  EXPECT_EQ(text.find("wolf-trace-end"), std::string::npos);
+  auto parsed = trace_from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events, original.events);
+}
+
+TEST(SerializeV2Test, MissingFooterRejected) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  lines.erase(lines.end() - 2);  // drop the footer, keep trailing blank
+  std::string error;
+  EXPECT_EQ(trace_from_string(join(lines, "\n"), &error), std::nullopt);
+  EXPECT_NE(error.find("footer"), std::string::npos);
+}
+
+TEST(SerializeV2Test, TamperedEventFailsChecksum) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  // Event line 4 is "3 acquire 1 2 0 5 -1"; move the acquisition to lock 6.
+  lines[4] = "3 acquire 1 2 0 6 -1";
+  std::string error;
+  EXPECT_EQ(trace_from_string(join(lines, "\n"), &error), std::nullopt);
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos);
+}
+
+TEST(SerializeV2Test, CountMismatchRejected) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  lines.erase(lines.begin() + 8);  // drop the last event, keep the footer
+  std::string error;
+  EXPECT_EQ(trace_from_string(join(lines, "\n"), &error), std::nullopt);
+  EXPECT_NE(error.find("count mismatch"), std::string::npos);
+}
+
+TEST(SerializeV2Test, EventAfterFooterRejected) {
+  std::string text = trace_to_string(sample_trace());
+  text += "8 begin 2 0 0 -1 -1\n";
+  std::string error;
+  EXPECT_EQ(trace_from_string(text, &error), std::nullopt);
+  EXPECT_NE(error.find("after wolf-trace footer"), std::string::npos);
+}
+
+TEST(SerializeV2Test, NonMonotonicSeqRejected) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  std::swap(lines[3], lines[4]);
+  std::string error;
+  EXPECT_EQ(trace_from_string(join(lines, "\n"), &error), std::nullopt);
+  EXPECT_NE(error.find("non-monotonic"), std::string::npos);
+  EXPECT_NE(error.find("line 5"), std::string::npos);
+}
+
+// ----------------------------------------------- malformed-trace corpus ----
+//
+// Each damaged input goes through the strict reader (which must name the
+// defect and its line) and through the salvaging reader (which must recover
+// exactly the longest valid event prefix).
+
+TEST(SalvageCorpusTest, TruncatedMidLine) {
+  std::string text = trace_to_string(sample_trace());
+  // Cut inside event line 6 (events 0..4 remain intact, no footer survives).
+  std::size_t cut = text.find("5 end");
+  ASSERT_NE(cut, std::string::npos);
+  std::string damaged = text.substr(0, cut + 3);
+
+  std::string error;
+  EXPECT_EQ(trace_from_string(damaged, &error), std::nullopt);
+  EXPECT_NE(error.find("line 7"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(damaged);
+  EXPECT_EQ(report.version, 2);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), 5u);
+  EXPECT_EQ(report.events_dropped, 1u);
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("line 7"), std::string::npos);
+  EXPECT_NE(report.summary().find("salvaged 5 event(s)"), std::string::npos);
+}
+
+TEST(SalvageCorpusTest, ReorderedSequenceNumbers) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  std::swap(lines[3], lines[4]);  // seq order becomes 0,1,3,2,...
+  SalvageReport report = salvage_trace_from_string(join(lines, "\n"));
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), 3u);  // seq 0,1,3
+  EXPECT_EQ(report.events_dropped, 5u);
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("non-monotonic"), std::string::npos);
+  EXPECT_NE(report.diagnostics[0].find("line 5"), std::string::npos);
+}
+
+TEST(SalvageCorpusTest, UnknownEventKind) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  lines[4] = "3 acquqire 1 2 0 5 -1";
+
+  std::string error;
+  EXPECT_EQ(trace_from_string(join(lines, "\n"), &error), std::nullopt);
+  EXPECT_NE(error.find("acquqire"), std::string::npos);
+  EXPECT_NE(error.find("line 5"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(join(lines, "\n"));
+  EXPECT_EQ(report.trace.size(), 3u);
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("acquqire"), std::string::npos);
+}
+
+TEST(SalvageCorpusTest, BadIntegerField) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  lines[2] = "1 start 0 xx 0 -1 1";
+
+  std::string error;
+  EXPECT_EQ(trace_from_string(join(lines, "\n"), &error), std::nullopt);
+  EXPECT_NE(error.find("malformed event"), std::string::npos);
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(join(lines, "\n"));
+  EXPECT_EQ(report.trace.size(), 1u);
+  EXPECT_FALSE(report.complete);
+}
+
+TEST(SalvageCorpusTest, MissingHeaderStillSalvagesEvents) {
+  std::vector<std::string> lines = split(trace_to_string(sample_trace()), '\n');
+  lines.erase(lines.begin());  // header lost
+  SalvageReport report = salvage_trace_from_string(join(lines, "\n"));
+  EXPECT_EQ(report.version, 0);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), 8u);  // all events recovered
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("header"), std::string::npos);
+}
+
+TEST(SalvageCorpusTest, IntactTraceIsComplete) {
+  SalvageReport report =
+      salvage_trace_from_string(trace_to_string(sample_trace()));
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.version, 2);
+  EXPECT_EQ(report.trace.size(), 8u);
+  EXPECT_EQ(report.events_dropped, 0u);
+  EXPECT_TRUE(report.diagnostics.empty());
+  EXPECT_NE(report.summary().find("complete"), std::string::npos);
 }
 
 }  // namespace

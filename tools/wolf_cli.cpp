@@ -10,6 +10,11 @@
 // programs; `record` serializes a trace to disk, `detect`/`analyze` consume
 // a recorded trace (or record one on the fly), `replay` reproduces one
 // detected cycle — optionally on real OS threads (--rt).
+//
+// Robustness flags: --deadline-ms arms a per-trial wall-clock watchdog,
+// --retry sets recording retry attempts, --salvage loads damaged traces by
+// recovering the longest valid prefix, and --fault injects faults (see
+// robust/fault.hpp for the spec grammar) for degradation drills.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -19,6 +24,7 @@
 #include "core/pipeline.hpp"
 #include "core/ranking.hpp"
 #include "core/report_writer.hpp"
+#include "robust/fault.hpp"
 #include "rt/replay_rt.hpp"
 #include "support/flags.hpp"
 #include "trace/serialize.hpp"
@@ -49,28 +55,65 @@ void list_workloads() {
     std::cout << "  " << f << '\n';
 }
 
+// Parses --fault; returns false (with a message) on a malformed spec. An
+// empty spec leaves `plan` empty.
+bool fault_from_flags(const Flags& flags,
+                      std::optional<robust::FaultPlan>& plan) {
+  const std::string spec = flags.get_string("fault");
+  if (spec.empty()) return true;
+  std::string error;
+  plan = robust::parse_fault_plan(spec, &error);
+  if (!plan) {
+    std::cerr << "bad --fault spec: " << error << '\n';
+    return false;
+  }
+  return true;
+}
+
+robust::RetryPolicy retry_from_flags(const Flags& flags) {
+  robust::RetryPolicy retry;
+  retry.max_attempts = static_cast<int>(flags.get_int("retry"));
+  retry.attempt_deadline_ms = flags.get_int("deadline-ms");
+  return retry;
+}
+
 std::optional<Trace> load_or_record(const sim::Program& program,
                                     const std::string& trace_path,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, const Flags& flags) {
   if (!trace_path.empty()) {
     std::ifstream in(trace_path);
     if (!in) {
       std::cerr << "cannot open " << trace_path << '\n';
       return std::nullopt;
     }
+    if (flags.get_bool("salvage")) {
+      SalvageReport salvaged = read_trace_salvage(in);
+      std::cout << salvaged.summary() << '\n';
+      for (const std::string& d : salvaged.diagnostics)
+        std::cerr << "  " << d << '\n';
+      if (salvaged.trace.empty()) {
+        std::cerr << "nothing salvageable in " << trace_path << '\n';
+        return std::nullopt;
+      }
+      return std::move(salvaged.trace);
+    }
     std::string error;
     auto trace = read_trace(in, &error);
-    if (!trace) std::cerr << "bad trace: " << error << '\n';
+    if (!trace)
+      std::cerr << "bad trace: " << error << " (try --salvage)" << '\n';
     return trace;
   }
-  auto trace = sim::record_trace(program, seed, 60);
+  auto trace = sim::record_trace(program, seed, retry_from_flags(flags));
   if (!trace) std::cerr << "every recording run deadlocked\n";
   return trace;
 }
 
 int cmd_record(const sim::Program& program, const Flags& flags) {
-  auto trace = sim::record_trace(
-      program, static_cast<std::uint64_t>(flags.get_int("seed")), 60);
+  std::optional<robust::FaultPlan> fault;
+  if (!fault_from_flags(flags, fault)) return 1;
+  auto trace =
+      sim::record_trace(program, static_cast<std::uint64_t>(flags.get_int("seed")),
+                        retry_from_flags(flags));
   if (!trace) {
     std::cerr << "every recording run deadlocked\n";
     return 1;
@@ -81,7 +124,12 @@ int cmd_record(const sim::Program& program, const Flags& flags) {
     std::cerr << "cannot write " << out << '\n';
     return 1;
   }
-  write_trace(os, *trace);
+  std::string text = trace_to_string(*trace);
+  if (fault.has_value() && fault->corrupts_trace()) {
+    text = robust::corrupt_trace_text(std::move(text), *fault);
+    std::cout << "fault injection: wrote corrupted trace\n";
+  }
+  os << text;
   std::cout << "recorded " << trace->size() << " events -> " << out << '\n';
   return 0;
 }
@@ -89,7 +137,7 @@ int cmd_record(const sim::Program& program, const Flags& flags) {
 int cmd_detect(const sim::Program& program, const Flags& flags) {
   auto trace =
       load_or_record(program, flags.get_string("trace"),
-                     static_cast<std::uint64_t>(flags.get_int("seed")));
+                     static_cast<std::uint64_t>(flags.get_int("seed")), flags);
   if (!trace) return 1;
 
   DetectorOptions options;
@@ -118,14 +166,20 @@ int cmd_detect(const sim::Program& program, const Flags& flags) {
 }
 
 int cmd_analyze(const sim::Program& program, const Flags& flags) {
+  std::optional<robust::FaultPlan> fault;
+  if (!fault_from_flags(flags, fault)) return 1;
+
   WolfOptions options;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.replay.attempts = static_cast<int>(flags.get_int("attempts"));
+  options.replay.retry.attempt_deadline_ms = flags.get_int("deadline-ms");
+  options.record_attempts = static_cast<int>(flags.get_int("retry"));
+  if (fault.has_value()) options.fault = &*fault;
 
   WolfReport report;
   const std::string trace_path = flags.get_string("trace");
   if (!trace_path.empty()) {
-    auto trace = load_or_record(program, trace_path, options.seed);
+    auto trace = load_or_record(program, trace_path, options.seed, flags);
     if (!trace) return 1;
     report = analyze_trace(program, *trace, options);
   } else {
@@ -154,9 +208,11 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
 }
 
 int cmd_replay(const sim::Program& program, const Flags& flags) {
+  std::optional<robust::FaultPlan> fault;
+  if (!fault_from_flags(flags, fault)) return 1;
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed"));
-  auto trace = load_or_record(program, flags.get_string("trace"), seed);
+  auto trace = load_or_record(program, flags.get_string("trace"), seed, flags);
   if (!trace) return 1;
   Detection det = detect(*trace);
   const auto cycle_index =
@@ -175,6 +231,8 @@ int cmd_replay(const sim::Program& program, const Flags& flags) {
   ReplayOptions options;
   options.attempts = static_cast<int>(flags.get_int("attempts"));
   options.seed = seed + 1;
+  options.retry.attempt_deadline_ms = flags.get_int("deadline-ms");
+  if (fault.has_value()) options.fault = &*fault;
   ReplayStats stats =
       flags.get_bool("rt")
           ? rt::replay_rt(program, det.cycles[cycle_index], det.dep, gen.gs,
@@ -184,7 +242,8 @@ int cmd_replay(const sim::Program& program, const Flags& flags) {
   std::cout << (stats.reproduced() ? "REPRODUCED" : "not reproduced")
             << " after " << stats.attempts << " attempt(s) [hits "
             << stats.hits << ", other-deadlocks " << stats.other_deadlocks
-            << ", clean " << stats.no_deadlocks << "]\n";
+            << ", clean " << stats.no_deadlocks << ", timeouts "
+            << stats.timeouts << "]\n";
   return stats.reproduced() ? 0 : 2;
 }
 
@@ -212,6 +271,13 @@ int main(int argc, char** argv) {
   flags.define_bool("rank", false, "print the defect ranking");
   flags.define_bool("rt", false, "replay on real OS threads");
   flags.define_string("report", "", "write a markdown report to this path");
+  flags.define_int("deadline-ms", 0,
+                   "wall-clock budget per trial (0 = unlimited; rt watchdog)");
+  flags.define_int("retry", 60, "recording retry attempts");
+  flags.define_bool("salvage", false,
+                    "recover the longest valid prefix of a damaged trace");
+  flags.define_string("fault", "",
+                      "fault-injection spec (robust/fault.hpp grammar)");
   if (!flags.parse(argc - 1, argv + 1)) return 1;
 
   auto program = find_workload(flags.get_string("workload"));
