@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/magic_prune.hpp"
 #include "support/check.hpp"
@@ -33,17 +35,30 @@ DefectSignature signature_of(const PotentialDeadlock& cycle,
 namespace {
 
 // DFS state for cycle enumeration.
+//
+// Two indexes replace the original per-candidate linear scans without
+// changing the visit order (and hence the canonical cycle order):
+//   * holders_of_ — lock ℓ → canonical tuples holding ℓ in their lockset, in
+//     dep.unique order. extend() walks holders_of_[lock(last)] instead of
+//     filtering every canonical tuple by holds(lock(last)).
+//   * chain_threads_/chain_locks_ — running thread set and lockset union of
+//     the current chain, so the pairwise-disjointness test is O(|lockset|)
+//     per candidate instead of O(chain · lockset²). Chain locksets are
+//     pairwise disjoint by construction, so a plain set suffices.
 class CycleEnumerator {
  public:
   CycleEnumerator(const LockDependency& dep, const DetectorOptions& options)
-      : dep_(dep), options_(options) {}
+      : dep_(dep), options_(options) {
+    for (std::size_t u : dep_.unique)
+      for (LockId l : dep_.tuples[u].lockset) holders_of_[l].push_back(u);
+  }
 
   std::vector<PotentialDeadlock> run() {
     for (std::size_t u : dep_.unique) {
       if (exhausted()) break;
-      chain_.push_back(u);
+      push_member(u);
       extend();
-      chain_.pop_back();
+      pop_member(u);
     }
     return std::move(cycles_);
   }
@@ -51,15 +66,27 @@ class CycleEnumerator {
  private:
   bool exhausted() const { return cycles_.size() >= options_.max_cycles; }
 
+  void push_member(std::size_t idx) {
+    chain_.push_back(idx);
+    const LockTuple& tuple = dep_.tuples[idx];
+    chain_threads_.push_back(tuple.thread);
+    for (LockId l : tuple.lockset) chain_locks_.insert(l);
+  }
+
+  void pop_member(std::size_t idx) {
+    const LockTuple& tuple = dep_.tuples[idx];
+    for (LockId l : tuple.lockset) chain_locks_.erase(l);
+    chain_threads_.pop_back();
+    chain_.pop_back();
+  }
+
   // True when `candidate` can legally extend the current chain: distinct
   // thread and pairwise-disjoint lockset with every chain member.
   bool compatible(const LockTuple& candidate) const {
-    for (std::size_t idx : chain_) {
-      const LockTuple& member = dep_.tuples[idx];
-      if (member.thread == candidate.thread) return false;
-      for (LockId l : candidate.lockset)
-        if (member.holds(l)) return false;
-    }
+    for (ThreadId t : chain_threads_)
+      if (t == candidate.thread) return false;
+    for (LockId l : candidate.lockset)
+      if (chain_locks_.count(l) != 0) return false;
     return true;
   }
 
@@ -76,22 +103,26 @@ class CycleEnumerator {
     }
     if (static_cast<int>(chain_.size()) >= options_.max_cycle_length) return;
 
-    for (std::size_t u : dep_.unique) {
+    auto holders = holders_of_.find(last.lock);
+    if (holders == holders_of_.end()) return;
+    for (std::size_t u : holders->second) {
       if (exhausted()) return;
       const LockTuple& next = dep_.tuples[u];
       // Canonical rotation: the first tuple's thread is the cycle minimum.
       if (next.thread <= first.thread) continue;
-      if (!next.holds(last.lock)) continue;
       if (!compatible(next)) continue;
-      chain_.push_back(u);
+      push_member(u);
       extend();
-      chain_.pop_back();
+      pop_member(u);
     }
   }
 
   const LockDependency& dep_;
   const DetectorOptions& options_;
+  std::unordered_map<LockId, std::vector<std::size_t>> holders_of_;
   std::vector<std::size_t> chain_;
+  std::vector<ThreadId> chain_threads_;
+  std::unordered_set<LockId> chain_locks_;
   std::vector<PotentialDeadlock> cycles_;
 };
 

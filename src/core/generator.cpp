@@ -94,21 +94,13 @@ std::string SyncDependencyGraph::to_dot(const SiteTable& sites) const {
 }
 
 GeneratorResult generate(const PotentialDeadlock& cycle,
-                         const LockDependency& dep) {
+                         const LockDependency& dep,
+                         const DependencyIndex& index) {
   GeneratorResult result;
   SyncDependencyGraph& gs = result.gs;
 
   const std::set<std::size_t> cycle_set(cycle.tuple_idx.begin(),
                                         cycle.tuple_idx.end());
-
-  // D'_σ: per cycle thread, every tuple up to and including its deadlocking
-  // acquisition, in trace order.
-  std::vector<std::size_t> d_prime;
-  for (std::size_t ci : cycle.tuple_idx) {
-    const LockTuple& eta = dep.tuples[ci];
-    auto prefix = dep.thread_prefix(eta.thread, eta.trace_pos);
-    d_prime.insert(d_prime.end(), prefix.begin(), prefix.end());
-  }
 
   auto vertex_for = [&](const LockTuple& tuple, LockId l) {
     GsVertex v;
@@ -136,19 +128,25 @@ GeneratorResult generate(const PotentialDeadlock& cycle,
   // ηi needs (lockset + requested lock) precedes ηi's acquisition of it,
   // reproducing the observed per-lock order. θ's own deadlocking tuples are
   // excluded as sources — their order is the deadlock itself (type-D).
+  //
+  // Sources come from the index's per-(thread, lock) acquisition order,
+  // walked per cycle thread in cycle order — the same sequence the old
+  // D'_σ scan produced by filtering the concatenated prefixes.
   for (std::size_t i : cycle.tuple_idx) {
     const LockTuple& eta_i = dep.tuples[i];
     std::vector<LockId> needed = eta_i.lockset;
     needed.push_back(eta_i.lock);
     for (LockId lk : needed) {
       Digraph::Node v = vertex_for(eta_i, lk);
-      for (std::size_t x : d_prime) {
-        if (cycle_set.count(x) != 0) continue;
-        const LockTuple& eta_x = dep.tuples[x];
-        if (eta_x.thread == eta_i.thread) continue;
-        if (eta_x.lock != lk) continue;
-        Digraph::Node u = vertex_for(eta_x, lk);
-        gs.add_edge(u, v, GsEdgeKind::kTypeC);
+      for (std::size_t cj : cycle.tuple_idx) {
+        const LockTuple& eta_j = dep.tuples[cj];
+        if (eta_j.thread == eta_i.thread) continue;
+        for (std::size_t x :
+             index.thread_lock_prefix(eta_j.thread, lk, eta_j.trace_pos)) {
+          if (cycle_set.count(x) != 0) continue;
+          Digraph::Node u = vertex_for(dep.tuples[x], lk);
+          gs.add_edge(u, v, GsEdgeKind::kTypeC);
+        }
       }
     }
   }
@@ -157,7 +155,7 @@ GeneratorResult generate(const PotentialDeadlock& cycle,
   // cycle thread within D'_σ.
   for (std::size_t ci : cycle.tuple_idx) {
     const LockTuple& eta = dep.tuples[ci];
-    auto prefix = dep.thread_prefix(eta.thread, eta.trace_pos);
+    auto prefix = index.thread_prefix(eta.thread, eta.trace_pos);
     for (std::size_t k = 1; k < prefix.size(); ++k) {
       const LockTuple& prev = dep.tuples[prefix[k - 1]];
       const LockTuple& next = dep.tuples[prefix[k]];
@@ -176,6 +174,11 @@ GeneratorResult generate(const PotentialDeadlock& cycle,
     result.feasible = true;
   }
   return result;
+}
+
+GeneratorResult generate(const PotentialDeadlock& cycle,
+                         const LockDependency& dep) {
+  return generate(cycle, dep, DependencyIndex::build(dep));
 }
 
 SyncDependencyGraph filter_edges(const SyncDependencyGraph& gs, bool keep_d,

@@ -102,7 +102,19 @@ struct GeneratorResult {
   std::vector<ExecIndex> witness;
 };
 
-// Builds Gs for `cycle` from the full tuple sequence (Algorithm 3).
+// Builds Gs for `cycle` from the full tuple sequence (Algorithm 3), using a
+// prebuilt DependencyIndex for the trace-level scaffolding (D'_σ prefixes and
+// per-lock acquisition order). The index depends only on the trace, so one
+// index serves every cycle of a Detection; only the per-cycle type-D overlay
+// and the cutoff slicing differ between calls. Edge and vertex insertion
+// order is identical to the unindexed path, so the resulting Gs (including
+// node numbering) is bit-identical.
+GeneratorResult generate(const PotentialDeadlock& cycle,
+                         const LockDependency& dep,
+                         const DependencyIndex& index);
+
+// Convenience overload that builds a throwaway index; prefer the indexed
+// form when classifying several cycles of the same trace.
 GeneratorResult generate(const PotentialDeadlock& cycle,
                          const LockDependency& dep);
 

@@ -4,10 +4,40 @@
 #include <map>
 #include <sstream>
 #include <tuple>
+#include <unordered_map>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace wolf {
+
+namespace {
+
+// Dedup key of a tuple: its thread, acquired lock, and context site
+// signature. Equality is exact, so the hash index collapses precisely the
+// same tuples as the ordered map it replaces.
+struct TupleKey {
+  ThreadId thread = kInvalidThread;
+  LockId lock = kInvalidLock;
+  std::vector<SiteId> sites;
+
+  friend bool operator==(const TupleKey&, const TupleKey&) = default;
+};
+
+struct TupleKeyHash {
+  std::size_t operator()(const TupleKey& k) const {
+    std::uint64_t h =
+        mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.thread))
+               << 32) ^
+              static_cast<std::uint32_t>(k.lock));
+    for (SiteId s : k.sites)
+      h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)) +
+                     0x9e3779b97f4a7c15ULL));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
 
 ExecIndex LockTuple::mu(LockId l) const {
   if (l == lock) return context.back();
@@ -81,15 +111,18 @@ LockDependency LockDependency::from_trace(const Trace& trace) {
   }
 
   // Deduplicate by (thread, lock, context site signature): the canonical
-  // representative is the first occurrence.
-  std::map<std::tuple<ThreadId, LockId, std::vector<SiteId>>, std::size_t>
-      seen;
+  // representative is the first occurrence. Hash-indexed — the ordered map
+  // this replaces paid an O(|context|) lexicographic compare per tree level
+  // on every lookup, which dominated D_σ construction on long traces.
+  std::unordered_map<TupleKey, std::size_t, TupleKeyHash> seen;
+  seen.reserve(dep.tuples.size());
   for (std::size_t i = 0; i < dep.tuples.size(); ++i) {
     const LockTuple& t = dep.tuples[i];
-    std::vector<SiteId> sites;
-    sites.reserve(t.context.size());
-    for (const ExecIndex& idx : t.context) sites.push_back(idx.site);
-    auto key = std::make_tuple(t.thread, t.lock, std::move(sites));
+    TupleKey key;
+    key.thread = t.thread;
+    key.lock = t.lock;
+    key.sites.reserve(t.context.size());
+    for (const ExecIndex& idx : t.context) key.sites.push_back(idx.site);
     if (seen.emplace(std::move(key), i).second) dep.unique.push_back(i);
   }
   return dep;
@@ -104,6 +137,41 @@ std::vector<std::size_t> LockDependency::thread_prefix(
     out.push_back(i);
   }
   return out;
+}
+
+DependencyIndex DependencyIndex::build(const LockDependency& dep) {
+  DependencyIndex index;
+  index.dep_ = &dep;
+  // Tuples are in trace order, so each per-thread and per-(thread, lock)
+  // vector comes out sorted by trace_pos for free.
+  for (std::size_t i = 0; i < dep.tuples.size(); ++i) {
+    const LockTuple& t = dep.tuples[i];
+    index.by_thread_[t.thread].push_back(i);
+    index.by_thread_lock_[key(t.thread, t.lock)].push_back(i);
+  }
+  return index;
+}
+
+std::span<const std::size_t> DependencyIndex::prefix_of(
+    const std::vector<std::size_t>* full, std::size_t last_pos) const {
+  if (full == nullptr) return {};
+  auto end = std::upper_bound(
+      full->begin(), full->end(), last_pos,
+      [&](std::size_t pos, std::size_t i) { return pos < dep_->tuples[i].trace_pos; });
+  return {full->data(), static_cast<std::size_t>(end - full->begin())};
+}
+
+std::span<const std::size_t> DependencyIndex::thread_prefix(
+    ThreadId thread, std::size_t last_pos) const {
+  auto it = by_thread_.find(thread);
+  return prefix_of(it == by_thread_.end() ? nullptr : &it->second, last_pos);
+}
+
+std::span<const std::size_t> DependencyIndex::thread_lock_prefix(
+    ThreadId thread, LockId lock, std::size_t last_pos) const {
+  auto it = by_thread_lock_.find(key(thread, lock));
+  return prefix_of(it == by_thread_lock_.end() ? nullptr : &it->second,
+                   last_pos);
 }
 
 }  // namespace wolf

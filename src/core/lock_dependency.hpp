@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "clock/clock_tracker.hpp"
@@ -57,6 +60,44 @@ struct LockDependency {
   // order — the paper's D'_σ restricted to one thread.
   std::vector<std::size_t> thread_prefix(ThreadId thread,
                                          std::size_t last_pos) const;
+};
+
+// Trace-level scaffolding shared by every Gs the Generator builds for one
+// Detection (DESIGN.md §10). The per-thread and per-(thread, lock)
+// acquisition orders depend only on the trace, not on the cycle under
+// classification, so they are computed once and every generate() call
+// slices them by the cycle's cutoff positions instead of rescanning the
+// whole tuple sequence. Read-only after build(): safe to share across the
+// parallel classification workers.
+class DependencyIndex {
+ public:
+  static DependencyIndex build(const LockDependency& dep);
+
+  // Indices of `thread`'s tuples with trace_pos <= last_pos, in trace order —
+  // the same sequence LockDependency::thread_prefix returns, as a view.
+  std::span<const std::size_t> thread_prefix(ThreadId thread,
+                                             std::size_t last_pos) const;
+
+  // Indices of `thread`'s acquisitions *of* `lock` (tuple.lock == lock) with
+  // trace_pos <= last_pos, in trace order. Powers the Generator's type-C
+  // source enumeration.
+  std::span<const std::size_t> thread_lock_prefix(ThreadId thread, LockId lock,
+                                                  std::size_t last_pos) const;
+
+ private:
+  std::span<const std::size_t> prefix_of(const std::vector<std::size_t>* full,
+                                         std::size_t last_pos) const;
+
+  const LockDependency* dep_ = nullptr;  // not owned; must outlive the index
+  std::unordered_map<ThreadId, std::vector<std::size_t>> by_thread_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+      by_thread_lock_;  // key: (thread, lock) packed
+
+  static std::uint64_t key(ThreadId thread, LockId lock) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(thread))
+            << 32) |
+           static_cast<std::uint32_t>(lock);
+  }
 };
 
 }  // namespace wolf

@@ -1,6 +1,10 @@
 #include "core/multi.hpp"
 
+#include <algorithm>
 #include <map>
+#include <vector>
+
+#include "support/thread_pool.hpp"
 
 namespace wolf {
 
@@ -36,13 +40,33 @@ int MultiRunReport::count(Classification c) const {
 MultiRunReport run_wolf_multi(const sim::Program& program,
                               const MultiRunOptions& options) {
   MultiRunReport report;
-  std::map<DefectSignature, std::size_t> index;
+  if (options.runs <= 0) return report;
 
+  // Split the parallelism budget: whole-pipeline runs fan out first, and
+  // whatever is left over parallelizes each run's own classification.
+  const int jobs =
+      options.jobs <= 0 ? ThreadPool::hardware_jobs() : options.jobs;
+  const int outer = std::min(jobs, options.runs);
+  const int inner = std::max(1, jobs / outer);
+
+  // Every run's seed depends only on the run index, so concurrent runs are
+  // fully independent; finished reports land in their own slot.
+  std::vector<WolfReport> run_reports(static_cast<std::size_t>(options.runs));
+  ThreadPool pool(outer);
+  pool.parallel_for_each(
+      static_cast<std::size_t>(options.runs), [&](std::size_t run) {
+        WolfOptions wolf_options = options.wolf;
+        wolf_options.jobs = inner;
+        wolf_options.seed =
+            mix64(options.seed + static_cast<std::uint64_t>(run) * 0x9e37ULL);
+        run_reports[run] = run_wolf(program, wolf_options);
+      });
+
+  // Deterministic merge in run order — identical to the serial loop this
+  // replaces, regardless of which run finished first.
+  std::map<DefectSignature, std::size_t> index;
   for (int run = 0; run < options.runs; ++run) {
-    WolfOptions wolf_options = options.wolf;
-    wolf_options.seed =
-        mix64(options.seed + static_cast<std::uint64_t>(run) * 0x9e37ULL);
-    WolfReport wolf_report = run_wolf(program, wolf_options);
+    WolfReport& wolf_report = run_reports[static_cast<std::size_t>(run)];
     if (!wolf_report.trace_recorded) {
       report.runs.push_back(std::move(wolf_report));
       continue;

@@ -21,6 +21,13 @@ namespace wolf {
 struct MultiRunOptions {
   int runs = 5;
   std::uint64_t seed = 1;  // run i uses a seed derived from this
+  // Total parallelism budget (0 = hardware concurrency). Whole-pipeline runs
+  // execute concurrently, up to min(jobs, runs) at a time; any leftover
+  // budget is spent inside each run's classification phases (wolf.jobs is
+  // overridden accordingly). Results are identical at every jobs level:
+  // per-run seeds depend only on the run index, and runs are merged in run
+  // order after all have finished.
+  int jobs = 1;
   WolfOptions wolf;
 };
 

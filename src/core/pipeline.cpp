@@ -7,6 +7,7 @@
 #include "robust/fault.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace wolf {
 
@@ -166,6 +167,17 @@ Classification defect_classification(const std::vector<CycleReport>& cycles,
                              : Classification::kFalseByPruner;
 }
 
+// Per-cycle scratch state of the parallel classification engine. Workers
+// write only their own slot; everything is merged serially afterwards.
+struct CycleStage {
+  CycleReport report;
+  GeneratorResult gen;
+  bool replay_needed = false;
+  double prune_seconds = 0;
+  double generate_seconds = 0;
+  double replay_seconds = 0;
+};
+
 WolfReport analyze(const sim::Program& program, Trace trace,
                    const WolfOptions& options, double record_seconds) {
   WolfReport report;
@@ -176,64 +188,108 @@ WolfReport analyze(const sim::Program& program, Trace trace,
   report.detection = detect(trace, options.detector);
   report.timings.detect_seconds = watch.seconds();
 
-  // Classify every cycle. Phase timings are accumulated per stage so the
-  // Fig. 10 harness can report detection (prune+generate) and reproduction
-  // overheads separately.
-  std::uint64_t replay_seed = mix64(options.seed ^ 0x57a7e5ULL);
-  // A stage that throws or times out degrades only its own cycle to
-  // kUnknown (with the reason recorded); the remaining cycles still
-  // classify normally.
-  for (std::size_t c = 0; c < report.detection.cycles.size(); ++c) {
-    CycleReport cycle_report;
-    cycle_report.cycle_index = c;
+  const std::size_t cycle_count = report.detection.cycles.size();
+  const int jobs = options.jobs <= 0 ? ThreadPool::hardware_jobs()
+                                     : options.jobs;
+  report.jobs_used = jobs;
+  ThreadPool pool(cycle_count <= 1 ? 1 : jobs);
 
+  // Trace-level Gs scaffolding, shared read-only by every worker.
+  const DependencyIndex dep_index =
+      DependencyIndex::build(report.detection.dep);
+
+  // Classification runs in two parallel phases over independent cycles.
+  // Per-stage timings are accumulated (as CPU seconds, in cycle-index
+  // order) so the Fig. 10 harness can report detection (prune+generate)
+  // and reproduction overheads separately.
+  //
+  // Phase 1 — feasibility: prune + generate per cycle. A stage that throws
+  // degrades only its own cycle to kUnknown (with the reason recorded); the
+  // remaining cycles still classify normally.
+  std::vector<CycleStage> stages(cycle_count);
+  watch.reset();
+  pool.parallel_for_each(cycle_count, [&](std::size_t c) {
+    CycleStage& stage = stages[c];
+    stage.report.cycle_index = c;
     try {
       maybe_throw_injected(options, c);
 
-      watch.reset();
-      cycle_report.prune_verdict = prune_cycle(
+      Stopwatch stage_watch;
+      stage.report.prune_verdict = prune_cycle(
           report.detection.cycles[c], report.detection.dep,
           report.detection.clocks);
-      report.timings.prune_seconds += watch.seconds();
+      stage.prune_seconds = stage_watch.seconds();
 
-      if (options.enable_pruner && is_false(cycle_report.prune_verdict)) {
-        cycle_report.classification = Classification::kFalseByPruner;
-        report.cycles.push_back(cycle_report);
-        continue;
+      if (options.enable_pruner && is_false(stage.report.prune_verdict)) {
+        stage.report.classification = Classification::kFalseByPruner;
+        return;
       }
 
-      watch.reset();
-      GeneratorResult gen =
-          generate(report.detection.cycles[c], report.detection.dep);
-      report.timings.generate_seconds += watch.seconds();
-      cycle_report.gs_vertices = gen.gs.vertex_count();
+      stage_watch.reset();
+      stage.gen =
+          generate(report.detection.cycles[c], report.detection.dep,
+                   dep_index);
+      stage.generate_seconds = stage_watch.seconds();
+      stage.report.gs_vertices = stage.gen.gs.vertex_count();
 
-      if (options.enable_generator_check && !gen.feasible) {
-        cycle_report.classification = Classification::kFalseByGenerator;
-        report.cycles.push_back(cycle_report);
-        continue;
+      if (options.enable_generator_check && !stage.gen.feasible) {
+        stage.report.classification = Classification::kFalseByGenerator;
+        return;
       }
+      stage.replay_needed = true;
+    } catch (const std::exception& e) {
+      stage.report.classification = Classification::kUnknown;
+      stage.report.failure_reason = e.what();
+    }
+  });
+  report.timings.feasibility_wall_seconds = watch.seconds();
 
+  // Replay seeds come from the serial seed chain, advanced in cycle-index
+  // order over exactly the cycles that reach the replay stage. Which cycles
+  // those are is deterministic (prune and generate consume no randomness),
+  // so every jobs level — including the historical serial pipeline this
+  // replaces — sees identical per-cycle seeds, making reports bit-identical.
+  std::uint64_t replay_seed = mix64(options.seed ^ 0x57a7e5ULL);
+  std::vector<std::uint64_t> replay_seeds(cycle_count, 0);
+  for (std::size_t c = 0; c < cycle_count; ++c)
+    if (stages[c].replay_needed)
+      replay_seeds[c] = replay_seed = mix64(replay_seed);
+
+  // Phase 2 — replay the surviving cycles.
+  watch.reset();
+  pool.parallel_for_each(cycle_count, [&](std::size_t c) {
+    CycleStage& stage = stages[c];
+    if (!stage.replay_needed) return;
+    try {
       ReplayOptions replay_options = options.replay;
-      replay_options.seed = replay_seed = mix64(replay_seed);
+      replay_options.seed = replay_seeds[c];
       replay_options.max_steps = options.max_steps;
       replay_options.fault = options.fault;
-      watch.reset();
-      cycle_report.replay_stats =
+      Stopwatch stage_watch;
+      stage.report.replay_stats =
           replay(program, report.detection.cycles[c], report.detection.dep,
-                 gen.gs, replay_options);
-      report.timings.replay_seconds += watch.seconds();
-      if (cycle_report.replay_stats.reproduced()) {
-        cycle_report.classification = Classification::kReproduced;
+                 stage.gen.gs, replay_options);
+      stage.replay_seconds = stage_watch.seconds();
+      if (stage.report.replay_stats.reproduced()) {
+        stage.report.classification = Classification::kReproduced;
       } else {
-        cycle_report.classification = Classification::kUnknown;
-        note_all_timeouts(cycle_report);
+        stage.report.classification = Classification::kUnknown;
+        note_all_timeouts(stage.report);
       }
     } catch (const std::exception& e) {
-      cycle_report.classification = Classification::kUnknown;
-      cycle_report.failure_reason = e.what();
+      stage.report.classification = Classification::kUnknown;
+      stage.report.failure_reason = e.what();
     }
-    report.cycles.push_back(cycle_report);
+  });
+  report.timings.replay_wall_seconds = watch.seconds();
+
+  // Deterministic merge, in cycle-index order.
+  report.cycles.reserve(cycle_count);
+  for (CycleStage& stage : stages) {
+    report.timings.prune_seconds += stage.prune_seconds;
+    report.timings.generate_seconds += stage.generate_seconds;
+    report.timings.replay_seconds += stage.replay_seconds;
+    report.cycles.push_back(std::move(stage.report));
   }
 
   // Defect rollup.

@@ -45,12 +45,31 @@ struct DefectReport {
   std::vector<std::size_t> cycle_indices;  // into WolfReport::cycles
 };
 
+// Per-phase cost of one pipeline run. The record and detect phases are
+// single-threaded, so their fields are plain wall clock. The three
+// classification stages run on the parallel engine: their per-stage fields
+// are *aggregate CPU seconds* (summed over cycles in index order — at
+// jobs=1 that equals wall clock, under concurrency it exceeds it), and the
+// wall clock of the two parallel phases is reported separately so neither
+// view silently lies about the other.
 struct PhaseTimings {
   double record_seconds = 0;
   double detect_seconds = 0;
+  // Aggregate CPU seconds across cycles, per classification stage.
   double prune_seconds = 0;
   double generate_seconds = 0;
   double replay_seconds = 0;
+  // Wall-clock seconds of the two parallel classification phases:
+  // feasibility (prune + generate) and replay.
+  double feasibility_wall_seconds = 0;
+  double replay_wall_seconds = 0;
+
+  double classify_cpu_seconds() const {
+    return prune_seconds + generate_seconds + replay_seconds;
+  }
+  double classify_wall_seconds() const {
+    return feasibility_wall_seconds + replay_wall_seconds;
+  }
 
   double detection_total() const {
     return record_seconds + detect_seconds + prune_seconds + generate_seconds;
@@ -74,6 +93,11 @@ struct WolfOptions {
   // Injected faults, forwarded to the replay substrate and consulted by the
   // classification loop (robust/fault.hpp). nullptr = no faults. Not owned.
   const robust::FaultPlan* fault = nullptr;
+  // Parallelism of the classification phases: 1 = serial (bit-identical to
+  // the historical serial pipeline), 0 = hardware concurrency, N = N-way.
+  // Any value produces identical reports — replay seeds are derived from the
+  // serial seed chain regardless of how cycles are scheduled (DESIGN.md §10).
+  int jobs = 1;
 };
 
 struct WolfReport {
@@ -83,6 +107,7 @@ struct WolfReport {
   std::vector<DefectReport> defects;
   PhaseTimings timings;
   double avg_gs_vertices = 0;  // over generated (non-pruned) cycles
+  int jobs_used = 1;           // effective classification parallelism
 
   int count_cycles(Classification c) const;
   int count_defects(Classification c) const;

@@ -15,6 +15,10 @@
 // --retry sets recording retry attempts, --salvage loads damaged traces by
 // recovering the longest valid prefix, and --fault injects faults (see
 // robust/fault.hpp for the spec grammar) for degradation drills.
+//
+// --jobs N classifies detected cycles N-way parallel (default 0 = hardware
+// concurrency); reports are identical at every N, and --jobs 1 runs the
+// historical serial pipeline.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -144,6 +148,7 @@ int cmd_detect(const sim::Program& program, const Flags& flags) {
   options.magic_prune = flags.get_bool("magic-prune");
   Detection det = detect(*trace, options);
   auto verdicts = prune(det);
+  const DependencyIndex dep_index = DependencyIndex::build(det.dep);
 
   std::cout << det.dep.tuples.size() << " tuples ("
             << det.dep.unique.size() << " canonical), "
@@ -156,7 +161,7 @@ int cmd_detect(const sim::Program& program, const Flags& flags) {
       std::cout << ' ' << program.sites().name(s);
     std::cout << "\n  pruner: " << to_string(verdicts[c]);
     if (!is_false(verdicts[c])) {
-      GeneratorResult gen = generate(det.cycles[c], det.dep);
+      GeneratorResult gen = generate(det.cycles[c], det.dep, dep_index);
       std::cout << ", Gs: " << gen.gs.vertex_count() << " vertices, "
                 << (gen.feasible ? "acyclic" : "CYCLIC (false positive)");
     }
@@ -174,6 +179,7 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   options.replay.attempts = static_cast<int>(flags.get_int("attempts"));
   options.replay.retry.attempt_deadline_ms = flags.get_int("deadline-ms");
   options.record_attempts = static_cast<int>(flags.get_int("retry"));
+  options.jobs = static_cast<int>(flags.get_int("jobs"));
   if (fault.has_value()) options.fault = &*fault;
 
   WolfReport report;
@@ -200,7 +206,8 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
     os << write_markdown_report(report, program.sites());
     std::cout << "report written to " << report_path << '\n';
   }
-  std::cout << report.summary(program.sites());
+  std::cout << "parallelism: " << report.jobs_used << " job(s)\n"
+            << report.summary(program.sites());
   if (flags.get_bool("rank"))
     std::cout << "\nranking (most actionable first):\n"
               << format_ranking(report, program.sites());
@@ -278,6 +285,9 @@ int main(int argc, char** argv) {
                     "recover the longest valid prefix of a damaged trace");
   flags.define_string("fault", "",
                       "fault-injection spec (robust/fault.hpp grammar)");
+  flags.define_int("jobs", 0,
+                   "classification parallelism (0 = hardware concurrency; "
+                   "1 reproduces the serial pipeline exactly)");
   if (!flags.parse(argc - 1, argv + 1)) return 1;
 
   auto program = find_workload(flags.get_string("workload"));
