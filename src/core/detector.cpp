@@ -150,19 +150,32 @@ std::vector<Defect> group_defects(const std::vector<PotentialDeadlock>& cycles,
   return defects;
 }
 
-Detection detect(const Trace& trace, const DetectorOptions& options) {
+Detection StreamingDetector::finish() {
   Detection det;
-  det.dep = LockDependency::from_trace(trace);
-  det.clocks = ClockTracker::from_trace(trace);
-  if (options.magic_prune) {
+  det.dep = builder_.take_dependency();
+  det.clocks = builder_.clocks();
+  builder_.clear();
+  if (options_.magic_prune) {
     LockDependency reduced = det.dep;
     reduced.unique = magic_prune(det.dep);
-    det.cycles = enumerate_cycles(reduced, options);
+    det.cycles = enumerate_cycles(reduced, options_);
   } else {
-    det.cycles = enumerate_cycles(det.dep, options);
+    det.cycles = enumerate_cycles(det.dep, options_);
   }
   det.defects = group_defects(det.cycles, det.dep);
   return det;
+}
+
+Detection detect_reader(TraceReader& reader, const DetectorOptions& options) {
+  StreamingDetector detector(options);
+  std::vector<Event> block;
+  while (reader.next_block(block)) detector.add_block(block);
+  return detector.finish();
+}
+
+Detection detect(const Trace& trace, const DetectorOptions& options) {
+  VectorTraceReader reader(trace);
+  return detect_reader(reader, options);
 }
 
 }  // namespace wolf

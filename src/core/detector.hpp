@@ -22,6 +22,7 @@
 #include "clock/clock_tracker.hpp"
 #include "core/lock_dependency.hpp"
 #include "trace/event.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace wolf {
 
@@ -62,8 +63,43 @@ struct Detection {
 };
 
 // Full detection pass over a recorded trace: rebuilds D_σ + clocks,
-// enumerates cycles, groups defects.
+// enumerates cycles, groups defects. Delegates to detect_reader over a
+// VectorTraceReader, so the materialized and streaming paths are the same
+// code and produce bit-identical Detections.
 Detection detect(const Trace& trace, const DetectorOptions& options = {});
+
+// Detection fed block-by-block from a TraceReader — e.g. a
+// StreamTraceReader over a trace file — without ever materializing the
+// whole event vector. On a defective stream (reader.ok() false afterwards)
+// the Detection reflects the events delivered before the failure; callers
+// that need strictness must check the reader.
+Detection detect_reader(TraceReader& reader,
+                        const DetectorOptions& options = {});
+
+// The incremental core of detect_reader: feed blocks (or single events) as
+// they arrive, then finish() once. D_σ and the clocks advance online
+// (Algorithm 1 order); cycle enumeration and defect grouping — which need
+// the complete relation — run at finish().
+class StreamingDetector {
+ public:
+  explicit StreamingDetector(const DetectorOptions& options = {})
+      : options_(options) {}
+
+  void add(const Event& e) { builder_.add(e); }
+  void add_block(const std::vector<Event>& events) {
+    for (const Event& e : events) builder_.add(e);
+  }
+
+  std::size_t events_seen() const { return builder_.events_seen(); }
+
+  // Enumerates cycles and groups defects over everything added so far, and
+  // returns the completed Detection. Leaves the detector cleared.
+  Detection finish();
+
+ private:
+  DetectorOptions options_;
+  LockDependencyBuilder builder_;
+};
 
 // Cycle enumeration only (used by tests that build D_σ by hand).
 std::vector<PotentialDeadlock> enumerate_cycles(

@@ -67,65 +67,74 @@ std::string LockTuple::to_string() const {
   return os.str();
 }
 
-LockDependency LockDependency::from_trace(const Trace& trace) {
-  LockDependency dep;
-  ClockTracker clocks;
-
-  // Per-thread held-lock state: (lock, acquisition index), acquisition order.
-  std::map<ThreadId, std::vector<std::pair<LockId, ExecIndex>>> held;
-
-  for (std::size_t pos = 0; pos < trace.events.size(); ++pos) {
-    const Event& e = trace.events[pos];
-    clocks.apply(e);
-    switch (e.kind) {
-      case EventKind::kLockAcquire: {
-        auto& stack = held[e.thread];
-        LockTuple tuple;
-        tuple.thread = e.thread;
-        tuple.lock = e.lock;
-        tuple.tau = clocks.timestamp(e.thread);
-        tuple.trace_pos = pos;
-        for (const auto& [l, idx] : stack) {
-          tuple.lockset.push_back(l);
-          tuple.context.push_back(idx);
-        }
-        tuple.context.push_back(e.index());
-        dep.tuples.push_back(std::move(tuple));
-        stack.emplace_back(e.lock, e.index());
-        break;
+void LockDependencyBuilder::add(const Event& e) {
+  const std::size_t pos = pos_++;
+  clocks_.apply(e);
+  switch (e.kind) {
+    case EventKind::kLockAcquire: {
+      auto& stack = held_[e.thread];
+      LockTuple tuple;
+      tuple.thread = e.thread;
+      tuple.lock = e.lock;
+      tuple.tau = clocks_.timestamp(e.thread);
+      tuple.trace_pos = pos;
+      for (const auto& [l, idx] : stack) {
+        tuple.lockset.push_back(l);
+        tuple.context.push_back(idx);
       }
-      case EventKind::kLockRelease: {
-        auto& stack = held[e.thread];
-        auto it = std::find_if(
-            stack.rbegin(), stack.rend(),
-            [&](const auto& h) { return h.first == e.lock; });
-        WOLF_CHECK_MSG(it != stack.rend(),
-                       "trace releases lock " << e.lock << " not held by t"
-                                              << e.thread);
-        stack.erase(std::next(it).base());
-        break;
-      }
-      default:
-        break;
+      tuple.context.push_back(e.index());
+      dep_.tuples.push_back(std::move(tuple));
+      stack.emplace_back(e.lock, e.index());
+      break;
     }
+    case EventKind::kLockRelease: {
+      auto& stack = held_[e.thread];
+      auto it = std::find_if(stack.rbegin(), stack.rend(),
+                             [&](const auto& h) { return h.first == e.lock; });
+      WOLF_CHECK_MSG(it != stack.rend(),
+                     "trace releases lock " << e.lock << " not held by t"
+                                            << e.thread);
+      stack.erase(std::next(it).base());
+      break;
+    }
+    default:
+      break;
   }
+}
 
+LockDependency LockDependencyBuilder::take_dependency() {
   // Deduplicate by (thread, lock, context site signature): the canonical
   // representative is the first occurrence. Hash-indexed — the ordered map
   // this replaces paid an O(|context|) lexicographic compare per tree level
   // on every lookup, which dominated D_σ construction on long traces.
   std::unordered_map<TupleKey, std::size_t, TupleKeyHash> seen;
-  seen.reserve(dep.tuples.size());
-  for (std::size_t i = 0; i < dep.tuples.size(); ++i) {
-    const LockTuple& t = dep.tuples[i];
+  seen.reserve(dep_.tuples.size());
+  dep_.unique.clear();
+  for (std::size_t i = 0; i < dep_.tuples.size(); ++i) {
+    const LockTuple& t = dep_.tuples[i];
     TupleKey key;
     key.thread = t.thread;
     key.lock = t.lock;
     key.sites.reserve(t.context.size());
     for (const ExecIndex& idx : t.context) key.sites.push_back(idx.site);
-    if (seen.emplace(std::move(key), i).second) dep.unique.push_back(i);
+    if (seen.emplace(std::move(key), i).second) dep_.unique.push_back(i);
   }
-  return dep;
+  LockDependency out = std::move(dep_);
+  dep_ = LockDependency{};
+  return out;
+}
+
+void LockDependencyBuilder::clear() {
+  dep_ = LockDependency{};
+  clocks_ = ClockTracker{};
+  held_.clear();
+  pos_ = 0;
+}
+
+LockDependency LockDependency::from_trace(const Trace& trace) {
+  LockDependencyBuilder builder;
+  for (const Event& e : trace.events) builder.add(e);
+  return builder.take_dependency();
 }
 
 std::vector<std::size_t> LockDependency::thread_prefix(

@@ -10,9 +10,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "clock/clock_tracker.hpp"
@@ -60,6 +62,37 @@ struct LockDependency {
   // order — the paper's D'_σ restricted to one thread.
   std::vector<std::size_t> thread_prefix(ThreadId thread,
                                          std::size_t last_pos) const;
+};
+
+// Incremental construction of D_σ plus the τ/V clock state, one event at a
+// time. This is the single build path behind LockDependency::from_trace
+// (offline), OnlineAnalysisSink (during execution) and StreamingDetector
+// (block-by-block off a TraceReader) — because all three feed the same
+// builder, batch and streaming detection cannot diverge.
+class LockDependencyBuilder {
+ public:
+  // Feeds the next event in trace order. Clocks are applied before any tuple
+  // is constructed (Algorithm 1 order); the tuple's trace_pos is the running
+  // event position — the vector index for a materialized trace, equivalently
+  // the dense sequence number of a recorder-produced stream.
+  void add(const Event& e);
+
+  std::size_t tuple_count() const { return dep_.tuples.size(); }
+  std::size_t events_seen() const { return pos_; }
+  const ClockTracker& clocks() const { return clocks_; }
+
+  // Finalizes the relation: computes the deduplicated `unique` view and
+  // moves it out. The clock state and held-lock stacks stay in place, so
+  // callers can still read clocks() afterwards; clear() resets everything.
+  LockDependency take_dependency();
+  void clear();
+
+ private:
+  LockDependency dep_;
+  ClockTracker clocks_;
+  // Per-thread held-lock state: (lock, acquisition index), acquisition order.
+  std::map<ThreadId, std::vector<std::pair<LockId, ExecIndex>>> held_;
+  std::size_t pos_ = 0;
 };
 
 // Trace-level scaffolding shared by every Gs the Generator builds for one

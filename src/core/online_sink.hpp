@@ -6,33 +6,28 @@
 // results available the moment the program exits.
 #pragma once
 
-#include <map>
-#include <tuple>
-#include <utility>
-#include <vector>
-
 #include "clock/clock_tracker.hpp"
 #include "core/lock_dependency.hpp"
 #include "trace/recorder.hpp"
 
 namespace wolf {
 
+// A thin TraceSink adapter over LockDependencyBuilder — the same incremental
+// engine the offline and streaming paths use, so the online relation is the
+// one a post-mortem rebuild of the same event stream would produce.
 class OnlineAnalysisSink final : public TraceSink {
  public:
-  void on_event(Event e) override;
+  void on_event(Event e) override { builder_.add(e); }
 
   // Finalizes and returns the accumulated relation (computing the
   // deduplicated view); leaves the sink reusable after clear().
-  LockDependency take_dependency();
-  const ClockTracker& clocks() const { return clocks_; }
-  std::size_t tuple_count() const { return dep_.tuples.size(); }
-  void clear();
+  LockDependency take_dependency() { return builder_.take_dependency(); }
+  const ClockTracker& clocks() const { return builder_.clocks(); }
+  std::size_t tuple_count() const { return builder_.tuple_count(); }
+  void clear() { builder_.clear(); }
 
  private:
-  LockDependency dep_;
-  ClockTracker clocks_;
-  std::map<ThreadId, std::vector<std::pair<LockId, ExecIndex>>> held_;
-  std::uint64_t next_seq_ = 0;
+  LockDependencyBuilder builder_;
 };
 
 }  // namespace wolf

@@ -178,15 +178,17 @@ struct CycleStage {
   double replay_seconds = 0;
 };
 
-WolfReport analyze(const sim::Program& program, Trace trace,
-                   const WolfOptions& options, double record_seconds) {
+// Classification back half of the pipeline, shared by the materialized and
+// streaming front ends: takes a finished Detection and runs the parallel
+// prune/generate/replay engine over its cycles.
+WolfReport classify_detection(const sim::Program& program, Detection detection,
+                              const WolfOptions& options,
+                              double record_seconds, double detect_seconds) {
   WolfReport report;
   report.trace_recorded = true;
   report.timings.record_seconds = record_seconds;
-
-  Stopwatch watch;
-  report.detection = detect(trace, options.detector);
-  report.timings.detect_seconds = watch.seconds();
+  report.detection = std::move(detection);
+  report.timings.detect_seconds = detect_seconds;
 
   const std::size_t cycle_count = report.detection.cycles.size();
   const int jobs = options.jobs <= 0 ? ThreadPool::hardware_jobs()
@@ -207,7 +209,7 @@ WolfReport analyze(const sim::Program& program, Trace trace,
   // degrades only its own cycle to kUnknown (with the reason recorded); the
   // remaining cycles still classify normally.
   std::vector<CycleStage> stages(cycle_count);
-  watch.reset();
+  Stopwatch watch;
   pool.parallel_for_each(cycle_count, [&](std::size_t c) {
     CycleStage& stage = stages[c];
     stage.report.cycle_index = c;
@@ -314,6 +316,14 @@ WolfReport analyze(const sim::Program& program, Trace trace,
   return report;
 }
 
+WolfReport analyze(const sim::Program& program, const Trace& trace,
+                   const WolfOptions& options, double record_seconds) {
+  Stopwatch watch;
+  Detection detection = detect(trace, options.detector);
+  return classify_detection(program, std::move(detection), options,
+                            record_seconds, watch.seconds());
+}
+
 }  // namespace
 
 WolfReport run_wolf(const sim::Program& program, const WolfOptions& options) {
@@ -329,12 +339,20 @@ WolfReport run_wolf(const sim::Program& program, const WolfOptions& options) {
     report.timings.record_seconds = record_seconds;
     return report;
   }
-  return analyze(program, std::move(*trace), options, record_seconds);
+  return analyze(program, *trace, options, record_seconds);
 }
 
 WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
                          const WolfOptions& options) {
   return analyze(program, trace, options, 0.0);
+}
+
+WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
+                          const WolfOptions& options) {
+  Stopwatch watch;
+  Detection detection = detect_reader(reader, options.detector);
+  return classify_detection(program, std::move(detection), options, 0.0,
+                            watch.seconds());
 }
 
 }  // namespace wolf

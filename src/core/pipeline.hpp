@@ -124,6 +124,15 @@ WolfReport run_wolf(const sim::Program& program, const WolfOptions& options);
 WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
                          const WolfOptions& options);
 
+// Runs the pipeline on a trace streamed from `reader` (the record phase is
+// skipped): detection ingests block-by-block via StreamingDetector, so the
+// full event vector is never materialized. Produces the same report as
+// analyze_trace over the equivalent materialized trace. A mid-stream reader
+// failure (reader.ok() false afterwards) analyzes the prefix delivered;
+// strict callers must check the reader themselves.
+WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
+                          const WolfOptions& options);
+
 // Classifies one detected cycle (prune → generate → replay); exposed for
 // targeted tests and the comparison harnesses.
 CycleReport classify_cycle(const sim::Program& program,

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -49,15 +51,16 @@ struct SourceLoc {
 };
 
 // Registry of static sites. SiteIds are dense indices into this table.
+// intern() sits on the instrumentation hot path (every workload op names a
+// site), so lookups go through a hash index keyed on (function, line);
+// ids are still assigned in first-intern order, so the dense numbering is
+// identical to the linear-scan implementation this replaces.
 class SiteTable {
  public:
   SiteId intern(const std::string& function, int line) {
-    for (SiteId i = 0; i < size(); ++i) {
-      const auto& s = locs_[static_cast<std::size_t>(i)];
-      if (s.line == line && s.function == function) return i;
-    }
-    locs_.push_back(SourceLoc{function, line});
-    return size() - 1;
+    auto [it, inserted] = index_.try_emplace(Key{function, line}, size());
+    if (inserted) locs_.push_back(SourceLoc{function, line});
+    return it->second;
   }
 
   const SourceLoc& loc(SiteId id) const {
@@ -73,7 +76,16 @@ class SiteTable {
   }
 
  private:
+  using Key = std::pair<std::string, int>;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.first) * 1000003u ^
+             static_cast<std::size_t>(k.second);
+    }
+  };
+
   std::vector<SourceLoc> locs_;
+  std::unordered_map<Key, SiteId, KeyHash> index_;
 };
 
 }  // namespace wolf

@@ -1,7 +1,9 @@
 // Trace sinks. Substrates report instrumentation callbacks to a TraceSink;
-// the standard sink is TraceRecorder which assigns global sequence numbers
-// and accumulates a Trace. A NullSink supports "uninstrumented" baseline runs
-// for slowdown measurements.
+// the standard sinks are TraceRecorder (serial: assigns global sequence
+// numbers and accumulates a Trace) and ShardedTraceRecorder
+// (trace/sharded_recorder.hpp — thread-safe, per-thread buffers, no lock on
+// the hot path). A NullSink supports "uninstrumented" baseline runs for
+// slowdown measurements.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +16,10 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   // `e.seq` is ignored on input; sinks that keep events assign their own
-  // sequence numbers. Callers must already hold whatever lock serializes the
-  // substrate's event emission (sim is single-threaded; rt uses a global
-  // recording mutex), so implementations need not be thread-safe themselves.
+  // sequence numbers. Unless a sink documents itself thread-safe (as
+  // ShardedTraceRecorder does), callers must already hold whatever lock
+  // serializes the substrate's event emission (sim is single-threaded; rt
+  // uses a global recording mutex).
   virtual void on_event(Event e) = 0;
 };
 

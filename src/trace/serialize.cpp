@@ -4,124 +4,101 @@
 #include <ostream>
 #include <sstream>
 
-#include "support/rng.hpp"
-#include "support/str.hpp"
+#include "support/check.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/wire.hpp"
 
 namespace wolf {
 
-namespace {
+const char* to_string(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kV1:
+      return "v1";
+    case TraceFormat::kV2:
+      return "v2";
+    case TraceFormat::kV3:
+      return "v3";
+  }
+  return "?";
+}
 
-constexpr const char* kHeaderV1 = "# wolf-trace v1";
-constexpr const char* kHeaderV2 = "# wolf-trace v2";
-constexpr const char* kFooterPrefix = "# wolf-trace-end";
-constexpr std::uint64_t kChecksumSeed = 0x9e3779b97f4a7c15ULL;
-constexpr std::size_t kMaxDiagnostics = 8;
-
-std::optional<EventKind> kind_from_string(std::string_view s) {
-  if (s == "begin") return EventKind::kThreadBegin;
-  if (s == "end") return EventKind::kThreadEnd;
-  if (s == "acquire") return EventKind::kLockAcquire;
-  if (s == "release") return EventKind::kLockRelease;
-  if (s == "start") return EventKind::kThreadStart;
-  if (s == "join") return EventKind::kThreadJoin;
+std::optional<TraceFormat> trace_format_from_string(std::string_view name) {
+  if (name == "v1") return TraceFormat::kV1;
+  if (name == "v2") return TraceFormat::kV2;
+  if (name == "v3") return TraceFormat::kV3;
   return std::nullopt;
 }
 
-void fail(std::string* error, const std::string& msg) {
-  if (error != nullptr) *error = msg;
-}
+namespace {
 
-std::uint64_t checksum_event(std::uint64_t h, const Event& e) {
-  h = mix64(h ^ e.seq);
-  h = mix64(h ^ static_cast<std::uint64_t>(e.kind));
-  h = mix64(h ^ static_cast<std::uint64_t>(e.thread));
-  h = mix64(h ^ static_cast<std::uint64_t>(e.site));
-  h = mix64(h ^ static_cast<std::uint64_t>(
-                    static_cast<std::uint32_t>(e.occurrence)));
-  h = mix64(h ^ static_cast<std::uint64_t>(e.lock));
-  h = mix64(h ^ static_cast<std::uint64_t>(e.other));
-  return h;
-}
-
-std::string to_hex(std::uint64_t v) {
-  std::ostringstream os;
-  os << std::hex << v;
-  return os.str();
-}
-
-bool parse_hex(std::string_view s, std::uint64_t& out) {
-  if (s.empty()) return false;
-  std::uint64_t v = 0;
-  for (char c : s) {
-    int digit;
-    if (c >= '0' && c <= '9') digit = c - '0';
-    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
-    else return false;
-    v = (v << 4) | static_cast<std::uint64_t>(digit);
+void write_trace_text(std::ostream& os, const Trace& trace,
+                      TraceFormat format) {
+  os << (format == TraceFormat::kV1 ? wire::kHeaderV1 : wire::kHeaderV2)
+     << '\n';
+  std::uint64_t checksum = wire::kChecksumSeed;
+  bool have_prev = false;
+  std::uint64_t prev_seq = 0;
+  for (const Event& e : trace.events) {
+    WOLF_CHECK_MSG(!have_prev || e.seq > prev_seq,
+                   "trace writer requires strictly increasing seq");
+    prev_seq = e.seq;
+    have_prev = true;
+    os << e.seq << ' ' << to_string(e.kind) << ' ' << e.thread << ' ' << e.site
+       << ' ' << e.occurrence << ' ' << e.lock << ' ' << e.other << '\n';
+    checksum = wire::checksum_event(checksum, e);
   }
-  out = v;
-  return true;
+  if (format == TraceFormat::kV2) {
+    os << wire::kFooterPrefix << ' ' << trace.events.size() << ' '
+       << wire::to_hex(checksum) << '\n';
+  }
 }
 
-// Parses one event line; on failure fills `err` with a message naming
-// `lineno`.
-bool parse_event_line(std::string_view text, int lineno, Event& out,
-                      std::string& err) {
-  std::istringstream fields{std::string(text)};
-  std::string kind_str;
-  long long seq = 0, thread = 0, site = 0, occ = 0, lock = 0, other = 0;
-  if (!(fields >> seq >> kind_str >> thread >> site >> occ >> lock >> other)) {
-    err = "malformed event at line " + std::to_string(lineno);
-    return false;
+void write_trace_v3(std::ostream& os, const Trace& trace) {
+  os.write(wire::kMagicV3, sizeof wire::kMagicV3);
+  std::string frame, payload;
+  std::uint64_t total_checksum = wire::kChecksumSeed;
+  bool have_prev = false;
+  std::uint64_t prev_seq = 0;
+  for (std::size_t base = 0; base < trace.events.size();
+       base += wire::kBlockEvents) {
+    const std::size_t n =
+        std::min(wire::kBlockEvents, trace.events.size() - base);
+    payload.clear();
+    std::uint64_t block_checksum = wire::kChecksumSeed;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Event& e = trace.events[base + j];
+      WOLF_CHECK_MSG(!have_prev || e.seq > prev_seq,
+                     "trace writer requires strictly increasing seq");
+      wire::put_event(payload, e, j == 0, prev_seq);
+      prev_seq = e.seq;
+      have_prev = true;
+      block_checksum = wire::checksum_event(block_checksum, e);
+      total_checksum = wire::checksum_event(total_checksum, e);
+    }
+    frame.clear();
+    frame.push_back(wire::kBlockTag);
+    wire::put_varint(frame, n);
+    wire::put_varint(frame, payload.size());
+    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    frame.clear();
+    wire::put_u64le(frame, block_checksum);
+    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   }
-  auto kind = kind_from_string(kind_str);
-  if (!kind) {
-    err = "unknown event kind '" + kind_str + "' at line " +
-          std::to_string(lineno);
-    return false;
-  }
-  out.seq = static_cast<std::uint64_t>(seq);
-  out.kind = *kind;
-  out.thread = static_cast<ThreadId>(thread);
-  out.site = static_cast<SiteId>(site);
-  out.occurrence = static_cast<std::int32_t>(occ);
-  out.lock = static_cast<LockId>(lock);
-  out.other = static_cast<ThreadId>(other);
-  return true;
-}
-
-// Parses "# wolf-trace-end <count> <checksum-hex>".
-bool parse_footer(std::string_view text, std::uint64_t& count,
-                  std::uint64_t& checksum) {
-  std::string_view rest = trim(text.substr(std::string_view(kFooterPrefix).size()));
-  std::vector<std::string> parts = split(rest, ' ');
-  // split may produce empties on repeated spaces; filter them.
-  std::vector<std::string> fields;
-  for (std::string& p : parts)
-    if (!p.empty()) fields.push_back(std::move(p));
-  if (fields.size() != 2) return false;
-  long long n = 0;
-  if (!parse_int(fields[0], n) || n < 0) return false;
-  if (!parse_hex(fields[1], checksum)) return false;
-  count = static_cast<std::uint64_t>(n);
-  return true;
+  frame.clear();
+  frame.push_back(wire::kFooterTag);
+  wire::put_varint(frame, trace.events.size());
+  wire::put_u64le(frame, total_checksum);
+  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
 }
 
 }  // namespace
 
 void write_trace(std::ostream& os, const Trace& trace, TraceFormat format) {
-  os << (format == TraceFormat::kV1 ? kHeaderV1 : kHeaderV2) << '\n';
-  std::uint64_t checksum = kChecksumSeed;
-  for (const Event& e : trace.events) {
-    os << e.seq << ' ' << to_string(e.kind) << ' ' << e.thread << ' ' << e.site
-       << ' ' << e.occurrence << ' ' << e.lock << ' ' << e.other << '\n';
-    checksum = checksum_event(checksum, e);
-  }
-  if (format == TraceFormat::kV2) {
-    os << kFooterPrefix << ' ' << trace.events.size() << ' '
-       << to_hex(checksum) << '\n';
-  }
+  if (format == TraceFormat::kV3)
+    write_trace_v3(os, trace);
+  else
+    write_trace_text(os, trace, format);
 }
 
 std::string trace_to_string(const Trace& trace, TraceFormat format) {
@@ -131,89 +108,25 @@ std::string trace_to_string(const Trace& trace, TraceFormat format) {
 }
 
 std::uint64_t trace_checksum(const Trace& trace) {
-  std::uint64_t checksum = kChecksumSeed;
-  for (const Event& e : trace.events) checksum = checksum_event(checksum, e);
+  std::uint64_t checksum = wire::kChecksumSeed;
+  for (const Event& e : trace.events)
+    checksum = wire::checksum_event(checksum, e);
   return checksum;
 }
 
-std::optional<Trace> read_trace(std::istream& is, std::string* error) {
-  std::string line;
-  if (!std::getline(is, line)) {
-    fail(error, "missing wolf-trace header");
-    return std::nullopt;
-  }
-  int version = 0;
-  auto header = trim(line);
-  if (header == kHeaderV1) version = 1;
-  else if (header == kHeaderV2) version = 2;
-  else {
-    fail(error, "missing wolf-trace header");
-    return std::nullopt;
-  }
+// Both batch readers drain the streaming reader (trace_reader.cpp), so the
+// batch and block-by-block paths accept exactly the same inputs and report
+// exactly the same defects.
 
+std::optional<Trace> read_trace(std::istream& is, std::string* error) {
+  StreamTraceReader reader(is, StreamTraceReader::Mode::kStrict);
   Trace trace;
-  int lineno = 1;
-  bool footer_seen = false;
-  std::uint64_t footer_count = 0, footer_checksum = 0;
-  std::uint64_t checksum = kChecksumSeed;
-  bool have_prev = false;
-  std::uint64_t prev_seq = 0;
-  while (std::getline(is, line)) {
-    ++lineno;
-    auto text = trim(line);
-    if (text.empty()) continue;
-    if (text.front() == '#') {
-      if (version == 2 && starts_with(text, kFooterPrefix)) {
-        if (footer_seen) {
-          fail(error,
-               "duplicate wolf-trace footer at line " + std::to_string(lineno));
-          return std::nullopt;
-        }
-        if (!parse_footer(text, footer_count, footer_checksum)) {
-          fail(error,
-               "malformed wolf-trace footer at line " + std::to_string(lineno));
-          return std::nullopt;
-        }
-        footer_seen = true;
-      }
-      continue;
-    }
-    if (footer_seen) {
-      fail(error,
-           "event after wolf-trace footer at line " + std::to_string(lineno));
-      return std::nullopt;
-    }
-    Event e;
-    std::string err;
-    if (!parse_event_line(text, lineno, e, err)) {
-      fail(error, err);
-      return std::nullopt;
-    }
-    if (have_prev && e.seq <= prev_seq) {
-      fail(error, "non-monotonic sequence number at line " +
-                      std::to_string(lineno));
-      return std::nullopt;
-    }
-    prev_seq = e.seq;
-    have_prev = true;
-    checksum = checksum_event(checksum, e);
-    trace.events.push_back(e);
-  }
-  if (version == 2) {
-    if (!footer_seen) {
-      fail(error, "missing wolf-trace footer (truncated trace?)");
-      return std::nullopt;
-    }
-    if (footer_count != trace.events.size()) {
-      fail(error, "footer event count mismatch (footer says " +
-                      std::to_string(footer_count) + ", trace has " +
-                      std::to_string(trace.events.size()) + ")");
-      return std::nullopt;
-    }
-    if (footer_checksum != checksum) {
-      fail(error, "trace checksum mismatch");
-      return std::nullopt;
-    }
+  std::vector<Event> block;
+  while (reader.next_block(block))
+    trace.events.insert(trace.events.end(), block.begin(), block.end());
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return std::nullopt;
   }
   return trace;
 }
@@ -225,103 +138,16 @@ std::optional<Trace> trace_from_string(const std::string& text,
 }
 
 SalvageReport read_trace_salvage(std::istream& is) {
+  StreamTraceReader reader(is, StreamTraceReader::Mode::kSalvage);
   SalvageReport report;
-  auto diagnose = [&](std::string msg) {
-    if (report.diagnostics.size() < kMaxDiagnostics)
-      report.diagnostics.push_back(std::move(msg));
-  };
-
-  std::string line;
-  if (!std::getline(is, line)) {
-    diagnose("empty input");
-    return report;
-  }
-  int lineno = 1;
-  bool reparse_first = false;
-  auto header = trim(line);
-  if (header == kHeaderV1) {
-    report.version = 1;
-  } else if (header == kHeaderV2) {
-    report.version = 2;
-  } else {
-    diagnose("missing wolf-trace header");
-    reparse_first = true;  // maybe only the header was lost
-  }
-
-  bool prefix_open = true;  // still extending the valid prefix
-  bool footer_seen = false;
-  std::uint64_t footer_count = 0, footer_checksum = 0;
-  std::uint64_t checksum = kChecksumSeed;
-  bool have_prev = false;
-  std::uint64_t prev_seq = 0;
-
-  auto consume = [&](std::string_view text) {
-    if (text.empty()) return;
-    if (text.front() == '#') {
-      // Footer lines matter for v2 and for headerless input (which may be a
-      // v2 trace whose first line was lost); under v1 they are comments.
-      if (report.version != 1 && starts_with(text, kFooterPrefix)) {
-        if (footer_seen) {
-          diagnose("duplicate wolf-trace footer at line " +
-                   std::to_string(lineno));
-          return;
-        }
-        if (!parse_footer(text, footer_count, footer_checksum)) {
-          diagnose("malformed wolf-trace footer at line " +
-                   std::to_string(lineno));
-          return;
-        }
-        footer_seen = true;
-      }
-      return;
-    }
-    if (!prefix_open || footer_seen) {
-      if (footer_seen && prefix_open)
-        diagnose("event after wolf-trace footer at line " +
-                 std::to_string(lineno));
-      prefix_open = false;
-      ++report.events_dropped;
-      return;
-    }
-    Event e;
-    std::string err;
-    if (!parse_event_line(text, lineno, e, err)) {
-      diagnose(err);
-      prefix_open = false;
-      ++report.events_dropped;
-      return;
-    }
-    if (have_prev && e.seq <= prev_seq) {
-      diagnose("non-monotonic sequence number at line " +
-               std::to_string(lineno));
-      prefix_open = false;
-      ++report.events_dropped;
-      return;
-    }
-    prev_seq = e.seq;
-    have_prev = true;
-    checksum = checksum_event(checksum, e);
-    report.trace.events.push_back(e);
-  };
-
-  if (reparse_first) consume(header);
-  while (std::getline(is, line)) {
-    ++lineno;
-    consume(trim(line));
-  }
-
-  if (report.version == 2 && !footer_seen) {
-    diagnose("missing wolf-trace footer (truncated trace?)");
-  } else if (footer_seen) {
-    if (footer_count != report.trace.events.size()) {
-      diagnose("footer event count mismatch (footer says " +
-               std::to_string(footer_count) + ", salvaged " +
-               std::to_string(report.trace.events.size()) + ")");
-    } else if (footer_checksum != checksum) {
-      diagnose("trace checksum mismatch");
-    }
-  }
-  report.complete = report.diagnostics.empty() && report.events_dropped == 0;
+  std::vector<Event> block;
+  while (reader.next_block(block))
+    report.trace.events.insert(report.trace.events.end(), block.begin(),
+                               block.end());
+  report.version = reader.version();
+  report.complete = reader.complete();
+  report.events_dropped = reader.events_dropped();
+  report.diagnostics = reader.diagnostics();
   return report;
 }
 
@@ -337,7 +163,7 @@ std::string SalvageReport::summary() const {
   if (complete) {
     os << " (complete)";
   } else {
-    os << " (incomplete: " << events_dropped << " line(s) dropped";
+    os << " (incomplete: " << events_dropped << " dropped";
     if (!diagnostics.empty()) os << "; " << diagnostics.front();
     os << ")";
   }

@@ -1,0 +1,80 @@
+#include "trace/sharded_recorder.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace wolf {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// One-entry per-thread cache of the last recorder this thread touched.
+// Registration (the mutex) is paid once per (thread, recorder) pair; every
+// later on_event resolves the shard with two thread-local loads.
+struct ShardCache {
+  std::uint64_t recorder_id = 0;
+  ShardedTraceRecorder::Shard* shard = nullptr;
+};
+
+thread_local ShardCache tls_shard_cache;
+
+}  // namespace
+
+ShardedTraceRecorder::ShardedTraceRecorder() : id_(next_recorder_id()) {}
+
+ShardedTraceRecorder::Shard& ShardedTraceRecorder::shard() {
+  ShardCache& cache = tls_shard_cache;
+  if (cache.recorder_id == id_) return *cache.shard;
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  shards_.push_back(std::unique_ptr<Shard>(new Shard(&ticket_)));
+  cache.recorder_id = id_;
+  cache.shard = shards_.back().get();
+  return *cache.shard;
+}
+
+Trace ShardedTraceRecorder::take() {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  Trace trace;
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->events_.size();
+  trace.events.reserve(total);
+
+  // K-way merge by seq over the seq-sorted shard buffers: a min-heap of
+  // (next seq, shard index). Tickets are a permutation of 0..total-1, so the
+  // result is the globally seq-ordered trace, independent of shard count or
+  // registration order.
+  using Head = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  std::vector<std::size_t> cursor(shards_.size(), 0);
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    if (!shards_[i]->events_.empty())
+      heap.emplace(shards_[i]->events_.front().seq, i);
+  while (!heap.empty()) {
+    const auto [seq, i] = heap.top();
+    heap.pop();
+    trace.events.push_back(shards_[i]->events_[cursor[i]]);
+    if (++cursor[i] < shards_[i]->events_.size())
+      heap.emplace(shards_[i]->events_[cursor[i]].seq, i);
+  }
+
+  for (auto& s : shards_) s->events_.clear();
+  ticket_.store(0, std::memory_order_relaxed);
+  return trace;
+}
+
+void ShardedTraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (auto& s : shards_) s->events_.clear();
+  ticket_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t ShardedTraceRecorder::shard_count() const {
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  return shards_.size();
+}
+
+}  // namespace wolf

@@ -1,0 +1,85 @@
+// Sharded, lock-free trace recording.
+//
+// TraceRecorder funnels every instrumentation event through one mutable
+// vector, so multi-threaded substrates must serialize emission around it —
+// the recording cost the paper's Table-1 "slowdown" column measures.
+// ShardedTraceRecorder removes the shared-sink bottleneck the way a
+// shard-per-core design would: each recording thread appends to its own
+// cache-line-padded buffer, and the only shared write is a relaxed
+// fetch_add on the global sequence ticket that defines the trace's total
+// order. No mutex is taken on the hot path (the registry mutex is touched
+// once per thread, at first emission).
+//
+// take() performs a deterministic k-way merge of the shard buffers by
+// sequence number. Per-shard buffers are seq-sorted by construction (a
+// thread's tickets are monotonic), so the merge reproduces the global
+// emission order exactly: when callers serialize emission (as the rt
+// executor's monitor does), the merged trace is byte-identical to what the
+// serial TraceRecorder records from the same event stream.
+//
+// Thread contract: on_event()/shard() may be called concurrently from any
+// number of threads. take()/clear() must be externally synchronized with
+// all recording threads (join them first); joining establishes the
+// happens-before edge that makes the shard buffers safe to read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace wolf {
+
+class ShardedTraceRecorder final : public TraceSink {
+ public:
+  // One thread's private event buffer. alignas rounds each shard up to its
+  // own cache lines, so concurrent appends by different threads never
+  // false-share buffer metadata.
+  class alignas(64) Shard {
+   public:
+    void record(Event e) {
+      e.seq = ticket_->fetch_add(1, std::memory_order_relaxed);
+      events_.push_back(e);
+    }
+
+   private:
+    friend class ShardedTraceRecorder;
+    explicit Shard(std::atomic<std::uint64_t>* ticket) : ticket_(ticket) {}
+
+    std::atomic<std::uint64_t>* ticket_;
+    std::vector<Event> events_;
+  };
+
+  ShardedTraceRecorder();
+
+  // The calling thread's shard, registered on first use. After the first
+  // call this is a thread-local cache hit — no shared state is touched.
+  Shard& shard();
+
+  // TraceSink: stamps a ticket and appends to the calling thread's shard.
+  // `e.seq` on input is ignored, exactly like TraceRecorder.
+  void on_event(Event e) override { shard().record(e); }
+
+  // Deterministic k-way merge by seq. Requires all recording threads to be
+  // quiescent (see the thread contract above). Leaves the recorder empty
+  // and reusable; shards stay registered so cached handles remain valid.
+  Trace take();
+
+  // Drops everything recorded so far (same synchronization requirement).
+  void clear();
+
+  std::size_t shard_count() const;
+
+ private:
+  // Instance ids are never reused, so a stale thread-local cache entry can
+  // never alias a new recorder placed at a freed recorder's address.
+  const std::uint64_t id_;
+  alignas(64) std::atomic<std::uint64_t> ticket_{0};
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wolf

@@ -1,0 +1,340 @@
+#include "trace/trace_reader.hpp"
+
+#include <cstring>
+#include <istream>
+
+#include "support/str.hpp"
+#include "trace/wire.hpp"
+
+namespace wolf {
+
+namespace {
+
+constexpr int kEof = std::istream::traits_type::eof();
+
+// Block-size cap accepted by the reader. Writers emit wire::kBlockEvents;
+// anything a reader could not sanely buffer is structural corruption.
+constexpr std::uint64_t kMaxBlockEvents = 1u << 24;
+
+}  // namespace
+
+bool VectorTraceReader::next_block(std::vector<Event>& out) {
+  out.clear();
+  if (pos_ >= trace_->events.size()) return false;
+  const std::size_t n =
+      std::min(wire::kBlockEvents, trace_->events.size() - pos_);
+  out.assign(trace_->events.begin() + static_cast<std::ptrdiff_t>(pos_),
+             trace_->events.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return true;
+}
+
+StreamTraceReader::StreamTraceReader(std::istream& is, Mode mode)
+    : is_(is), mode_(mode), checksum_(wire::kChecksumSeed) {}
+
+void StreamTraceReader::defect(std::string msg) {
+  if (mode_ == Mode::kStrict) {
+    if (error_.empty()) error_ = std::move(msg);
+    stage_ = Stage::kDone;
+    return;
+  }
+  if (diagnostics_.size() < wire::kMaxDiagnostics)
+    diagnostics_.push_back(std::move(msg));
+}
+
+bool StreamTraceReader::next_block(std::vector<Event>& out) {
+  out.clear();
+  if (stage_ == Stage::kStart && !start()) return false;
+  if (stage_ == Stage::kText) return next_text(out);
+  if (stage_ == Stage::kBinary) return next_binary(out);
+  return false;
+}
+
+bool StreamTraceReader::start() {
+  const int first = is_.peek();
+  if (first == kEof) {
+    defect(mode_ == Mode::kStrict ? "missing wolf-trace header"
+                                  : "empty input");
+    stage_ = Stage::kDone;
+    return false;
+  }
+  if (first == (wire::kMagicV3[0] & 0xff)) {
+    char magic[8];
+    if (!is_.read(magic, 8) ||
+        std::memcmp(magic, wire::kMagicV3, sizeof magic) != 0) {
+      defect("bad wolf-trace v3 magic");
+      stage_ = Stage::kDone;
+      return false;
+    }
+    version_ = 3;
+    stage_ = Stage::kBinary;
+    return true;
+  }
+  std::string line;
+  std::getline(is_, line);
+  lineno_ = 1;
+  const auto header = trim(line);
+  if (header == wire::kHeaderV1) {
+    version_ = 1;
+  } else if (header == wire::kHeaderV2) {
+    version_ = 2;
+  } else {
+    defect("missing wolf-trace header");
+    if (mode_ == Mode::kStrict) return false;  // defect() ended the stream
+    // Maybe only the header was lost: reparse line 1 as an event.
+    pending_first_line_ = std::string(header);
+    reparse_first_ = true;
+  }
+  stage_ = Stage::kText;
+  return true;
+}
+
+// ----------------------------------------------------------------- text ----
+
+bool StreamTraceReader::consume_text_line(std::string_view text,
+                                          std::vector<Event>& out) {
+  if (text.empty()) return false;
+  if (text.front() == '#') {
+    // Footer lines matter for v2 and for headerless input (which may be a
+    // v2 trace whose first line was lost); under v1 they are comments.
+    if (version_ != 1 && starts_with(text, wire::kFooterPrefix)) {
+      if (footer_seen_) {
+        defect("duplicate wolf-trace footer at line " +
+               std::to_string(lineno_));
+        return false;
+      }
+      if (!wire::parse_footer(text, footer_count_, footer_checksum_)) {
+        defect("malformed wolf-trace footer at line " +
+               std::to_string(lineno_));
+        return false;
+      }
+      footer_seen_ = true;
+    }
+    return false;
+  }
+  if (!prefix_open_ || footer_seen_) {
+    if (footer_seen_ && prefix_open_)
+      defect("event after wolf-trace footer at line " +
+             std::to_string(lineno_));
+    if (mode_ == Mode::kStrict) return false;
+    prefix_open_ = false;
+    ++events_dropped_;
+    return false;
+  }
+  Event e;
+  std::string err;
+  if (!wire::parse_event_line(text, lineno_, e, err)) {
+    defect(std::move(err));
+    prefix_open_ = false;
+    ++events_dropped_;
+    return false;
+  }
+  if (have_prev_ && e.seq <= prev_seq_) {
+    defect("non-monotonic sequence number at line " + std::to_string(lineno_));
+    prefix_open_ = false;
+    ++events_dropped_;
+    return false;
+  }
+  prev_seq_ = e.seq;
+  have_prev_ = true;
+  checksum_ = wire::checksum_event(checksum_, e);
+  ++count_;
+  out.push_back(e);
+  return true;
+}
+
+bool StreamTraceReader::next_text(std::vector<Event>& out) {
+  if (reparse_first_) {
+    reparse_first_ = false;
+    consume_text_line(pending_first_line_, out);
+  }
+  std::string line;
+  while (stage_ == Stage::kText && out.size() < wire::kBlockEvents &&
+         std::getline(is_, line)) {
+    ++lineno_;
+    consume_text_line(trim(line), out);
+  }
+  if (stage_ == Stage::kDone) {  // strict defect mid-stream
+    out.clear();
+    return false;
+  }
+  if (out.size() >= wire::kBlockEvents) return true;
+  // End of input: run the footer checks, then deliver the final partial
+  // block (unless a strict check just failed).
+  if (version_ == 2 && !footer_seen_) {
+    defect("missing wolf-trace footer (truncated trace?)");
+  } else if (footer_seen_) {
+    if (footer_count_ != count_) {
+      defect("footer event count mismatch (footer says " +
+             std::to_string(footer_count_) + ", " +
+             (mode_ == Mode::kStrict ? "trace has " : "salvaged ") +
+             std::to_string(count_) + ")");
+    } else if (footer_checksum_ != checksum_) {
+      defect("trace checksum mismatch");
+    }
+  }
+  const bool failed = stage_ == Stage::kDone;  // strict footer defect
+  stage_ = Stage::kDone;
+  if (failed || out.empty()) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- binary ----
+
+namespace {
+
+// Reads a varint byte-by-byte off the stream; false on EOF or overlong runs.
+bool stream_varint(std::istream& is, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int c = is.get();
+    if (c == kEof) return false;
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool stream_u64le(std::istream& is, std::uint64_t& out) {
+  char buf[8];
+  if (!is.read(buf, sizeof buf)) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool StreamTraceReader::next_binary(std::vector<Event>& out) {
+  while (stage_ == Stage::kBinary) {
+    const int tag = is_.get();
+    if (tag == kEof) {
+      if (!footer_seen_)
+        defect("missing wolf-trace v3 footer (truncated trace?)");
+      else
+        finish_footer_checks(events_dropped_ > 0);
+      stage_ = Stage::kDone;
+      break;
+    }
+    if (footer_seen_) {
+      defect("data after wolf-trace v3 footer");
+      stage_ = Stage::kDone;
+      break;
+    }
+    if (tag == wire::kFooterTag) {
+      if (!stream_varint(is_, footer_count_) ||
+          !stream_u64le(is_, footer_checksum_)) {
+        defect("malformed wolf-trace v3 footer");
+        stage_ = Stage::kDone;
+        break;
+      }
+      footer_seen_ = true;
+      continue;
+    }
+    if (tag != wire::kBlockTag) {
+      defect("bad wolf-trace v3 block tag (block " +
+             std::to_string(next_block_index_) + ")");
+      stage_ = Stage::kDone;
+      break;
+    }
+
+    const std::string label = "block " + std::to_string(next_block_index_++);
+    std::uint64_t count = 0, payload_size = 0;
+    if (!stream_varint(is_, count) || !stream_varint(is_, payload_size)) {
+      defect(label + ": truncated header");
+      stage_ = Stage::kDone;
+      break;
+    }
+    if (count == 0 || count > kMaxBlockEvents ||
+        payload_size < count * wire::kMinEventBytes ||
+        payload_size > count * wire::kMaxEventBytes) {
+      defect(label + ": malformed header");
+      stage_ = Stage::kDone;
+      break;
+    }
+    std::string payload(static_cast<std::size_t>(payload_size), '\0');
+    if (!is_.read(payload.data(),
+                  static_cast<std::streamsize>(payload_size))) {
+      defect(label + ": truncated payload");
+      events_dropped_ += count;
+      stage_ = Stage::kDone;
+      break;
+    }
+    std::uint64_t stored_checksum = 0;
+    if (!stream_u64le(is_, stored_checksum)) {
+      defect(label + ": truncated checksum");
+      events_dropped_ += count;
+      stage_ = Stage::kDone;
+      break;
+    }
+
+    // Framing is intact from here on, so in salvage mode a defect drops
+    // only this block and the loop moves on to the next one.
+    wire::ByteReader r(payload);
+    out.clear();
+    out.reserve(static_cast<std::size_t>(count));
+    std::uint64_t block_checksum = wire::kChecksumSeed;
+    std::uint64_t prev = 0;
+    bool bad = false;
+    for (std::uint64_t j = 0; j < count && !bad; ++j) {
+      Event e;
+      if (!wire::get_event(r, j == 0, prev, e)) {
+        defect(label + ": malformed event");
+        bad = true;
+        break;
+      }
+      prev = e.seq;
+      block_checksum = wire::checksum_event(block_checksum, e);
+      out.push_back(e);
+    }
+    if (!bad && r.remaining() != 0) {
+      defect(label + ": trailing bytes in payload");
+      bad = true;
+    }
+    if (!bad && block_checksum != stored_checksum) {
+      defect(label + ": checksum mismatch");
+      bad = true;
+    }
+    if (!bad && have_prev_ && out.front().seq <= prev_seq_) {
+      defect(label + ": non-monotonic sequence number");
+      bad = true;
+    }
+    if (bad) {
+      events_dropped_ += count;
+      continue;  // salvage: skip this block; strict: stage_ is kDone
+    }
+    for (const Event& e : out) checksum_ = wire::checksum_event(checksum_, e);
+    prev_seq_ = out.back().seq;
+    have_prev_ = true;
+    count_ += count;
+    return true;
+  }
+  out.clear();
+  return false;
+}
+
+void StreamTraceReader::finish_footer_checks(bool dropped_any) {
+  // With blocks dropped the totals necessarily disagree — the per-block
+  // diagnostics already explain why, so only intact salvages (and strict
+  // reads) compare against the footer.
+  if (mode_ == Mode::kSalvage && dropped_any) return;
+  if (footer_count_ != count_) {
+    defect("footer event count mismatch (footer says " +
+           std::to_string(footer_count_) + ", " +
+           (mode_ == Mode::kStrict ? "trace has " : "salvaged ") +
+           std::to_string(count_) + ")");
+  } else if (footer_checksum_ != checksum_) {
+    defect("trace checksum mismatch");
+  }
+}
+
+}  // namespace wolf

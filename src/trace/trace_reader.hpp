@@ -1,0 +1,122 @@
+// Pull-based streaming trace readers.
+//
+// A TraceReader hands out a recorded trace block-by-block, so consumers —
+// detection via detect_reader(), `wolf analyze` on file input — process
+// traces of any length without materializing the whole std::vector<Event>.
+// Producers:
+//
+//   * VectorTraceReader — adapter over an in-memory Trace (borrowed);
+//   * StreamTraceReader — incremental reader over an std::istream in any
+//     on-disk format (text v1/v2 or binary v3, auto-detected), the
+//     streaming equivalent of read_trace / read_trace_salvage. All three
+//     batch readers in serialize.cpp are thin drains over this class, so
+//     streaming and batch consumption can never diverge.
+//
+// Usage:
+//
+//   StreamTraceReader reader(file);           // strict by default
+//   std::vector<Event> block;
+//   while (reader.next_block(block)) consume(block);
+//   if (!reader.ok()) complain(reader.error());
+//
+// In kStrict mode the first defect stops the stream with error() set; in
+// kSalvage mode defects become diagnostics() and the reader keeps going —
+// recovering the longest valid prefix of a text trace, and every intact
+// block of a v3 trace (a damaged block is skipped by name while the blocks
+// after it still load).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace wolf {
+
+class TraceReader {
+ public:
+  virtual ~TraceReader() = default;
+
+  // Replaces `out` with the next block of events. Returns false when the
+  // stream is exhausted (or, for StreamTraceReader in strict mode, on the
+  // first defect); `out` is empty after a false return.
+  virtual bool next_block(std::vector<Event>& out) = 0;
+};
+
+// Streams an in-memory trace in fixed-size blocks. Borrows the trace; the
+// caller keeps it alive while reading.
+class VectorTraceReader final : public TraceReader {
+ public:
+  explicit VectorTraceReader(const Trace& trace) : trace_(&trace) {}
+  bool next_block(std::vector<Event>& out) override;
+
+ private:
+  const Trace* trace_;
+  std::size_t pos_ = 0;
+};
+
+class StreamTraceReader final : public TraceReader {
+ public:
+  enum class Mode { kStrict, kSalvage };
+
+  // Borrows `is`; the caller keeps the stream alive while reading. v3
+  // streams must be opened in binary mode.
+  explicit StreamTraceReader(std::istream& is, Mode mode = Mode::kStrict);
+  bool next_block(std::vector<Event>& out) override;
+
+  // Valid once next_block has returned false.
+  bool ok() const { return error_.empty(); }        // strict: no defect
+  const std::string& error() const { return error_; }
+
+  // Salvage-mode accounting (mirrors SalvageReport).
+  int version() const { return version_; }
+  bool complete() const {
+    return diagnostics_.empty() && events_dropped_ == 0;
+  }
+  std::size_t events_dropped() const { return events_dropped_; }
+  const std::vector<std::string>& diagnostics() const { return diagnostics_; }
+  std::uint64_t events_read() const { return count_; }
+
+ private:
+  enum class Stage { kStart, kText, kBinary, kDone };
+
+  // Records a defect: strict mode sets error_ and ends the stream; salvage
+  // mode appends a (capped) diagnostic and leaves the stage alone.
+  void defect(std::string msg);
+  bool start();
+  bool next_text(std::vector<Event>& out);
+  bool next_binary(std::vector<Event>& out);
+  // One parsed text line; returns true when an event was appended to `out`.
+  bool consume_text_line(std::string_view text, std::vector<Event>& out);
+  void finish_footer_checks(bool dropped_any);
+
+  std::istream& is_;
+  Mode mode_;
+  Stage stage_ = Stage::kStart;
+  int version_ = 0;
+  std::string error_;
+  std::vector<std::string> diagnostics_;
+  std::size_t events_dropped_ = 0;
+
+  // Shared event-stream state.
+  std::uint64_t count_ = 0;
+  std::uint64_t checksum_;
+  bool have_prev_ = false;
+  std::uint64_t prev_seq_ = 0;
+  bool footer_seen_ = false;
+  std::uint64_t footer_count_ = 0;
+  std::uint64_t footer_checksum_ = 0;
+
+  // Text state.
+  int lineno_ = 0;
+  bool prefix_open_ = true;
+  std::string pending_first_line_;  // headerless salvage: reparse line 1
+  bool reparse_first_ = false;
+
+  // Binary state.
+  std::size_t next_block_index_ = 0;
+};
+
+}  // namespace wolf

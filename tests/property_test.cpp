@@ -8,17 +8,24 @@
 //                  unreachable;
 //   consistency  — every cycle the Replayer reproduces is reachable, and a
 //                  reproduced run's blocked sites equal the cycle signature;
-//   determinism  — recording with the same seed yields the same trace.
+//   determinism  — recording with the same seed yields the same trace;
+//   round-trip   — randomized traces survive every serialization format
+//                  exactly, and v3 salvage after truncation at any block
+//                  boundary recovers precisely the intact whole blocks.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "core/pipeline.hpp"
 #include "core/pruner.hpp"
 #include "explore/explorer.hpp"
 #include "testutil.hpp"
+#include "trace/serialize.hpp"
+#include "trace/wire.hpp"
 
 namespace wolf {
 namespace {
@@ -169,6 +176,118 @@ TEST_P(WolfPropertyTest, FullPipelineNeverMisclassifiesOnRandomPrograms) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WolfPropertyTest, ::testing::Range(0, 30));
+
+// --------------------------------------------------- serialization fuzzing
+
+// A random but well-formed trace: strictly increasing seqs with random gaps
+// (salvaged traces are sparse), random kinds and field values, sized to span
+// `blocks` v3 blocks plus a random partial tail.
+Trace random_trace(Rng& rng, std::size_t blocks) {
+  Trace trace;
+  const std::size_t n = blocks * wire::kBlockEvents + rng.below(64);
+  std::uint64_t seq = rng.below(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.seq = seq;
+    seq += 1 + rng.below(5);
+    e.kind = static_cast<EventKind>(rng.below(6));
+    e.thread = static_cast<ThreadId>(rng.below(64));
+    e.site = rng.chance(0.1) ? kInvalidSite
+                             : static_cast<SiteId>(rng.below(1000));
+    e.occurrence = static_cast<std::int32_t>(rng.below(100000));
+    e.lock = rng.chance(0.2) ? kInvalidLock
+                             : static_cast<LockId>(rng.below(32));
+    e.other = rng.chance(0.5) ? kInvalidThread
+                              : static_cast<ThreadId>(rng.below(64));
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+class SerializationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationPropertyTest, RandomTraceRoundTripsInEveryFormat) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b9ULL + 101);
+  Trace original = random_trace(rng, rng.below(3));
+  for (TraceFormat format :
+       {TraceFormat::kV1, TraceFormat::kV2, TraceFormat::kV3}) {
+    std::string error;
+    auto parsed = trace_from_string(trace_to_string(original, format), &error);
+    ASSERT_TRUE(parsed.has_value())
+        << to_string(format) << " round-trip failed: " << error;
+    EXPECT_EQ(parsed->events, original.events) << to_string(format);
+  }
+}
+
+TEST_P(SerializationPropertyTest, ConversionPreservesChecksumAndEvents) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271ULL + 7);
+  Trace original = random_trace(rng, 1);
+  const std::uint64_t checksum = trace_checksum(original);
+  // v2 -> v3 -> v2: what `wolf convert` does, at the library level.
+  auto as_v3 = trace_from_string(trace_to_string(original, TraceFormat::kV2));
+  ASSERT_TRUE(as_v3.has_value());
+  auto back = trace_from_string(trace_to_string(*as_v3, TraceFormat::kV3));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->events, original.events);
+  EXPECT_EQ(trace_checksum(*back), checksum);
+}
+
+TEST_P(SerializationPropertyTest, TruncationAtEveryBlockBoundary) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL + 9);
+  Trace original = random_trace(rng, 2);  // 2 full blocks + partial tail
+  const std::string bytes = trace_to_string(original, TraceFormat::kV3);
+
+  // Walk the framing to find every block's end offset and event count.
+  std::vector<std::size_t> block_end;
+  std::vector<std::uint64_t> block_count;
+  wire::ByteReader r(bytes);
+  r.p += sizeof wire::kMagicV3;
+  for (;;) {
+    std::uint8_t tag = 0;
+    ASSERT_TRUE(r.get_u8(tag));
+    if (tag == static_cast<std::uint8_t>(wire::kFooterTag)) break;
+    std::uint64_t count = 0, payload = 0;
+    ASSERT_TRUE(r.get_varint(count));
+    ASSERT_TRUE(r.get_varint(payload));
+    r.p += payload + 8;
+    block_count.push_back(count);
+    block_end.push_back(
+        bytes.size() - static_cast<std::size_t>(r.end - r.p));
+  }
+
+  // Truncating cleanly after block k keeps exactly blocks 0..k.
+  std::uint64_t kept = 0;
+  for (std::size_t k = 0; k < block_end.size(); ++k) {
+    kept += block_count[k];
+    const std::string cut = bytes.substr(0, block_end[k]);
+
+    std::string error;
+    EXPECT_EQ(trace_from_string(cut, &error), std::nullopt);
+    EXPECT_NE(error.find("missing wolf-trace v3 footer"), std::string::npos);
+
+    SalvageReport report = salvage_trace_from_string(cut);
+    EXPECT_FALSE(report.complete);
+    ASSERT_EQ(report.trace.size(), kept) << "truncated after block " << k;
+    for (std::size_t i = 0; i < kept; ++i)
+      EXPECT_EQ(report.trace.events[i], original.events[i]);
+  }
+
+  // Truncating mid-block additionally drops the ragged block.
+  for (std::size_t k = 0; k < block_end.size(); ++k) {
+    const std::size_t start = k == 0 ? sizeof wire::kMagicV3
+                                     : block_end[k - 1];
+    const std::size_t cut_at =
+        start + 1 + rng.below(block_end[k] - start - 1);
+    SalvageReport report = salvage_trace_from_string(bytes.substr(0, cut_at));
+    EXPECT_FALSE(report.complete);
+    std::uint64_t whole = 0;
+    for (std::size_t j = 0; j < k; ++j) whole += block_count[j];
+    EXPECT_EQ(report.trace.size(), whole) << "cut inside block " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationPropertyTest,
+                         ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace wolf

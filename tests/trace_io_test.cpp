@@ -1,0 +1,197 @@
+// Cross-layer trace substrate tests: the guarantees that tie recording,
+// serialization and consumption together.
+//
+//   * The sharded recorder's merged trace is byte-identical to the serial
+//     TraceRecorder's when both observe the same emission stream (a tee off
+//     one real rt::execute run — the rt monitor serializes emission, so the
+//     two sinks see identical ordered events).
+//   * Detection is bit-identical whether the trace is consumed in memory
+//     (detect), streamed from v2 text, or streamed from v3 binary
+//     (detect_reader) — the acceptance bar for the streaming refactor.
+//   * analyze_reader produces the same classification-level report as
+//     analyze_trace.
+//   * Converting v2 -> v3 -> v2 reproduces the original file byte for byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "rt/executor.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/recorder.hpp"
+#include "trace/serialize.hpp"
+#include "trace/sharded_recorder.hpp"
+#include "trace/trace_reader.hpp"
+#include "workloads/suite.hpp"
+
+namespace wolf {
+namespace {
+
+// Duplicates every event to two sinks, in order.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink* a, TraceSink* b) : a_(a), b_(b) {}
+  void on_event(Event e) override {
+    a_->on_event(e);
+    b_->on_event(e);
+  }
+
+ private:
+  TraceSink* a_;
+  TraceSink* b_;
+};
+
+TEST(ShardedVsSerialTest, MergedTraceIsByteIdenticalToSerialSink) {
+  // One run, both recorders: any divergence is the recorders' fault, not
+  // schedule noise.
+  const auto suite = workloads::standard_suite();
+  for (const char* name : {"ArrayList", "HashMap"}) {
+    const workloads::Benchmark& bench =
+        workloads::find_benchmark(suite, name);
+    TraceRecorder serial;
+    ShardedTraceRecorder sharded;
+    TeeSink tee(&serial, &sharded);
+    rt::ExecutorOptions options;
+    options.sink = &tee;
+    options.seed = 42;
+    rt::execute(bench.slowdown_program, options);
+
+    Trace from_serial = serial.take();
+    Trace from_sharded = sharded.take();
+    ASSERT_FALSE(from_serial.empty()) << name;
+    EXPECT_EQ(from_sharded.events, from_serial.events) << name;
+    EXPECT_EQ(trace_to_string(from_sharded, TraceFormat::kV3),
+              trace_to_string(from_serial, TraceFormat::kV3))
+        << name;
+  }
+}
+
+// Everything a Detection asserts, flattened; equal strings = bit-identical
+// detection results.
+std::string detection_fingerprint(const Detection& d) {
+  std::ostringstream os;
+  os << d.dep.tuples.size() << '/' << d.dep.unique.size() << '\n';
+  for (const LockTuple& t : d.dep.tuples) {
+    os << t.thread << ':' << t.lock << ':' << t.tau << ':' << t.trace_pos
+       << ':';
+    for (LockId l : t.lockset) os << l << ',';
+    os << ':';
+    for (const ExecIndex& e : t.context)
+      os << e.thread << '.' << e.site << '.' << e.occurrence << ',';
+    os << '\n';
+  }
+  for (const PotentialDeadlock& c : d.cycles) {
+    os << "cycle:";
+    for (std::size_t t : c.tuple_idx) os << t << ',';
+    os << '\n';
+  }
+  for (const Defect& def : d.defects) {
+    os << "defect:";
+    for (SiteId s : def.signature) os << s << ',';
+    os << '=';
+    for (std::size_t c : def.cycle_idx) os << c << ',';
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(StreamingDetectionTest, IdenticalAcrossAllFormatAndPathCombos) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "HashMap");
+  auto trace = sim::record_trace(bench.program, 7, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+
+  const std::string baseline = detection_fingerprint(detect(*trace));
+  ASSERT_FALSE(baseline.empty());
+
+  {  // In-memory reader.
+    VectorTraceReader reader(*trace);
+    EXPECT_EQ(detection_fingerprint(detect_reader(reader)), baseline);
+  }
+  for (TraceFormat format : {TraceFormat::kV1, TraceFormat::kV2,
+                             TraceFormat::kV3}) {  // streamed from disk bytes
+    std::istringstream is{trace_to_string(*trace, format)};
+    StreamTraceReader reader(is);
+    EXPECT_EQ(detection_fingerprint(detect_reader(reader)), baseline)
+        << to_string(format);
+    EXPECT_TRUE(reader.ok()) << reader.error();
+  }
+}
+
+TEST(StreamingDetectionTest, StreamingDetectorIngestsIncrementally) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "ArrayList");
+  auto trace = sim::record_trace(bench.program, 3, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+
+  StreamingDetector streaming;
+  for (const Event& e : trace->events) streaming.add(e);
+  EXPECT_EQ(streaming.events_seen(), trace->events.size());
+  EXPECT_EQ(detection_fingerprint(streaming.finish()),
+            detection_fingerprint(detect(*trace)));
+}
+
+// The classification-level content of a report (mirrors the equivalence
+// fingerprint the perf_pipeline harness checks).
+std::string report_fingerprint(const WolfReport& report) {
+  std::ostringstream os;
+  for (const CycleReport& c : report.cycles)
+    os << c.cycle_index << ':' << to_string(c.classification) << ':'
+       << c.gs_vertices << ':' << c.replay_stats.attempts << ','
+       << c.replay_stats.hits << '\n';
+  for (const DefectReport& d : report.defects) {
+    os << "defect:";
+    for (SiteId s : d.signature) os << s << ',';
+    os << to_string(d.classification) << '\n';
+  }
+  return os.str();
+}
+
+TEST(AnalyzeReaderTest, MatchesAnalyzeTraceOnV3Stream) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "ArrayList");
+  auto trace = sim::record_trace(bench.program, 11, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+
+  WolfOptions options;
+  options.seed = 5;
+  options.replay.attempts = 4;
+  options.max_steps = bench.max_steps;
+  WolfReport batch = analyze_trace(bench.program, *trace, options);
+
+  std::istringstream is{trace_to_string(*trace, TraceFormat::kV3)};
+  StreamTraceReader reader(is);
+  WolfReport streamed = analyze_reader(bench.program, reader, options);
+  EXPECT_TRUE(reader.ok()) << reader.error();
+
+  EXPECT_EQ(report_fingerprint(streamed), report_fingerprint(batch));
+  EXPECT_EQ(streamed.cycles.size(), batch.cycles.size());
+  EXPECT_EQ(streamed.defects.size(), batch.defects.size());
+}
+
+TEST(ConvertTest, V2ToV3AndBackIsByteIdentical) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "ArrayList");
+  auto trace = sim::record_trace(bench.program, 1, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+
+  const std::string v2 = trace_to_string(*trace, TraceFormat::kV2);
+  auto decoded_v2 = trace_from_string(v2);
+  ASSERT_TRUE(decoded_v2.has_value());
+  const std::string v3 = trace_to_string(*decoded_v2, TraceFormat::kV3);
+  auto decoded_v3 = trace_from_string(v3);
+  ASSERT_TRUE(decoded_v3.has_value());
+  EXPECT_EQ(trace_to_string(*decoded_v3, TraceFormat::kV2), v2);
+  EXPECT_EQ(trace_checksum(*decoded_v3), trace_checksum(*trace));
+  EXPECT_LE(v3.size() * 2, v2.size());  // the size win convert exists for
+}
+
+}  // namespace
+}  // namespace wolf

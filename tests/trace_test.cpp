@@ -2,8 +2,10 @@
 // serialization.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +16,9 @@
 #include "trace/ids.hpp"
 #include "trace/recorder.hpp"
 #include "trace/serialize.hpp"
+#include "trace/sharded_recorder.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/wire.hpp"
 
 namespace wolf {
 namespace {
@@ -53,6 +58,21 @@ TEST(SiteTableTest, NameFormatsFunctionAndLine) {
 TEST(SiteTableTest, BadIdThrows) {
   SiteTable sites;
   EXPECT_THROW(sites.loc(0), CheckFailure);
+}
+
+TEST(SiteTableTest, InternAssignsDenseIdsInFirstSeenOrder) {
+  // The hash-indexed intern must number sites exactly like the linear scan
+  // it replaced: dense ids, in order of first appearance.
+  SiteTable sites;
+  EXPECT_EQ(sites.intern("A.a", 1), 0);
+  EXPECT_EQ(sites.intern("B.b", 2), 1);
+  EXPECT_EQ(sites.intern("A.a", 3), 2);   // same function, new line
+  EXPECT_EQ(sites.intern("B.b", 2), 1);   // repeat hits the old id
+  EXPECT_EQ(sites.intern("C.c", 1), 3);
+  EXPECT_EQ(sites.intern("A.a", 1), 0);
+  EXPECT_EQ(sites.size(), 4);
+  EXPECT_EQ(sites.loc(2).function, "A.a");
+  EXPECT_EQ(sites.loc(2).line, 3);
 }
 
 // ---------------------------------------------------------------- ExecIndex
@@ -349,6 +369,338 @@ TEST(SalvageCorpusTest, IntactTraceIsComplete) {
   EXPECT_EQ(report.events_dropped, 0u);
   EXPECT_TRUE(report.diagnostics.empty());
   EXPECT_NE(report.summary().find("complete"), std::string::npos);
+}
+
+// ------------------------------------------------------------ v3 format ----
+
+// A dense trace spanning `blocks` full v3 blocks (wire::kBlockEvents each).
+Trace block_trace(std::size_t blocks, std::size_t extra = 0) {
+  Trace trace;
+  const std::size_t n = blocks * wire::kBlockEvents + extra;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e = make_event(
+        (i & 1) == 0 ? EventKind::kLockAcquire : EventKind::kLockRelease,
+        static_cast<ThreadId>(i % 3), static_cast<SiteId>(i % 11),
+        static_cast<std::int32_t>(i / 11), static_cast<LockId>(i % 5));
+    e.seq = i;
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+// Byte offset just past block `index`'s trailing checksum in v3 bytes.
+// Walks the real framing, so it stays correct if the encoding evolves.
+std::size_t end_of_block(const std::string& bytes, std::size_t index) {
+  std::size_t off = sizeof wire::kMagicV3;
+  for (std::size_t b = 0;; ++b) {
+    EXPECT_EQ(bytes[off], wire::kBlockTag);
+    ++off;
+    auto varint = [&]() {
+      std::uint64_t v = 0;
+      for (int shift = 0;; shift += 7) {
+        const auto c = static_cast<unsigned char>(bytes[off++]);
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0) return v;
+      }
+    };
+    varint();  // event count
+    const std::uint64_t payload = varint();
+    off += static_cast<std::size_t>(payload) + 8;  // payload + checksum
+    if (b == index) return off;
+  }
+}
+
+TEST(SerializeV3Test, RoundTripsExactly) {
+  Trace original = sample_trace();
+  std::string bytes = trace_to_string(original, TraceFormat::kV3);
+  EXPECT_EQ(bytes.compare(0, sizeof wire::kMagicV3, wire::kMagicV3,
+                          sizeof wire::kMagicV3),
+            0);
+  std::string error;
+  auto parsed = trace_from_string(bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->events, original.events);
+}
+
+TEST(SerializeV3Test, EmptyTraceRoundTrips) {
+  auto parsed = trace_from_string(trace_to_string(Trace{}, TraceFormat::kV3));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(SerializeV3Test, MultiBlockTraceRoundTripsExactly) {
+  Trace original = block_trace(2, 17);
+  auto parsed = trace_from_string(trace_to_string(original, TraceFormat::kV3));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events, original.events);
+}
+
+TEST(SerializeV3Test, SparseSequenceNumbersRoundTrip) {
+  // Delta coding must not assume dense seqs (a salvaged source trace keeps
+  // the survivors' original numbering).
+  Trace original = sample_trace();
+  for (std::size_t i = 0; i < original.events.size(); ++i)
+    original.events[i].seq = 10 + 7 * i;
+  auto parsed = trace_from_string(trace_to_string(original, TraceFormat::kV3));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events, original.events);
+}
+
+TEST(SerializeV3Test, SmallerThanV2) {
+  Trace trace = block_trace(1);
+  const std::size_t v2 = trace_to_string(trace, TraceFormat::kV2).size();
+  const std::size_t v3 = trace_to_string(trace, TraceFormat::kV3).size();
+  EXPECT_LE(v3 * 2, v2);  // the advertised >= 2x size win
+}
+
+TEST(SerializeV3Test, ChecksumIdenticalAcrossFormats) {
+  Trace trace = sample_trace();
+  const std::string hex = wire::to_hex(trace_checksum(trace));
+  // The v2 footer carries the checksum in hex; the v3 footer carries the
+  // same value in binary.
+  EXPECT_NE(trace_to_string(trace, TraceFormat::kV2).find(hex),
+            std::string::npos);
+  std::string bytes = trace_to_string(trace, TraceFormat::kV3);
+  std::uint64_t v3_footer = 0;
+  for (int i = 0; i < 8; ++i)
+    v3_footer |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                     bytes[bytes.size() - 8 + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+  EXPECT_EQ(v3_footer, trace_checksum(trace));
+}
+
+// --------------------------------------------- v3 malformed-trace corpus ----
+
+TEST(SalvageCorpusV3Test, BadMagicRejected) {
+  std::string bytes = trace_to_string(sample_trace(), TraceFormat::kV3);
+  bytes[3] ^= 0x20;  // damage the magic
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(bytes);
+  EXPECT_EQ(report.version, 0);
+  EXPECT_FALSE(report.complete);
+  EXPECT_TRUE(report.trace.empty());
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("magic"), std::string::npos);
+}
+
+TEST(SalvageCorpusV3Test, CorruptBlockChecksumNamesTheBlock) {
+  Trace original = block_trace(3);
+  std::string bytes = trace_to_string(original, TraceFormat::kV3);
+  // Flip one payload byte inside block 1.
+  bytes[end_of_block(bytes, 0) + 20] ^= 0x01;
+
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("block 1"), std::string::npos);
+
+  // Salvage drops exactly block 1; blocks 0 and 2 survive.
+  SalvageReport report = salvage_trace_from_string(bytes);
+  EXPECT_EQ(report.version, 3);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), 2 * wire::kBlockEvents);
+  EXPECT_EQ(report.events_dropped, wire::kBlockEvents);
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("block 1"), std::string::npos);
+  for (std::size_t i = 0; i < wire::kBlockEvents; ++i) {
+    EXPECT_EQ(report.trace.events[i].seq, i);
+    EXPECT_EQ(report.trace.events[wire::kBlockEvents + i].seq,
+              2 * wire::kBlockEvents + i);
+  }
+}
+
+TEST(SalvageCorpusV3Test, CorruptStoredChecksumNamesTheBlock) {
+  Trace original = block_trace(2);
+  std::string bytes = trace_to_string(original, TraceFormat::kV3);
+  bytes[end_of_block(bytes, 0) - 1] ^= 0xff;  // block 0's stored checksum
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("block 0: checksum mismatch"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(bytes);
+  EXPECT_EQ(report.trace.size(), wire::kBlockEvents);  // block 1 survives
+  EXPECT_EQ(report.trace.events.front().seq, wire::kBlockEvents);
+}
+
+TEST(SalvageCorpusV3Test, TruncatedFooterDetected) {
+  std::string bytes = trace_to_string(sample_trace(), TraceFormat::kV3);
+  bytes.resize(bytes.size() - 4);  // cut inside the footer checksum
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("footer"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(bytes);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), 8u);  // the events themselves survive
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("footer"), std::string::npos);
+}
+
+TEST(SalvageCorpusV3Test, MissingFooterDetected) {
+  Trace original = block_trace(1);
+  std::string bytes = trace_to_string(original, TraceFormat::kV3);
+  bytes.resize(end_of_block(bytes, 0));  // clean cut after block 0
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("missing wolf-trace v3 footer"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(bytes);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), wire::kBlockEvents);
+}
+
+TEST(SalvageCorpusV3Test, TruncatedPayloadDetected) {
+  Trace original = block_trace(2);
+  std::string bytes = trace_to_string(original, TraceFormat::kV3);
+  bytes.resize(end_of_block(bytes, 1) - 30);  // cut inside block 1
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("block 1"), std::string::npos);
+
+  SalvageReport report = salvage_trace_from_string(bytes);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.trace.size(), wire::kBlockEvents);  // block 0 intact
+  EXPECT_EQ(report.events_dropped, wire::kBlockEvents);
+}
+
+TEST(SalvageCorpusV3Test, DataAfterFooterRejected) {
+  std::string bytes = trace_to_string(sample_trace(), TraceFormat::kV3);
+  bytes.push_back('B');
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("after wolf-trace v3 footer"), std::string::npos);
+}
+
+TEST(SalvageCorpusV3Test, IntactV3TraceIsComplete) {
+  SalvageReport report = salvage_trace_from_string(
+      trace_to_string(sample_trace(), TraceFormat::kV3));
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.version, 3);
+  EXPECT_EQ(report.trace.size(), 8u);
+  EXPECT_EQ(report.events_dropped, 0u);
+  EXPECT_NE(report.summary().find("v3"), std::string::npos);
+}
+
+// ---------------------------------------------------- streaming reader ----
+
+TEST(StreamTraceReaderTest, DeliversBlocksIncrementally) {
+  Trace original = block_trace(2, 5);
+  std::istringstream is{trace_to_string(original, TraceFormat::kV3)};
+  StreamTraceReader reader(is, StreamTraceReader::Mode::kStrict);
+  std::vector<Event> block;
+  std::vector<std::size_t> sizes;
+  std::size_t total = 0;
+  while (reader.next_block(block)) {
+    sizes.push_back(block.size());
+    for (const Event& e : block) EXPECT_EQ(e.seq, total++);
+  }
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.complete());
+  EXPECT_EQ(reader.version(), 3);
+  EXPECT_EQ(total, original.events.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{wire::kBlockEvents,
+                                             wire::kBlockEvents, 5}));
+}
+
+TEST(StreamTraceReaderTest, TextStreamsInBlocksToo) {
+  Trace original = block_trace(1, 3);
+  std::istringstream is{trace_to_string(original, TraceFormat::kV2)};
+  StreamTraceReader reader(is, StreamTraceReader::Mode::kStrict);
+  std::vector<Event> block;
+  std::size_t total = 0, calls = 0;
+  while (reader.next_block(block)) {
+    ++calls;
+    total += block.size();
+  }
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.version(), 2);
+  EXPECT_EQ(total, original.events.size());
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(VectorTraceReaderTest, ChunksABorrowedTrace) {
+  Trace trace = block_trace(1, 1);
+  VectorTraceReader reader(trace);
+  std::vector<Event> block;
+  std::size_t total = 0;
+  while (reader.next_block(block)) total += block.size();
+  EXPECT_EQ(total, trace.events.size());
+}
+
+// ------------------------------------------------------ sharded recorder ----
+
+TEST(ShardedRecorderTest, SingleThreadMatchesSerialRecorderExactly) {
+  TraceRecorder serial;
+  ShardedTraceRecorder sharded;
+  for (int i = 0; i < 100; ++i) {
+    Event e = make_event(EventKind::kLockAcquire, i % 4,
+                         static_cast<SiteId>(i % 7), i / 7, i % 3);
+    serial.on_event(e);
+    sharded.on_event(e);
+  }
+  Trace merged = sharded.take();
+  EXPECT_EQ(merged.events, serial.take().events);
+  EXPECT_EQ(sharded.shard_count(), 1u);
+}
+
+TEST(ShardedRecorderTest, ConcurrentMergePreservesPerThreadOrder) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  ShardedTraceRecorder recorder;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&recorder, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        Event e = make_event(EventKind::kLockAcquire,
+                             static_cast<ThreadId>(t), 0,
+                             static_cast<std::int32_t>(i), 1);
+        recorder.on_event(e);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(recorder.shard_count(), static_cast<std::size_t>(kThreads));
+
+  Trace merged = recorder.take();
+  ASSERT_EQ(merged.events.size(), kThreads * kPerThread);
+  // Tickets are a dense permutation; the merge restores global seq order.
+  std::vector<std::int32_t> next_occ(kThreads, 0);
+  for (std::size_t i = 0; i < merged.events.size(); ++i) {
+    const Event& e = merged.events[i];
+    EXPECT_EQ(e.seq, i);
+    // Each thread's own events come back in its emission order.
+    EXPECT_EQ(e.occurrence, next_occ[static_cast<std::size_t>(e.thread)]++);
+  }
+}
+
+TEST(ShardedRecorderTest, TakeLeavesRecorderReusable) {
+  ShardedTraceRecorder recorder;
+  recorder.on_event(make_event(EventKind::kThreadBegin, 0));
+  EXPECT_EQ(recorder.take().size(), 1u);
+  recorder.on_event(make_event(EventKind::kThreadBegin, 1));
+  Trace second = recorder.take();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.events[0].seq, 0u);  // ticket restarted
+  EXPECT_EQ(second.events[0].thread, 1);
+}
+
+TEST(ShardedRecorderTest, ClearDropsEverything) {
+  ShardedTraceRecorder recorder;
+  recorder.on_event(make_event(EventKind::kThreadBegin, 0));
+  recorder.clear();
+  EXPECT_TRUE(recorder.take().empty());
+}
+
+TEST(ShardedRecorderTest, TwoRecordersOnOneThreadStayIndependent) {
+  // The thread-local shard cache must re-resolve when the same thread
+  // alternates between recorders.
+  ShardedTraceRecorder a, b;
+  a.on_event(make_event(EventKind::kThreadBegin, 0));
+  b.on_event(make_event(EventKind::kThreadBegin, 1));
+  a.on_event(make_event(EventKind::kThreadEnd, 0));
+  EXPECT_EQ(a.take().size(), 2u);
+  EXPECT_EQ(b.take().size(), 1u);
 }
 
 }  // namespace

@@ -1,15 +1,19 @@
 // wolf — command-line front end to the WOLF pipeline.
 //
-//   wolf record   --workload=HashMap --seed=7 --out=trace.txt
+//   wolf record   --workload=HashMap --seed=7 --out=trace.txt [--format=v3]
 //   wolf detect   --workload=HashMap --trace=trace.txt [--magic-prune]
 //   wolf analyze  --workload=HashMap [--trace=trace.txt] [--rank]
 //   wolf replay   --workload=HashMap --cycle=2 --attempts=10 [--rt]
+//   wolf convert  trace.txt trace.bin [--format=v1|v2|v3]
 //   wolf list
 //
 // Workloads are the built-in benchmark suite plus the paper's figure
-// programs; `record` serializes a trace to disk, `detect`/`analyze` consume
-// a recorded trace (or record one on the fly), `replay` reproduces one
-// detected cycle — optionally on real OS threads (--rt).
+// programs; `record` serializes a trace to disk (text v1/v2 or binary v3),
+// `detect`/`analyze` consume a recorded trace (or record one on the fly) —
+// `analyze --trace` streams the file through detection block-by-block —
+// `replay` reproduces one detected cycle, optionally on real OS threads
+// (--rt), and `convert` rewrites a trace in another format, preserving the
+// checksum.
 //
 // Robustness flags: --deadline-ms arms a per-trial wall-clock watchdog,
 // --retry sets recording retry attempts, --salvage loads damaged traces by
@@ -23,6 +27,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/magic_prune.hpp"
 #include "core/pipeline.hpp"
@@ -32,6 +37,8 @@
 #include "rt/replay_rt.hpp"
 #include "support/flags.hpp"
 #include "trace/serialize.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/wire.hpp"
 #include "workloads/paper_examples.hpp"
 #include "workloads/suite.hpp"
 
@@ -85,7 +92,7 @@ std::optional<Trace> load_or_record(const sim::Program& program,
                                     const std::string& trace_path,
                                     std::uint64_t seed, const Flags& flags) {
   if (!trace_path.empty()) {
-    std::ifstream in(trace_path);
+    std::ifstream in(trace_path, std::ios::binary);
     if (!in) {
       std::cerr << "cannot open " << trace_path << '\n';
       return std::nullopt;
@@ -122,19 +129,72 @@ int cmd_record(const sim::Program& program, const Flags& flags) {
     std::cerr << "every recording run deadlocked\n";
     return 1;
   }
+  auto format = trace_format_from_string(flags.get_string("format"));
+  if (!format) {
+    std::cerr << "bad --format '" << flags.get_string("format")
+              << "' (want v1|v2|v3)\n";
+    return 1;
+  }
   const std::string out = flags.get_string("out");
-  std::ofstream os(out);
+  std::ofstream os(out, std::ios::binary);
   if (!os) {
     std::cerr << "cannot write " << out << '\n';
     return 1;
   }
-  std::string text = trace_to_string(*trace);
+  std::string text = trace_to_string(*trace, *format);
   if (fault.has_value() && fault->corrupts_trace()) {
     text = robust::corrupt_trace_text(std::move(text), *fault);
     std::cout << "fault injection: wrote corrupted trace\n";
   }
   os << text;
-  std::cout << "recorded " << trace->size() << " events -> " << out << '\n';
+  std::cout << "recorded " << trace->size() << " events -> " << out << " ("
+            << to_string(*format) << ")\n";
+  return 0;
+}
+
+// wolf convert <in> <out> [--format=v1|v2|v3] — rewrites a trace in another
+// format. The input format is auto-detected; the event checksum (carried by
+// v2 and v3 footers) is a function of the events alone, so it survives every
+// conversion and is echoed for scripts to compare.
+int cmd_convert(int argc, char** argv) {
+  if (argc < 2 || std::string_view(argv[0]).substr(0, 2) == "--" ||
+      std::string_view(argv[1]).substr(0, 2) == "--") {
+    std::cerr << "usage: wolf convert <in> <out> [--format=v1|v2|v3]\n";
+    return 1;
+  }
+  const std::string in_path = argv[0];
+  const std::string out_path = argv[1];
+  Flags flags;
+  flags.define_string("format", "v3", "output trace format (v1|v2|v3)");
+  // parse() treats its argv[0] as the program name, so hand it the slot
+  // before the first flag.
+  if (!flags.parse(argc - 1, argv + 1)) return 1;
+  auto format = trace_format_from_string(flags.get_string("format"));
+  if (!format) {
+    std::cerr << "bad --format '" << flags.get_string("format")
+              << "' (want v1|v2|v3)\n";
+    return 1;
+  }
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << in_path << '\n';
+    return 1;
+  }
+  std::string error;
+  auto trace = read_trace(in, &error);
+  if (!trace) {
+    std::cerr << "bad trace: " << error << '\n';
+    return 1;
+  }
+  std::ofstream os(out_path, std::ios::binary);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  write_trace(os, *trace, *format);
+  std::cout << "converted " << trace->size() << " events -> " << out_path
+            << " (" << to_string(*format) << ", checksum "
+            << wire::to_hex(trace_checksum(*trace)) << ")\n";
   return 0;
 }
 
@@ -184,7 +244,22 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
 
   WolfReport report;
   const std::string trace_path = flags.get_string("trace");
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() && !flags.get_bool("salvage")) {
+    // Stream the file through detection block-by-block; the full event
+    // vector is never materialized.
+    std::ifstream in(trace_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << trace_path << '\n';
+      return 1;
+    }
+    StreamTraceReader reader(in, StreamTraceReader::Mode::kStrict);
+    report = analyze_reader(program, reader, options);
+    if (!reader.ok()) {
+      std::cerr << "bad trace: " << reader.error() << " (try --salvage)"
+                << '\n';
+      return 1;
+    }
+  } else if (!trace_path.empty()) {
     auto trace = load_or_record(program, trace_path, options.seed, flags);
     if (!trace) return 1;
     report = analyze_trace(program, *trace, options);
@@ -258,7 +333,8 @@ int cmd_replay(const sim::Program& program, const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: wolf <record|detect|analyze|replay|list> [flags]\n";
+    std::cerr
+        << "usage: wolf <record|detect|analyze|replay|convert|list> [flags]\n";
     return 1;
   }
   const std::string command = argv[1];
@@ -266,11 +342,14 @@ int main(int argc, char** argv) {
     list_workloads();
     return 0;
   }
+  if (command == "convert") return cmd_convert(argc - 2, argv + 2);
 
   Flags flags;
   flags.define_string("workload", "", "built-in workload name (see `list`)");
   flags.define_string("trace", "", "path to a recorded trace (optional)");
   flags.define_string("out", "trace.txt", "output path for `record`");
+  flags.define_string("format", "v2",
+                      "trace format written by `record` (v1|v2|v3)");
   flags.define_int("seed", 2014, "seed");
   flags.define_int("attempts", 10, "replay attempts");
   flags.define_int("cycle", 0, "cycle index for `replay`");
