@@ -1,0 +1,56 @@
+// Scalable cycle enumeration over D_σ (DESIGN.md §12).
+//
+// Two engines produce the canonical cycle sequence of detector.hpp:
+//
+//   * kReference — the original iGoodLock-style DFS over every canonical
+//     tuple, kept verbatim as the executable specification of the cycle
+//     order and as the differential-testing baseline.
+//   * kScc — the scalable engine. The tuple-level holds→requests digraph is
+//     Tarjan-SCC-partitioned (graph/digraph), and DFS runs only from tuples
+//     in nontrivial SCCs, never leaving the start tuple's component: a cycle
+//     through η is itself a digraph cycle, hence confined to SCC(η), so
+//     acyclic regions of D_σ cost nothing. Chain state is dense-id bitsets
+//     (thread word-mask, lockset word-mask per tuple) instead of hash sets,
+//     and the Pruner's pairwise clock data (ClockPairMatrix) can optionally
+//     cut never-overlapping branches during the search.
+//
+// Both engines emit cycles in the identical canonical order — the SCC
+// restriction and the clock cut only skip subtrees that emit nothing — so a
+// Detection is bit-identical across engines and, because per-start-tuple
+// enumerations are independent and merged in canonical order, across every
+// DetectorOptions::jobs level too.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clock/clock_tracker.hpp"
+#include "core/detector.hpp"
+
+namespace wolf {
+
+struct EnumerationResult {
+  std::vector<PotentialDeadlock> cycles;
+  // True when enumeration stopped at DetectorOptions::max_cycles; more
+  // cycles may exist beyond the ones returned.
+  bool truncated = false;
+};
+
+// The reference engine: DetectorOptions::engine/jobs/clock_prune_during_search
+// are ignored (it is the serial, unpruned baseline).
+EnumerationResult enumerate_cycles_reference(const LockDependency& dep,
+                                             const DetectorOptions& options);
+
+// The SCC-partitioned engine. `clocks` is only consulted when
+// options.clock_prune_during_search is set; passing nullptr disables the
+// in-search cut (the enumeration is then bit-identical to the reference).
+EnumerationResult enumerate_cycles_scc(const LockDependency& dep,
+                                       const DetectorOptions& options,
+                                       const ClockTracker* clocks = nullptr);
+
+// Dispatch on options.engine; what detect()/StreamingDetector call.
+EnumerationResult enumerate_cycles_ex(const LockDependency& dep,
+                                      const DetectorOptions& options,
+                                      const ClockTracker* clocks = nullptr);
+
+}  // namespace wolf

@@ -1,13 +1,13 @@
 #include "core/detector.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "core/cycle_engine.hpp"
 #include "core/magic_prune.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace wolf {
 
@@ -32,111 +32,34 @@ DefectSignature signature_of(const PotentialDeadlock& cycle,
   return sig;
 }
 
+std::vector<PotentialDeadlock> enumerate_cycles(
+    const LockDependency& dep, const DetectorOptions& options) {
+  return enumerate_cycles_ex(dep, options).cycles;
+}
+
 namespace {
 
-// DFS state for cycle enumeration.
-//
-// Two indexes replace the original per-candidate linear scans without
-// changing the visit order (and hence the canonical cycle order):
-//   * holders_of_ — lock ℓ → canonical tuples holding ℓ in their lockset, in
-//     dep.unique order. extend() walks holders_of_[lock(last)] instead of
-//     filtering every canonical tuple by holds(lock(last)).
-//   * chain_threads_/chain_locks_ — running thread set and lockset union of
-//     the current chain, so the pairwise-disjointness test is O(|lockset|)
-//     per candidate instead of O(chain · lockset²). Chain locksets are
-//     pairwise disjoint by construction, so a plain set suffices.
-class CycleEnumerator {
- public:
-  CycleEnumerator(const LockDependency& dep, const DetectorOptions& options)
-      : dep_(dep), options_(options) {
-    for (std::size_t u : dep_.unique)
-      for (LockId l : dep_.tuples[u].lockset) holders_of_[l].push_back(u);
+// Signatures are short sorted SiteId vectors; hash them the same way
+// LockDependencyBuilder keys tuples (mix64 chaining).
+struct DefectSignatureHash {
+  std::size_t operator()(const DefectSignature& sig) const {
+    std::uint64_t h = 0x5157ea7de7ec70ULL;
+    for (SiteId s : sig)
+      h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)));
+    return static_cast<std::size_t>(h);
   }
-
-  std::vector<PotentialDeadlock> run() {
-    for (std::size_t u : dep_.unique) {
-      if (exhausted()) break;
-      push_member(u);
-      extend();
-      pop_member(u);
-    }
-    return std::move(cycles_);
-  }
-
- private:
-  bool exhausted() const { return cycles_.size() >= options_.max_cycles; }
-
-  void push_member(std::size_t idx) {
-    chain_.push_back(idx);
-    const LockTuple& tuple = dep_.tuples[idx];
-    chain_threads_.push_back(tuple.thread);
-    for (LockId l : tuple.lockset) chain_locks_.insert(l);
-  }
-
-  void pop_member(std::size_t idx) {
-    const LockTuple& tuple = dep_.tuples[idx];
-    for (LockId l : tuple.lockset) chain_locks_.erase(l);
-    chain_threads_.pop_back();
-    chain_.pop_back();
-  }
-
-  // True when `candidate` can legally extend the current chain: distinct
-  // thread and pairwise-disjoint lockset with every chain member.
-  bool compatible(const LockTuple& candidate) const {
-    for (ThreadId t : chain_threads_)
-      if (t == candidate.thread) return false;
-    for (LockId l : candidate.lockset)
-      if (chain_locks_.count(l) != 0) return false;
-    return true;
-  }
-
-  void extend() {
-    if (exhausted()) return;
-    const LockTuple& first = dep_.tuples[chain_.front()];
-    const LockTuple& last = dep_.tuples[chain_.back()];
-
-    // Close the cycle? Requires length >= 2 and lock(last) ∈ lockset(first).
-    if (chain_.size() >= 2 && first.holds(last.lock)) {
-      PotentialDeadlock cycle;
-      cycle.tuple_idx = chain_;
-      cycles_.push_back(std::move(cycle));
-    }
-    if (static_cast<int>(chain_.size()) >= options_.max_cycle_length) return;
-
-    auto holders = holders_of_.find(last.lock);
-    if (holders == holders_of_.end()) return;
-    for (std::size_t u : holders->second) {
-      if (exhausted()) return;
-      const LockTuple& next = dep_.tuples[u];
-      // Canonical rotation: the first tuple's thread is the cycle minimum.
-      if (next.thread <= first.thread) continue;
-      if (!compatible(next)) continue;
-      push_member(u);
-      extend();
-      pop_member(u);
-    }
-  }
-
-  const LockDependency& dep_;
-  const DetectorOptions& options_;
-  std::unordered_map<LockId, std::vector<std::size_t>> holders_of_;
-  std::vector<std::size_t> chain_;
-  std::vector<ThreadId> chain_threads_;
-  std::unordered_set<LockId> chain_locks_;
-  std::vector<PotentialDeadlock> cycles_;
 };
 
 }  // namespace
 
-std::vector<PotentialDeadlock> enumerate_cycles(
-    const LockDependency& dep, const DetectorOptions& options) {
-  return CycleEnumerator(dep, options).run();
-}
-
 std::vector<Defect> group_defects(const std::vector<PotentialDeadlock>& cycles,
                                   const LockDependency& dep) {
+  // First-seen order: defects[k] is keyed by the k-th distinct signature in
+  // cycle order, so the grouping is independent of the hash function.
   std::vector<Defect> defects;
-  std::map<DefectSignature, std::size_t> by_signature;
+  std::unordered_map<DefectSignature, std::size_t, DefectSignatureHash>
+      by_signature;
+  by_signature.reserve(cycles.size());
   for (std::size_t c = 0; c < cycles.size(); ++c) {
     DefectSignature sig = signature_of(cycles[c], dep);
     auto [it, inserted] = by_signature.emplace(sig, defects.size());
@@ -155,13 +78,17 @@ Detection StreamingDetector::finish() {
   det.dep = builder_.take_dependency();
   det.clocks = builder_.clocks();
   builder_.clear();
+  EnumerationResult res;
   if (options_.magic_prune) {
     LockDependency reduced = det.dep;
     reduced.unique = magic_prune(det.dep);
-    det.cycles = enumerate_cycles(reduced, options_);
+    res = enumerate_cycles_ex(reduced, options_, &det.clocks);
   } else {
-    det.cycles = enumerate_cycles(det.dep, options_);
+    res = enumerate_cycles_ex(det.dep, options_, &det.clocks);
   }
+  det.cycles = std::move(res.cycles);
+  det.truncated = res.truncated;
+  det.cycle_cap = res.truncated ? options_.max_cycles : 0;
   det.defects = group_defects(det.cycles, det.dep);
   return det;
 }

@@ -45,14 +45,36 @@ struct Defect {
   std::vector<std::size_t> cycle_idx;  // indices into Detection::cycles
 };
 
+// Which cycle-enumeration engine runs (core/cycle_engine.hpp). Both produce
+// bit-identical Detections; the reference engine exists for differential
+// testing and as the executable specification of the canonical cycle order.
+enum class CycleEngine : std::uint8_t {
+  kReference,  // the original iGoodLock-style DFS over all canonical tuples
+  kScc,        // SCC-partitioned bitset DFS, optionally parallel (default)
+};
+
 struct DetectorOptions {
   int max_cycle_length = 5;  // threads per cycle
   // Safety valve for pathological traces; enumeration stops after this many
-  // cycles (never hit by the workloads in this repo).
+  // cycles (never hit by the workloads in this repo) and the Detection is
+  // flagged truncated.
   std::size_t max_cycles = 100000;
   // MagicFuzzer-style fixpoint reduction of the tuple set before cycle
   // enumeration (core/magic_prune.hpp). Cycle-set preserving.
   bool magic_prune = false;
+  // Enumeration engine; see CycleEngine.
+  CycleEngine engine = CycleEngine::kScc;
+  // Enumeration parallelism across canonical start tuples (SCC engine only):
+  // 1 = serial, 0 = hardware concurrency, N = N-way. Cycles merge in
+  // canonical start-tuple order, so the Detection is bit-identical at every
+  // level.
+  int jobs = 1;
+  // Folds the Pruner's (S,J) overlap test (Algorithm 2) into the DFS as a
+  // branch cut: a chain containing a thread pair that provably cannot
+  // overlap is abandoned before it spawns cycles, so the emitted cycle set
+  // equals the post-prune() survivors instead of the full enumeration.
+  // SCC engine only; changes Detection::cycles by design (default off).
+  bool clock_prune_during_search = false;
 };
 
 struct Detection {
@@ -60,6 +82,11 @@ struct Detection {
   ClockTracker clocks;  // final τ/V state of the recorded execution
   std::vector<PotentialDeadlock> cycles;
   std::vector<Defect> defects;
+  // True when enumeration stopped at DetectorOptions::max_cycles — the
+  // cycle and defect lists may be incomplete. cycle_cap records the cap
+  // that was hit (0 when not truncated).
+  bool truncated = false;
+  std::size_t cycle_cap = 0;
 };
 
 // Full detection pass over a recorded trace: rebuilds D_σ + clocks,
@@ -101,7 +128,9 @@ class StreamingDetector {
   LockDependencyBuilder builder_;
 };
 
-// Cycle enumeration only (used by tests that build D_σ by hand).
+// Cycle enumeration only (used by tests that build D_σ by hand). Dispatches
+// on options.engine; truncation and clock-aware variants live in
+// core/cycle_engine.hpp.
 std::vector<PotentialDeadlock> enumerate_cycles(
     const LockDependency& dep, const DetectorOptions& options = {});
 

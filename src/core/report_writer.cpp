@@ -46,6 +46,13 @@ std::string write_markdown_report(const WolfReport& report,
   os << "| Left for manual analysis | "
      << report.count_defects(Classification::kUnknown) << " |\n\n";
 
+  if (report.detection.truncated) {
+    os << "> **Warning:** cycle enumeration stopped at the configured cap of "
+       << report.detection.cycle_cap
+       << " cycles; more potential deadlocks may exist. Re-run with a larger "
+          "`--max-cycles` for exhaustive enumeration.\n\n";
+  }
+
   if (options.include_ranking && !report.defects.empty()) {
     os << "## Defects, most actionable first\n\n";
     int position = 1;

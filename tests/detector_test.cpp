@@ -165,6 +165,13 @@ TEST(DetectorTest, MaxCyclesCapStopsEnumeration) {
   options.max_cycles = 4;
   Detection det = detect(*trace, options);
   EXPECT_EQ(det.cycles.size(), 4u);
+  EXPECT_TRUE(det.truncated);
+  EXPECT_EQ(det.cycle_cap, 4u);
+
+  // Without hitting the cap the detection reports itself complete.
+  Detection full = detect(*trace);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.cycle_cap, 0u);
 }
 
 TEST(DetectorTest, Figure1PatternIsDetectedAsCycle) {

@@ -56,6 +56,21 @@ TEST(ReportWriterTest, SectionsCanBeDisabled) {
   EXPECT_EQ(md.find("## Phase timings"), std::string::npos);
 }
 
+TEST(ReportWriterTest, WarnsWhenEnumerationTruncated) {
+  sim::Program program;
+  WolfReport report = hashmap_report(program);
+  EXPECT_EQ(write_markdown_report(report, program.sites())
+                .find("**Warning:** cycle enumeration stopped"),
+            std::string::npos);
+
+  report.detection.truncated = true;
+  report.detection.cycle_cap = 4;
+  std::string md = write_markdown_report(report, program.sites());
+  EXPECT_NE(md.find("**Warning:** cycle enumeration stopped"),
+            std::string::npos);
+  EXPECT_NE(md.find("cap of 4 cycles"), std::string::npos);
+}
+
 TEST(ReportWriterTest, HandlesUnrecordedTrace) {
   WolfReport report;
   report.trace_recorded = false;

@@ -22,7 +22,13 @@
 //
 // --jobs N classifies detected cycles N-way parallel (default 0 = hardware
 // concurrency); reports are identical at every N, and --jobs 1 runs the
-// historical serial pipeline.
+// historical serial pipeline. The same flag parallelizes cycle enumeration.
+//
+// Detector flags: --engine=scc|reference selects the cycle enumeration
+// engine (both emit the identical canonical cycle sequence), --max-cycles
+// caps enumeration (a warning is printed when the cap is hit), and
+// --clock-prune folds the Pruner's vector-clock test into the search so
+// provably-infeasible branches are never explored.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -198,6 +204,32 @@ int cmd_convert(int argc, char** argv) {
   return 0;
 }
 
+// Shared by detect/analyze: detector knobs from flags. Returns false (with a
+// message) on a bad --engine.
+bool detector_from_flags(const Flags& flags, DetectorOptions& options) {
+  options.magic_prune = flags.get_bool("magic-prune");
+  options.max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles"));
+  options.clock_prune_during_search = flags.get_bool("clock-prune");
+  options.jobs = static_cast<int>(flags.get_int("jobs"));
+  const std::string engine = flags.get_string("engine");
+  if (engine == "scc") {
+    options.engine = CycleEngine::kScc;
+  } else if (engine == "reference") {
+    options.engine = CycleEngine::kReference;
+  } else {
+    std::cerr << "bad --engine '" << engine << "' (want scc|reference)\n";
+    return false;
+  }
+  return true;
+}
+
+void warn_if_truncated(const Detection& det) {
+  if (det.truncated)
+    std::cerr << "warning: cycle enumeration stopped at --max-cycles="
+              << det.cycle_cap
+              << "; more potential deadlocks may exist\n";
+}
+
 int cmd_detect(const sim::Program& program, const Flags& flags) {
   auto trace =
       load_or_record(program, flags.get_string("trace"),
@@ -205,8 +237,9 @@ int cmd_detect(const sim::Program& program, const Flags& flags) {
   if (!trace) return 1;
 
   DetectorOptions options;
-  options.magic_prune = flags.get_bool("magic-prune");
+  if (!detector_from_flags(flags, options)) return 1;
   Detection det = detect(*trace, options);
+  warn_if_truncated(det);
   auto verdicts = prune(det);
   const DependencyIndex dep_index = DependencyIndex::build(det.dep);
 
@@ -236,6 +269,7 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
 
   WolfOptions options;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (!detector_from_flags(flags, options.detector)) return 1;
   options.replay.attempts = static_cast<int>(flags.get_int("attempts"));
   options.replay.retry.attempt_deadline_ms = flags.get_int("deadline-ms");
   options.record_attempts = static_cast<int>(flags.get_int("retry"));
@@ -271,6 +305,7 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
     }
   }
 
+  warn_if_truncated(report.detection);
   const std::string report_path = flags.get_string("report");
   if (!report_path.empty()) {
     std::ofstream os(report_path);
@@ -354,6 +389,13 @@ int main(int argc, char** argv) {
   flags.define_int("attempts", 10, "replay attempts");
   flags.define_int("cycle", 0, "cycle index for `replay`");
   flags.define_bool("magic-prune", false, "MagicFuzzer tuple reduction");
+  flags.define_string("engine", "scc",
+                      "cycle enumeration engine (scc|reference)");
+  flags.define_int("max-cycles", 100000,
+                   "cap on enumerated cycles (a warning is printed when hit)");
+  flags.define_bool("clock-prune", false,
+                    "fold the Pruner's clock test into the search (scc "
+                    "engine); enumerates only cycles the Pruner would keep");
   flags.define_bool("rank", false, "print the defect ranking");
   flags.define_bool("rt", false, "replay on real OS threads");
   flags.define_string("report", "", "write a markdown report to this path");
