@@ -15,6 +15,14 @@
 // enumerable cycles — detection and classification load far beyond what the
 // paper benchmarks produce).
 //
+// A third pass re-runs the parallel configuration with the observability
+// layer armed (counters on, RunMetrics collected and serialized, exactly
+// what --metrics-out does) and gates its overhead: the run fails if obs
+// costs more than max(5% of the un-instrumented wall time, a 50 ms noise
+// floor), or if instrumentation perturbs any classification.
+// --metrics-out=<file> additionally writes the stress workload's metrics
+// JSON for CI to archive.
+//
 //   perf_pipeline [--quick] [--jobs=N] [--out=BENCH_pipeline.json]
 #include <fstream>
 #include <iostream>
@@ -22,7 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "core/pipeline.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
 #include "support/flags.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -151,8 +162,11 @@ struct WorkloadResult {
   double detect_seconds = 0;
   PhaseSample serial;
   PhaseSample parallel;
+  PhaseSample obs;  // parallel again, with counters + metrics collection on
   bool identical = false;
+  bool obs_identical = false;
   double speedup = 0;  // serial classify wall / parallel classify wall
+  std::string metrics_json;  // full RunMetrics of the obs pass
 };
 
 WorkloadResult measure(const std::string& name, const sim::Program& program,
@@ -194,6 +208,26 @@ WorkloadResult measure(const std::string& name, const sim::Program& program,
   result.identical = fingerprints[0] == fingerprints[1];
   if (result.parallel.classify_wall > 0)
     result.speedup = result.serial.classify_wall / result.parallel.classify_wall;
+
+  // Pass 3 — the parallel configuration again with obs armed: counters
+  // enabled, RunMetrics assembled and serialized, as --metrics-out would.
+  // The serialization is inside the timed region on purpose: the gate
+  // covers everything a user pays for.
+  {
+    options.jobs = jobs;
+    obs::set_counters_enabled(true);
+    obs::CounterSnapshot before = obs::CounterRegistry::instance().snapshot();
+    Stopwatch watch;
+    WolfReport report = analyze_trace(program, *trace, options);
+    obs::RunMetrics metrics = collect_metrics(report);
+    metrics.counters =
+        obs::delta(obs::CounterRegistry::instance().snapshot(), before);
+    result.metrics_json = obs::to_json(metrics);
+    result.obs = PhaseSample::of(report, watch.seconds());
+    obs::set_counters_enabled(false);
+    result.obs_identical =
+        classification_fingerprint(report) == fingerprints[0];
+  }
   return result;
 }
 
@@ -220,8 +254,15 @@ void write_json(std::ostream& os, const std::vector<WorkloadResult>& results,
        << "      \"parallel\": {\n";
     r.parallel.to_json(os, "        ");
     os << "      },\n"
+       << "      \"obs\": {\n";
+    r.obs.to_json(os, "        ");
+    os << "      },\n"
        << "      \"classification_identical\": "
        << (r.identical ? "true" : "false") << ",\n"
+       << "      \"obs_identical\": " << (r.obs_identical ? "true" : "false")
+       << ",\n"
+       << "      \"obs_overhead_seconds\": "
+       << (r.obs.total_wall - r.parallel.total_wall) << ",\n"
        << "      \"classify_wall_speedup\": " << r.speedup << '\n'
        << "    }" << (i + 1 < results.size() ? "," : "") << '\n';
   }
@@ -245,6 +286,9 @@ int main(int argc, char** argv) {
   flags.define_int("stress-degree", 0,
                    "stress chain degree (0 = 2 quick / 4 full)");
   flags.define_string("out", "BENCH_pipeline.json", "JSON output path");
+  flags.define_string("metrics-out", "",
+                      "also write the stress workload's RunMetrics JSON "
+                      "(the obs pass) to this path");
   if (!flags.parse(argc, argv)) return 1;
 
   const bool quick = flags.get_bool("quick");
@@ -278,14 +322,15 @@ int main(int argc, char** argv) {
 
   TextTable table({"Workload", "Cycles", "Classify wall (1j)",
                    "Classify wall (" + std::to_string(jobs) + "j)", "Speedup",
-                   "Cycles/s", "Identical"});
+                   "Obs wall", "Cycles/s", "Identical"});
   for (const WorkloadResult& r : results)
     table.add_row({r.name, std::to_string(r.cycles),
                    TextTable::num(r.serial.classify_wall * 1e3, 1) + " ms",
                    TextTable::num(r.parallel.classify_wall * 1e3, 1) + " ms",
                    TextTable::num(r.speedup, 2) + "x",
+                   TextTable::num(r.obs.total_wall * 1e3, 1) + " ms",
                    TextTable::num(r.parallel.cycles_per_second, 0),
-                   r.identical ? "yes" : "NO"});
+                   r.identical && r.obs_identical ? "yes" : "NO"});
   table.render(std::cout);
 
   const std::string out = flags.get_string("out");
@@ -299,10 +344,40 @@ int main(int argc, char** argv) {
             << ThreadPool::hardware_jobs() << ", compared jobs=1 vs jobs="
             << jobs << ")\n";
 
+  const std::string metrics_out = flags.get_string("metrics-out");
+  if (!metrics_out.empty() && !results.empty()) {
+    std::ofstream ms(metrics_out);
+    if (!ms) {
+      std::cerr << "cannot write " << metrics_out << '\n';
+      return 1;
+    }
+    ms << results.back().metrics_json;
+    std::cout << "wrote " << metrics_out << '\n';
+  }
+
   bool all_identical = true;
-  for (const WorkloadResult& r : results) all_identical &= r.identical;
+  for (const WorkloadResult& r : results)
+    all_identical &= r.identical && r.obs_identical;
   if (!all_identical) {
-    std::cerr << "FAIL: parallel classification diverged from serial\n";
+    std::cerr << "FAIL: parallel or instrumented classification diverged "
+                 "from serial\n";
+    return 1;
+  }
+
+  // Observability overhead gate: the instrumented pass may cost at most 5%
+  // of the un-instrumented wall time, with a 50 ms floor so timer noise on
+  // the sub-second quick runs cannot flake the gate.
+  double base_wall = 0, obs_wall = 0;
+  for (const WorkloadResult& r : results) {
+    base_wall += r.parallel.total_wall;
+    obs_wall += r.obs.total_wall;
+  }
+  const double allowed = std::max(0.05 * base_wall, 0.05);
+  std::cout << "obs overhead: " << (obs_wall - base_wall) * 1e3 << " ms over "
+            << base_wall * 1e3 << " ms base (allowed " << allowed * 1e3
+            << " ms)\n";
+  if (obs_wall - base_wall > allowed) {
+    std::cerr << "FAIL: observability overhead exceeds the 5% gate\n";
     return 1;
   }
   return 0;

@@ -1,6 +1,6 @@
 #include "baseline/df_pipeline.hpp"
 
-#include "support/stopwatch.hpp"
+#include "obs/span.hpp"
 
 namespace wolf::baseline {
 
@@ -21,30 +21,34 @@ int DfReport::count_defects(Classification c) const {
 namespace {
 
 DfReport analyze(const sim::Program& program, Trace trace,
-                 const DfOptions& options, double record_seconds) {
+                 const DfOptions& options, obs::SpanSink& sink) {
   DfReport report;
   report.trace_recorded = true;
-  report.timings.record_seconds = record_seconds;
 
-  Stopwatch watch;
-  report.detection = detect(trace, options.detector);
-  report.timings.detect_seconds = watch.seconds();
+  {
+    obs::Span detect_span(&sink, "phase/detect");
+    report.detection = detect(trace, options.detector);
+  }
 
   std::uint64_t seed = mix64(options.seed ^ 0xdf00dULL);
-  for (std::size_t c = 0; c < report.detection.cycles.size(); ++c) {
-    DfCycleReport cycle_report;
-    cycle_report.cycle_index = c;
-    ReplayOptions replay_options = options.replay;
-    replay_options.seed = seed = mix64(seed);
-    replay_options.max_steps = options.max_steps;
-    watch.reset();
-    cycle_report.stats = fuzz(program, report.detection.cycles[c],
-                              report.detection.dep, replay_options);
-    report.timings.replay_seconds += watch.seconds();
-    cycle_report.classification = cycle_report.stats.reproduced()
-                                      ? Classification::kReproduced
-                                      : Classification::kUnknown;
-    report.cycles.push_back(cycle_report);
+  {
+    obs::Span replay_span(&sink, "phase/replay");
+    for (std::size_t c = 0; c < report.detection.cycles.size(); ++c) {
+      DfCycleReport cycle_report;
+      cycle_report.cycle_index = c;
+      ReplayOptions replay_options = options.replay;
+      replay_options.seed = seed = mix64(seed);
+      replay_options.max_steps = options.max_steps;
+      {
+        obs::Span cycle_span(&sink, "cycle/replay", replay_span.id(), c);
+        cycle_report.stats = fuzz(program, report.detection.cycles[c],
+                                  report.detection.dep, replay_options);
+      }
+      cycle_report.classification = cycle_report.stats.reproduced()
+                                        ? Classification::kReproduced
+                                        : Classification::kUnknown;
+      report.cycles.push_back(cycle_report);
+    }
   }
 
   for (const Defect& defect : report.detection.defects) {
@@ -60,6 +64,9 @@ DfReport analyze(const sim::Program& program, Trace trace,
     }
     report.defects.push_back(std::move(d));
   }
+
+  report.spans = sink.take();
+  report.timings = PhaseTimings::from_spans(report.spans);
   return report;
 }
 
@@ -67,22 +74,45 @@ DfReport analyze(const sim::Program& program, Trace trace,
 
 DfReport run_deadlock_fuzzer(const sim::Program& program,
                              const DfOptions& options) {
-  Stopwatch watch;
-  auto trace = sim::record_trace(program, options.seed,
-                                 options.record_attempts, options.max_steps);
-  double record_seconds = watch.seconds();
+  obs::SpanSink sink;
+  std::optional<Trace> trace;
+  {
+    obs::Span record_span(&sink, "phase/record");
+    trace = sim::record_trace(program, options.seed, options.record_attempts,
+                              options.max_steps);
+  }
   if (!trace.has_value()) {
     DfReport report;
     report.trace_recorded = false;
-    report.timings.record_seconds = record_seconds;
+    report.spans = sink.take();
+    report.timings = PhaseTimings::from_spans(report.spans);
     return report;
   }
-  return analyze(program, std::move(*trace), options, record_seconds);
+  return analyze(program, std::move(*trace), options, sink);
 }
 
 DfReport analyze_trace_df(const sim::Program& program, const Trace& trace,
                           const DfOptions& options) {
-  return analyze(program, trace, options, 0.0);
+  obs::SpanSink sink;
+  return analyze(program, trace, options, sink);
+}
+
+obs::RunMetrics collect_metrics(const DfReport& report) {
+  obs::RunMetrics m;
+  m.tool = "df";
+  m.jobs = 1;
+  m.spans = report.spans;
+  m.funnel.reserve(report.cycles.size());
+  for (const DfCycleReport& cycle : report.cycles) {
+    obs::FunnelEntry entry;
+    entry.run = 0;
+    entry.cycle = cycle.cycle_index;
+    entry.outcome = cycle.classification == Classification::kReproduced
+                        ? "confirmed"
+                        : "unconfirmed";
+    m.funnel.push_back(std::move(entry));
+  }
+  return m;
 }
 
 }  // namespace wolf::baseline

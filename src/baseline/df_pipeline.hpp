@@ -9,9 +9,13 @@
 
 #include "baseline/deadlock_fuzzer.hpp"
 #include "core/pipeline.hpp"
+#include "obs/report.hpp"
 
 namespace wolf::baseline {
 
+// Deprecated as a public entry type: prefer wolf::Config (wolf.hpp), whose
+// df_options() derives this struct from the shared sections. Kept for one
+// release as the underlying section type.
 struct DfOptions {
   std::uint64_t seed = 1;
   DetectorOptions detector;
@@ -32,6 +36,9 @@ struct DfReport {
   std::vector<DfCycleReport> cycles;
   std::vector<DefectReport> defects;
   PhaseTimings timings;
+  // Raw span tree (phase/record|detect|replay + per-cycle cycle/replay)
+  // that `timings` is computed from; feeds collect_metrics below.
+  std::vector<obs::SpanRecord> spans;
 
   int count_cycles(Classification c) const;
   int count_defects(Classification c) const;
@@ -43,5 +50,10 @@ DfReport run_deadlock_fuzzer(const sim::Program& program,
 // Variant operating on a pre-recorded trace (shared-trace comparisons).
 DfReport analyze_trace_df(const sim::Program& program, const Trace& trace,
                           const DfOptions& options);
+
+// Span tree + per-cycle funnel of a finished baseline run, as the shared
+// obs::RunMetrics shape (tool = "df"). Counters are left empty: the caller
+// owns the registry snapshot/delta around the run.
+obs::RunMetrics collect_metrics(const DfReport& report);
 
 }  // namespace wolf::baseline

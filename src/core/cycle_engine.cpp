@@ -8,11 +8,22 @@
 
 #include "core/pruner.hpp"
 #include "graph/digraph.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wolf {
 
 namespace {
+
+// Funnel statistics. All are jobs-invariant on non-truncated runs; when the
+// max-cycles cap bites, chains/cycles depend on where each enumeration
+// stopped, which differs between the serial early-exit and the per-start
+// parallel caps.
+const obs::Counter kChains("detector.chains");
+const obs::Counter kSccsVisited("detector.sccs_nontrivial");
+const obs::Counter kClockCuts("detector.clock_cuts");
+const obs::Counter kCyclesFound("detector.cycles");
 
 // ------------------------------------------------------------- reference
 // The original DFS enumerator, kept verbatim as the executable
@@ -31,11 +42,13 @@ class ReferenceEnumerator {
   }
 
   std::vector<PotentialDeadlock> run() {
+    std::size_t done = 0;
     for (std::size_t u : dep_.unique) {
       if (exhausted()) break;
       push_member(u);
       extend();
       pop_member(u);
+      obs::progress_tick("detect", ++done, dep_.unique.size());
     }
     return std::move(cycles_);
   }
@@ -44,6 +57,7 @@ class ReferenceEnumerator {
   bool exhausted() const { return cycles_.size() >= options_.max_cycles; }
 
   void push_member(std::size_t idx) {
+    kChains.add();
     chain_.push_back(idx);
     const LockTuple& tuple = dep_.tuples[idx];
     chain_threads_.push_back(tuple.thread);
@@ -74,6 +88,7 @@ class ReferenceEnumerator {
 
     // Close the cycle? Requires length >= 2 and lock(last) ∈ lockset(first).
     if (chain_.size() >= 2 && first.holds(last.lock)) {
+      kCyclesFound.add();
       PotentialDeadlock cycle;
       cycle.tuple_idx = chain_;
       cycles_.push_back(std::move(cycle));
@@ -182,6 +197,7 @@ class SccEngine {
         if (search.out.size() >= options_.max_cycles) break;
         if (!in_nontrivial_scc(i)) continue;
         search.run_from(static_cast<std::uint32_t>(i));
+        obs::progress_tick("detect", i + 1, n);
       }
       result.cycles = std::move(search.out);
     } else {
@@ -191,11 +207,15 @@ class SccEngine {
       // reproduces the serial sequence exactly.
       std::vector<std::vector<PotentialDeadlock>> per_start(n);
       ThreadPool pool(jobs);
+      std::atomic<std::size_t> starts_done{0};
       pool.parallel_for_each(n, [&](std::size_t i) {
         if (!in_nontrivial_scc(i)) return;
         Search search(*this);
         search.run_from(static_cast<std::uint32_t>(i));
         per_start[i] = std::move(search.out);
+        obs::progress_tick(
+            "detect", starts_done.fetch_add(1, std::memory_order_relaxed) + 1,
+            nontrivial_starts);
       });
       for (std::size_t i = 0; i < n; ++i) {
         for (PotentialDeadlock& cycle : per_start[i]) {
@@ -225,11 +245,15 @@ class SccEngine {
     comp_.assign(n, 0);
     comp_nontrivial_.clear();
     const auto components = graph.strongly_connected_components();
+    std::uint64_t nontrivial = 0;
     for (std::size_t c = 0; c < components.size(); ++c) {
       for (Digraph::Node node : components[c])
         comp_[static_cast<std::size_t>(node)] = static_cast<std::uint32_t>(c);
-      comp_nontrivial_.push_back(components[c].size() >= 2);
+      const bool big = components[c].size() >= 2;
+      comp_nontrivial_.push_back(big);
+      if (big) ++nontrivial;
     }
+    kSccsVisited.add(nontrivial);
   }
 
   bool in_nontrivial_scc(std::size_t node) const {
@@ -256,6 +280,7 @@ class SccEngine {
     }
 
     void push(std::uint32_t node) {
+      kChains.add();
       chain.push_back(node);
       flip_bit(chain_threads.data(),
                static_cast<std::size_t>(e.thread_[node]));
@@ -293,6 +318,7 @@ class SccEngine {
 
       if (chain.size() >= 2 &&
           test_bit(e.lockset(first), static_cast<std::size_t>(e.lock_[last]))) {
+        kCyclesFound.add();
         PotentialDeadlock cycle;
         cycle.tuple_idx.reserve(chain.size());
         for (std::uint32_t node : chain)
@@ -315,7 +341,10 @@ class SccEngine {
         for (std::size_t w = 0; w < e.lock_words_; ++w)
           overlap |= (chain_locks[w] & mask[w]) != 0;
         if (overlap) continue;
-        if (e.matrix_.has_value() && clock_cut(next)) continue;
+        if (e.matrix_.has_value() && clock_cut(next)) {
+          kClockCuts.add();
+          continue;
+        }
         push(next);
         extend(next);
         pop(next);

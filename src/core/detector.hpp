@@ -53,6 +53,8 @@ enum class CycleEngine : std::uint8_t {
   kScc,        // SCC-partitioned bitset DFS, optionally parallel (default)
 };
 
+// Deprecated as a public entry type: prefer wolf::Config::detector
+// (wolf.hpp). Kept for one release as the underlying section type.
 struct DetectorOptions {
   int max_cycle_length = 5;  // threads per cycle
   // Safety valve for pathological traces; enumeration stops after this many

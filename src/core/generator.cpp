@@ -4,9 +4,19 @@
 #include <set>
 #include <sstream>
 
+#include "obs/counters.hpp"
 #include "support/check.hpp"
 
 namespace wolf {
+
+namespace {
+const obs::Counter kGsNodes("generator.gs_nodes");
+const obs::Counter kGsEdges("generator.gs_edges");
+const obs::Counter kEdgesD("generator.edges_d");
+const obs::Counter kEdgesC("generator.edges_c");
+const obs::Counter kEdgesP("generator.edges_p");
+const obs::Counter kCyclicVerdicts("generator.cyclic_verdicts");
+}  // namespace
 
 const char* to_string(GsEdgeKind kind) {
   switch (kind) {
@@ -172,6 +182,24 @@ GeneratorResult generate(const PotentialDeadlock& cycle,
       result.witness.push_back(gs.vertex(n).index);
   } else {
     result.feasible = true;
+  }
+
+  // The edge-kind walk is only worth doing when someone is collecting.
+  if (obs::counters_enabled()) {
+    kGsNodes.add(static_cast<std::uint64_t>(gs.vertex_count()));
+    std::uint64_t d = 0, c = 0, p = 0;
+    for (const GsEdge& e : gs.edges()) {
+      switch (e.kind) {
+        case GsEdgeKind::kTypeD: ++d; break;
+        case GsEdgeKind::kTypeC: ++c; break;
+        case GsEdgeKind::kTypeP: ++p; break;
+      }
+    }
+    kGsEdges.add(d + c + p);
+    kEdgesD.add(d);
+    kEdgesC.add(c);
+    kEdgesP.add(p);
+    if (!result.feasible) kCyclicVerdicts.add();
   }
   return result;
 }

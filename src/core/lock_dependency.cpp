@@ -6,10 +6,15 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "obs/counters.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace wolf {
+
+namespace {
+const obs::Counter kTuplesCounter("detector.tuples");
+}  // namespace
 
 namespace {
 
@@ -83,6 +88,7 @@ void LockDependencyBuilder::add(const Event& e) {
         tuple.context.push_back(idx);
       }
       tuple.context.push_back(e.index());
+      kTuplesCounter.add();
       dep_.tuples.push_back(std::move(tuple));
       stack.emplace_back(e.lock, e.index());
       break;

@@ -1,0 +1,88 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace wolf {
+
+const char* funnel_outcome(const CycleReport& cycle) {
+  if (cycle.degraded()) return "error";
+  switch (cycle.classification) {
+    case Classification::kFalseByPruner:
+      return "pruned";
+    case Classification::kFalseByGenerator:
+      return "infeasible";
+    case Classification::kReproduced:
+      return "confirmed";
+    case Classification::kUnknown:
+      return "unconfirmed";
+  }
+  return "unconfirmed";
+}
+
+namespace {
+
+void append_funnel(obs::RunMetrics& m, const WolfReport& report,
+                   std::uint64_t run) {
+  for (const CycleReport& cycle : report.cycles) {
+    obs::FunnelEntry entry;
+    entry.run = run;
+    entry.cycle = cycle.cycle_index;
+    entry.outcome = funnel_outcome(cycle);
+    entry.degraded = cycle.degraded();
+    m.funnel.push_back(std::move(entry));
+  }
+}
+
+}  // namespace
+
+obs::RunMetrics collect_metrics(const WolfReport& report) {
+  obs::RunMetrics m;
+  m.tool = "wolf";
+  m.jobs = report.jobs_used;
+  m.spans = report.spans;
+  append_funnel(m, report, 0);
+  return m;
+}
+
+obs::RunMetrics collect_metrics(const MultiRunReport& report) {
+  obs::RunMetrics m;
+  m.tool = "wolf-multi";
+  obs::SpanId next_id = 0;
+  for (std::size_t r = 0; r < report.runs.size(); ++r) {
+    const WolfReport& run = report.runs[r];
+    m.jobs = std::max(m.jobs, run.jobs_used);
+
+    // Synthetic per-run root; the run's own spans hang off it with their
+    // ids shifted into the merged space.
+    obs::SpanRecord root;
+    root.id = next_id;
+    root.parent = obs::kNoSpan;
+    root.name = "run";
+    root.tag = r;
+    const obs::SpanId base = next_id + 1;
+    double start = 0, end = 0;
+    bool any = false;
+    m.spans.push_back(root);
+    const std::size_t root_slot = m.spans.size() - 1;
+    for (const obs::SpanRecord& s : run.spans) {
+      obs::SpanRecord shifted = s;
+      shifted.id = base + s.id;
+      shifted.parent =
+          s.parent == obs::kNoSpan ? root.id : base + s.parent;
+      if (!any || shifted.start_seconds < start) start = shifted.start_seconds;
+      end = std::max(end, shifted.start_seconds + shifted.duration_seconds);
+      any = true;
+      m.spans.push_back(std::move(shifted));
+    }
+    if (any) {
+      m.spans[root_slot].start_seconds = start;
+      m.spans[root_slot].duration_seconds = end - start;
+    }
+    next_id = base + static_cast<obs::SpanId>(run.spans.size());
+
+    append_funnel(m, run, r);
+  }
+  return m;
+}
+
+}  // namespace wolf

@@ -1,0 +1,26 @@
+// Bridges finished pipeline reports to the obs::RunMetrics report shape
+// (DESIGN.md §13): span tree + per-cycle funnel verdicts. Counters are
+// deliberately NOT filled here — the CounterRegistry is process-wide, so
+// per-run values are the caller's snapshot delta around the run (see
+// obs::delta); the CLI does exactly that for --metrics-out.
+#pragma once
+
+#include "core/multi.hpp"
+#include "core/pipeline.hpp"
+#include "obs/report.hpp"
+
+namespace wolf {
+
+// Maps a cycle's classification to its funnel outcome string:
+// pruned | infeasible | confirmed | unconfirmed (error when degraded).
+const char* funnel_outcome(const CycleReport& cycle);
+
+// Single-run view: tool = "wolf", funnel run index 0.
+obs::RunMetrics collect_metrics(const WolfReport& report);
+
+// Multi-run view: tool = "wolf-multi"; each run's spans are re-rooted under
+// a synthetic "run" span tagged with the run index, and funnel entries carry
+// that index.
+obs::RunMetrics collect_metrics(const MultiRunReport& report);
+
+}  // namespace wolf

@@ -1,12 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "robust/fault.hpp"
 #include "support/check.hpp"
-#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wolf {
@@ -23,6 +24,46 @@ const char* to_string(Classification c) {
       return "unknown";
   }
   return "?";
+}
+
+PhaseTimings PhaseTimings::from_spans(
+    const std::vector<obs::SpanRecord>& spans) {
+  PhaseTimings t;
+  // (tag, duration) per parallel stage; summed below in tag order so the
+  // totals are independent of worker scheduling.
+  std::vector<std::pair<std::uint64_t, double>> prune, generate, replay;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "phase/record") {
+      t.record_seconds += s.duration_seconds;
+    } else if (s.name == "phase/detect") {
+      t.detect_seconds += s.duration_seconds;
+    } else if (s.name == "phase/feasibility") {
+      t.feasibility_wall_seconds += s.duration_seconds;
+    } else if (s.name == "phase/replay") {
+      t.replay_wall_seconds += s.duration_seconds;
+    } else if (s.name == "cycle/prune") {
+      prune.emplace_back(s.tag, s.duration_seconds);
+    } else if (s.name == "cycle/generate") {
+      generate.emplace_back(s.tag, s.duration_seconds);
+    } else if (s.name == "cycle/replay") {
+      replay.emplace_back(s.tag, s.duration_seconds);
+    }
+  }
+  const auto sum_in_tag_order =
+      [](std::vector<std::pair<std::uint64_t, double>>& stage) {
+        std::sort(stage.begin(), stage.end(),
+                  [](const std::pair<std::uint64_t, double>& a,
+                     const std::pair<std::uint64_t, double>& b) {
+                    return a.first < b.first;
+                  });
+        double total = 0;
+        for (const auto& entry : stage) total += entry.second;
+        return total;
+      };
+  t.prune_seconds = sum_in_tag_order(prune);
+  t.generate_seconds = sum_in_tag_order(generate);
+  t.replay_seconds = sum_in_tag_order(replay);
+  return t;
 }
 
 int WolfReport::count_cycles(Classification c) const {
@@ -173,22 +214,19 @@ struct CycleStage {
   CycleReport report;
   GeneratorResult gen;
   bool replay_needed = false;
-  double prune_seconds = 0;
-  double generate_seconds = 0;
-  double replay_seconds = 0;
 };
 
 // Classification back half of the pipeline, shared by the materialized and
 // streaming front ends: takes a finished Detection and runs the parallel
-// prune/generate/replay engine over its cycles.
+// prune/generate/replay engine over its cycles. Timing goes through the
+// obs span sink (which already holds the caller's record/detect spans);
+// the merged report carries the span tree plus the PhaseTimings view of it.
 WolfReport classify_detection(const sim::Program& program, Detection detection,
                               const WolfOptions& options,
-                              double record_seconds, double detect_seconds) {
+                              obs::SpanSink& sink) {
   WolfReport report;
   report.trace_recorded = true;
-  report.timings.record_seconds = record_seconds;
   report.detection = std::move(detection);
-  report.timings.detect_seconds = detect_seconds;
 
   const std::size_t cycle_count = report.detection.cycles.size();
   const int jobs = options.jobs <= 0 ? ThreadPool::hardware_jobs()
@@ -209,42 +247,46 @@ WolfReport classify_detection(const sim::Program& program, Detection detection,
   // degrades only its own cycle to kUnknown (with the reason recorded); the
   // remaining cycles still classify normally.
   std::vector<CycleStage> stages(cycle_count);
-  Stopwatch watch;
-  pool.parallel_for_each(cycle_count, [&](std::size_t c) {
-    CycleStage& stage = stages[c];
-    stage.report.cycle_index = c;
-    try {
-      maybe_throw_injected(options, c);
+  {
+    obs::Span feasibility_span(&sink, "phase/feasibility");
+    const obs::SpanId feasibility_id = feasibility_span.id();
+    pool.parallel_for_each(cycle_count, [&](std::size_t c) {
+      CycleStage& stage = stages[c];
+      stage.report.cycle_index = c;
+      try {
+        maybe_throw_injected(options, c);
 
-      Stopwatch stage_watch;
-      stage.report.prune_verdict = prune_cycle(
-          report.detection.cycles[c], report.detection.dep,
-          report.detection.clocks);
-      stage.prune_seconds = stage_watch.seconds();
+        {
+          obs::Span prune_span(&sink, "cycle/prune", feasibility_id, c);
+          stage.report.prune_verdict = prune_cycle(
+              report.detection.cycles[c], report.detection.dep,
+              report.detection.clocks);
+        }
 
-      if (options.enable_pruner && is_false(stage.report.prune_verdict)) {
-        stage.report.classification = Classification::kFalseByPruner;
-        return;
+        if (options.enable_pruner && is_false(stage.report.prune_verdict)) {
+          stage.report.classification = Classification::kFalseByPruner;
+          return;
+        }
+
+        {
+          obs::Span generate_span(&sink, "cycle/generate", feasibility_id, c);
+          stage.gen =
+              generate(report.detection.cycles[c], report.detection.dep,
+                       dep_index);
+        }
+        stage.report.gs_vertices = stage.gen.gs.vertex_count();
+
+        if (options.enable_generator_check && !stage.gen.feasible) {
+          stage.report.classification = Classification::kFalseByGenerator;
+          return;
+        }
+        stage.replay_needed = true;
+      } catch (const std::exception& e) {
+        stage.report.classification = Classification::kUnknown;
+        stage.report.failure_reason = e.what();
       }
-
-      stage_watch.reset();
-      stage.gen =
-          generate(report.detection.cycles[c], report.detection.dep,
-                   dep_index);
-      stage.generate_seconds = stage_watch.seconds();
-      stage.report.gs_vertices = stage.gen.gs.vertex_count();
-
-      if (options.enable_generator_check && !stage.gen.feasible) {
-        stage.report.classification = Classification::kFalseByGenerator;
-        return;
-      }
-      stage.replay_needed = true;
-    } catch (const std::exception& e) {
-      stage.report.classification = Classification::kUnknown;
-      stage.report.failure_reason = e.what();
-    }
-  });
-  report.timings.feasibility_wall_seconds = watch.seconds();
+    });
+  }
 
   // Replay seeds come from the serial seed chain, advanced in cycle-index
   // order over exactly the cycles that reach the replay stage. Which cycles
@@ -258,41 +300,38 @@ WolfReport classify_detection(const sim::Program& program, Detection detection,
       replay_seeds[c] = replay_seed = mix64(replay_seed);
 
   // Phase 2 — replay the surviving cycles.
-  watch.reset();
-  pool.parallel_for_each(cycle_count, [&](std::size_t c) {
-    CycleStage& stage = stages[c];
-    if (!stage.replay_needed) return;
-    try {
-      ReplayOptions replay_options = options.replay;
-      replay_options.seed = replay_seeds[c];
-      replay_options.max_steps = options.max_steps;
-      replay_options.fault = options.fault;
-      Stopwatch stage_watch;
-      stage.report.replay_stats =
-          replay(program, report.detection.cycles[c], report.detection.dep,
-                 stage.gen.gs, replay_options);
-      stage.replay_seconds = stage_watch.seconds();
-      if (stage.report.replay_stats.reproduced()) {
-        stage.report.classification = Classification::kReproduced;
-      } else {
+  {
+    obs::Span replay_span(&sink, "phase/replay");
+    const obs::SpanId replay_id = replay_span.id();
+    pool.parallel_for_each(cycle_count, [&](std::size_t c) {
+      CycleStage& stage = stages[c];
+      if (!stage.replay_needed) return;
+      try {
+        ReplayOptions replay_options = options.replay;
+        replay_options.seed = replay_seeds[c];
+        replay_options.max_steps = options.max_steps;
+        replay_options.fault = options.fault;
+        obs::Span cycle_span(&sink, "cycle/replay", replay_id, c);
+        stage.report.replay_stats =
+            replay(program, report.detection.cycles[c], report.detection.dep,
+                   stage.gen.gs, replay_options);
+        if (stage.report.replay_stats.reproduced()) {
+          stage.report.classification = Classification::kReproduced;
+        } else {
+          stage.report.classification = Classification::kUnknown;
+          note_all_timeouts(stage.report);
+        }
+      } catch (const std::exception& e) {
         stage.report.classification = Classification::kUnknown;
-        note_all_timeouts(stage.report);
+        stage.report.failure_reason = e.what();
       }
-    } catch (const std::exception& e) {
-      stage.report.classification = Classification::kUnknown;
-      stage.report.failure_reason = e.what();
-    }
-  });
-  report.timings.replay_wall_seconds = watch.seconds();
+    });
+  }
 
   // Deterministic merge, in cycle-index order.
   report.cycles.reserve(cycle_count);
-  for (CycleStage& stage : stages) {
-    report.timings.prune_seconds += stage.prune_seconds;
-    report.timings.generate_seconds += stage.generate_seconds;
-    report.timings.replay_seconds += stage.replay_seconds;
+  for (CycleStage& stage : stages)
     report.cycles.push_back(std::move(stage.report));
-  }
 
   // Defect rollup.
   for (const Defect& defect : report.detection.defects) {
@@ -313,46 +352,59 @@ WolfReport classify_detection(const sim::Program& program, Detection detection,
     }
   }
   report.avg_gs_vertices = generated == 0 ? 0 : total_vs / generated;
+
+  report.spans = sink.take();
+  report.timings = PhaseTimings::from_spans(report.spans);
   return report;
 }
 
 WolfReport analyze(const sim::Program& program, const Trace& trace,
-                   const WolfOptions& options, double record_seconds) {
-  Stopwatch watch;
-  Detection detection = detect(trace, options.detector);
-  return classify_detection(program, std::move(detection), options,
-                            record_seconds, watch.seconds());
+                   const WolfOptions& options, obs::SpanSink& sink) {
+  Detection detection;
+  {
+    obs::Span detect_span(&sink, "phase/detect");
+    detection = detect(trace, options.detector);
+  }
+  return classify_detection(program, std::move(detection), options, sink);
 }
 
 }  // namespace
 
 WolfReport run_wolf(const sim::Program& program, const WolfOptions& options) {
-  Stopwatch watch;
+  obs::SpanSink sink;
   robust::RetryPolicy record_retry = options.replay.retry;
   record_retry.max_attempts = options.record_attempts;
-  auto trace =
-      sim::record_trace(program, options.seed, record_retry, options.max_steps);
-  double record_seconds = watch.seconds();
+  std::optional<Trace> trace;
+  {
+    obs::Span record_span(&sink, "phase/record");
+    trace = sim::record_trace(program, options.seed, record_retry,
+                              options.max_steps);
+  }
   if (!trace.has_value()) {
     WolfReport report;
     report.trace_recorded = false;
-    report.timings.record_seconds = record_seconds;
+    report.spans = sink.take();
+    report.timings = PhaseTimings::from_spans(report.spans);
     return report;
   }
-  return analyze(program, *trace, options, record_seconds);
+  return analyze(program, *trace, options, sink);
 }
 
 WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
                          const WolfOptions& options) {
-  return analyze(program, trace, options, 0.0);
+  obs::SpanSink sink;
+  return analyze(program, trace, options, sink);
 }
 
 WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
                           const WolfOptions& options) {
-  Stopwatch watch;
-  Detection detection = detect_reader(reader, options.detector);
-  return classify_detection(program, std::move(detection), options, 0.0,
-                            watch.seconds());
+  obs::SpanSink sink;
+  Detection detection;
+  {
+    obs::Span detect_span(&sink, "phase/detect");
+    detection = detect_reader(reader, options.detector);
+  }
+  return classify_detection(program, std::move(detection), options, sink);
 }
 
 }  // namespace wolf

@@ -12,6 +12,7 @@
 #include "core/generator.hpp"
 #include "core/pruner.hpp"
 #include "core/replayer.hpp"
+#include "obs/span.hpp"
 #include "sim/program.hpp"
 
 namespace wolf {
@@ -52,6 +53,12 @@ struct DefectReport {
 // jobs=1 that equals wall clock, under concurrency it exceeds it), and the
 // wall clock of the two parallel phases is reported separately so neither
 // view silently lies about the other.
+//
+// Since the observability layer landed this is a *view*: the pipeline
+// records obs spans ("phase/record", "phase/detect", "phase/feasibility",
+// "phase/replay" and per-cycle "cycle/prune|generate|replay" tagged with
+// the cycle index) and from_spans() folds them into these fields, so all
+// existing timing output is unchanged.
 struct PhaseTimings {
   double record_seconds = 0;
   double detect_seconds = 0;
@@ -74,8 +81,16 @@ struct PhaseTimings {
   double detection_total() const {
     return record_seconds + detect_seconds + prune_seconds + generate_seconds;
   }
+
+  // Folds a run's span tree into phase timings. Per-cycle stage durations
+  // are summed in tag (= cycle-index) order, so the aggregates do not
+  // depend on which worker thread recorded which span first.
+  static PhaseTimings from_spans(const std::vector<obs::SpanRecord>& spans);
 };
 
+// Deprecated as a public entry type: prefer wolf::Config (wolf.hpp), whose
+// wolf_options() produces this struct with the shared scalars folded in.
+// Kept for one release as the underlying section type.
 struct WolfOptions {
   std::uint64_t seed = 1;
   DetectorOptions detector;
@@ -106,6 +121,9 @@ struct WolfReport {
   std::vector<CycleReport> cycles;
   std::vector<DefectReport> defects;
   PhaseTimings timings;
+  // The raw span tree timings were computed from; feeds obs::RunMetrics
+  // (core/metrics.hpp) and the --metrics-out report.
+  std::vector<obs::SpanRecord> spans;
   double avg_gs_vertices = 0;  // over generated (non-pruned) cycles
   int jobs_used = 1;           // effective classification parallelism
 

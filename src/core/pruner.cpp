@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+
 namespace wolf {
+
+namespace {
+const obs::Counter kCyclesIn("pruner.cycles_in");
+const obs::Counter kCyclesKilled("pruner.cycles_killed");
+}  // namespace
 
 const char* to_string(PruneVerdict verdict) {
   switch (verdict) {
@@ -19,6 +26,7 @@ const char* to_string(PruneVerdict verdict) {
 PruneVerdict prune_cycle(const PotentialDeadlock& cycle,
                          const LockDependency& dep,
                          const ClockTracker& clocks) {
+  kCyclesIn.add();
   for (std::size_t i : cycle.tuple_idx) {
     for (std::size_t j : cycle.tuple_idx) {
       if (i == j) continue;
@@ -29,12 +37,16 @@ PruneVerdict prune_cycle(const PotentialDeadlock& cycle,
       // operation with timestamp < S completes before ti's first
       // instruction, so tj cannot still be blocked inside that acquisition
       // while ti runs.
-      if (view.S != kTsBottom && view.S > eta_j.tau)
+      if (view.S != kTsBottom && view.S > eta_j.tau) {
+        kCyclesKilled.add();
         return PruneVerdict::kFalseNotStarted;
+      }
       // Thread tj had already been joined (transitively) by the time ti
       // reached timestamp J; ti's acquisition at τ >= J cannot overlap tj.
-      if (view.J != kTsBottom && view.J <= eta_i.tau)
+      if (view.J != kTsBottom && view.J <= eta_i.tau) {
+        kCyclesKilled.add();
         return PruneVerdict::kFalseJoined;
+      }
     }
   }
   return PruneVerdict::kUnknown;
@@ -86,6 +98,7 @@ ClockPairMatrix::ClockPairMatrix(const ClockTracker& clocks,
 PruneVerdict prune_cycle(const PotentialDeadlock& cycle,
                          const LockDependency& dep,
                          const ClockPairMatrix& matrix) {
+  kCyclesIn.add();
   for (std::size_t i : cycle.tuple_idx) {
     for (std::size_t j : cycle.tuple_idx) {
       if (i == j) continue;
@@ -93,7 +106,10 @@ PruneVerdict prune_cycle(const PotentialDeadlock& cycle,
       const LockTuple& eta_j = dep.tuples[j];
       PruneVerdict v = matrix.pair_verdict(eta_i.thread, eta_i.tau,
                                            eta_j.thread, eta_j.tau);
-      if (is_false(v)) return v;
+      if (is_false(v)) {
+        kCyclesKilled.add();
+        return v;
+      }
     }
   }
   return PruneVerdict::kUnknown;

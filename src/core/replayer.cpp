@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
 #include "robust/fault.hpp"
 #include "support/check.hpp"
 
 namespace wolf {
+
+namespace {
+const obs::Counter kPauses("replayer.pauses");
+const obs::Counter kEnables("replayer.enables");
+const obs::Counter kForcedReleases("replayer.forced_releases");
+const obs::Counter kTrials("replayer.trials");
+const obs::Counter kTimeouts("replayer.timeouts");
+const obs::Counter kConfirmations("replayer.confirmations");
+}  // namespace
 
 ReplayController::ReplayController(SyncDependencyGraph gs,
                                    std::set<ThreadId> monitored)
@@ -18,6 +28,7 @@ bool ReplayController::before_lock(ThreadId t, const ExecIndex& idx,
   auto v = gs_.find(idx);
   if (!v.has_value()) return false;
   if (gs_.has_cross_thread_in_edge(*v)) {
+    kPauses.add();
     blocked_instr_[t] = *v;
     return true;  // pause until the dependency is discharged
   }
@@ -82,11 +93,13 @@ void ReplayController::on_event(const Event& e) {
 std::vector<ThreadId> ReplayController::take_released() {
   std::vector<ThreadId> out;
   out.swap(released_);
+  kEnables.add(out.size());
   return out;
 }
 
 ThreadId ReplayController::force_release(const std::vector<ThreadId>& paused,
                                          Rng& rng) {
+  kForcedReleases.add();
   ThreadId victim = paused[rng.index(paused)];
   blocked_instr_.erase(victim);
   return victim;
@@ -167,6 +180,9 @@ ReplayTrial replay_once(const sim::Program& program,
 
 void record_outcome(ReplayStats& stats, ReplayOutcome outcome) {
   ++stats.attempts;
+  kTrials.add();
+  if (outcome == ReplayOutcome::kTimeout) kTimeouts.add();
+  if (outcome == ReplayOutcome::kReproduced) kConfirmations.add();
   switch (outcome) {
     case ReplayOutcome::kReproduced:
       ++stats.hits;

@@ -88,6 +88,8 @@ ReplayTrial replay_once(const sim::Program& program,
                         std::uint64_t max_steps = 2'000'000,
                         const robust::FaultPlan* fault = nullptr);
 
+// Deprecated as a public entry type: prefer wolf::Config::replay
+// (wolf.hpp). Kept for one release as the underlying section type.
 struct ReplayOptions {
   int attempts = 5;              // the paper's "pre-determined number"
   bool stop_on_first_hit = true;  // false for hit-rate measurements

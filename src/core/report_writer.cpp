@@ -20,6 +20,14 @@ std::string signature_text(const DefectSignature& signature,
 
 }  // namespace
 
+std::string truncation_message(const Detection& detection) {
+  if (!detection.truncated) return std::string();
+  std::ostringstream os;
+  os << "cycle enumeration stopped at --max-cycles=" << detection.cycle_cap
+     << "; more potential deadlocks may exist";
+  return os.str();
+}
+
 std::string write_markdown_report(const WolfReport& report,
                                   const SiteTable& sites,
                                   const ReportWriterOptions& options) {
@@ -47,10 +55,9 @@ std::string write_markdown_report(const WolfReport& report,
      << report.count_defects(Classification::kUnknown) << " |\n\n";
 
   if (report.detection.truncated) {
-    os << "> **Warning:** cycle enumeration stopped at the configured cap of "
-       << report.detection.cycle_cap
-       << " cycles; more potential deadlocks may exist. Re-run with a larger "
-          "`--max-cycles` for exhaustive enumeration.\n\n";
+    os << "> **Warning:** " << truncation_message(report.detection)
+       << ". Re-run with a larger `--max-cycles` for exhaustive "
+          "enumeration.\n\n";
   }
 
   if (options.include_ranking && !report.defects.empty()) {

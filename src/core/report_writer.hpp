@@ -10,6 +10,8 @@
 
 namespace wolf {
 
+// Deprecated as a public entry type: prefer wolf::Config::report
+// (wolf.hpp). Kept for one release as the underlying section type.
 struct ReportWriterOptions {
   std::string title = "WOLF deadlock analysis";
   bool include_ranking = true;
@@ -20,5 +22,11 @@ struct ReportWriterOptions {
 std::string write_markdown_report(const WolfReport& report,
                                   const SiteTable& sites,
                                   const ReportWriterOptions& options = {});
+
+// One sentence describing a truncated enumeration ("cycle enumeration
+// stopped at --max-cycles=N; more potential deadlocks may exist"), shared
+// by the CLI stderr warning and the markdown report so the texts cannot
+// drift. Empty when the detection was not truncated.
+std::string truncation_message(const Detection& detection);
 
 }  // namespace wolf

@@ -1,0 +1,98 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace wolf::obs {
+
+std::uint64_t CounterSnapshot::value(std::string_view name) const {
+  for (const CounterSample& s : samples)
+    if (s.name == name) return s.value;
+  return 0;
+}
+
+CounterSnapshot delta(const CounterSnapshot& after,
+                      const CounterSnapshot& before) {
+  CounterSnapshot out;
+  out.samples.reserve(after.samples.size());
+  for (const CounterSample& s : after.samples) {
+    CounterSample d = s;
+    const std::uint64_t base = before.value(s.name);
+    d.value = s.value >= base ? s.value - base : 0;
+    out.samples.push_back(std::move(d));
+  }
+  return out;
+}
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+int CounterRegistry::intern(const char* name, bool stable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<int>(i);
+  if (names_.size() >= kMaxCounters) {
+    std::fprintf(stderr, "obs: counter limit (%zu) exceeded registering %s\n",
+                 kMaxCounters, name);
+    std::abort();
+  }
+  names_.emplace_back(name);
+  stable_.push_back(stable);
+  return static_cast<int>(names_.size() - 1);
+}
+
+namespace {
+
+// Thread → shard assignment: round-robin at first use, so pool workers
+// spread over shards instead of hashing onto the same slot.
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return index;
+}
+
+}  // namespace
+
+void CounterRegistry::add(int id, std::uint64_t n) {
+  if (id < 0 || static_cast<std::size_t>(id) >= kMaxCounters) return;
+  shards_[shard_index()].slots[static_cast<std::size_t>(id)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  std::vector<std::pair<std::string, bool>> registered;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registered.reserve(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      registered.emplace_back(names_[i], stable_[i]);
+  }
+  CounterSnapshot out;
+  out.samples.reserve(registered.size());
+  for (std::size_t i = 0; i < registered.size(); ++i) {
+    CounterSample s;
+    s.name = registered[i].first;
+    s.stable = registered[i].second;
+    for (const Shard& shard : shards_)
+      s.value += shard.slots[i].load(std::memory_order_relaxed);
+    out.samples.push_back(std::move(s));
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void CounterRegistry::reset() {
+  for (Shard& shard : shards_)
+    for (std::atomic<std::uint64_t>& slot : shard.slots)
+      slot.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace wolf::obs

@@ -1,0 +1,68 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace wolf::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_interval_ms{500};
+std::atomic<ProgressWriter> g_writer{nullptr};
+// Monotonic milliseconds at which the next heartbeat becomes due. 0 means
+// "immediately", so the first tick after enabling always prints.
+std::atomic<std::uint64_t> g_next_due_ms{0};
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void write_stderr(const char* line) { std::fprintf(stderr, "%s\n", line); }
+
+}  // namespace
+
+bool progress_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_progress_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+  g_next_due_ms.store(0, std::memory_order_relaxed);
+}
+
+void set_progress_interval_ms(std::uint64_t ms) {
+  g_interval_ms.store(ms, std::memory_order_relaxed);
+}
+
+void set_progress_writer(ProgressWriter writer) {
+  g_writer.store(writer, std::memory_order_relaxed);
+}
+
+void progress_tick(const char* phase, std::uint64_t done,
+                   std::uint64_t total) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  const std::uint64_t now = mono_ms();
+  std::uint64_t due = g_next_due_ms.load(std::memory_order_relaxed);
+  if (now < due) return;
+  // One winner per interval; losers drop their tick (another is coming).
+  if (!g_next_due_ms.compare_exchange_strong(
+          due, now + g_interval_ms.load(std::memory_order_relaxed),
+          std::memory_order_relaxed))
+    return;
+
+  char line[160];
+  if (total > 0)
+    std::snprintf(line, sizeof(line), "wolf: %s %llu/%llu", phase,
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total));
+  else
+    std::snprintf(line, sizeof(line), "wolf: %s %llu", phase,
+                  static_cast<unsigned long long>(done));
+  ProgressWriter writer = g_writer.load(std::memory_order_relaxed);
+  (writer != nullptr ? writer : write_stderr)(line);
+}
+
+}  // namespace wolf::obs

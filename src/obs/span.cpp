@@ -1,0 +1,51 @@
+#include "obs/span.hpp"
+
+#include <functional>
+#include <thread>
+
+namespace wolf::obs {
+
+SpanSink::SpanSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+double SpanSink::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+SpanId SpanSink::begin(const char* name, SpanId parent, std::uint64_t tag) {
+  const double start = now_seconds();
+  SpanRecord record;
+  record.parent = parent;
+  record.name = name;
+  record.tag = tag;
+  record.thread = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  record.start_seconds = start;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  record.id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(std::move(record));
+  return spans_.back().id;
+}
+
+void SpanSink::end(SpanId id) {
+  const double now = now_seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) return;
+  SpanRecord& record = spans_[static_cast<std::size_t>(id)];
+  record.duration_seconds = now - record.start_seconds;
+}
+
+std::vector<SpanRecord> SpanSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<SpanRecord> SpanSink::take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+}  // namespace wolf::obs

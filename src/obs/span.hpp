@@ -1,0 +1,93 @@
+// Spans — the timing half of the observability layer (DESIGN.md §13).
+//
+// A Span is an RAII stopwatch that records (name, tag, parent, thread,
+// start, duration) into a SpanSink when it goes out of scope. The pipeline
+// opens one span per phase ("phase/record", "phase/detect",
+// "phase/feasibility", "phase/replay") and one per cycle-stage
+// ("cycle/prune", "cycle/generate", "cycle/replay", tagged with the cycle
+// index), replacing the hand-rolled Stopwatch bookkeeping that used to live
+// behind PhaseTimings — which is now a view computed from the span tree
+// (PhaseTimings::from_spans), so existing timing output is unchanged.
+//
+// Design constraints:
+//   * deterministic-safe — spans only observe; nothing reads them back into
+//     control flow, so recording cannot perturb detection output;
+//   * cheap — spans are coarse (per phase / per cycle-stage, never per
+//     event); the sink is a mutex-guarded vector, which is negligible next
+//     to the work a span brackets;
+//   * optional — a Span constructed with a null sink is a no-op behind a
+//     single branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wolf::obs {
+
+using SpanId = std::int32_t;
+inline constexpr SpanId kNoSpan = -1;
+
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;  // kNoSpan for roots
+  std::string name;         // e.g. "phase/detect", "cycle/prune"
+  // Caller-chosen discriminator (the cycle or run index). Per-stage
+  // aggregates sum durations in tag order, which keeps them deterministic
+  // regardless of which worker thread recorded which span first.
+  std::uint64_t tag = 0;
+  std::uint64_t thread = 0;     // hashed std::thread::id of the recorder
+  double start_seconds = 0;     // monotonic, relative to the sink's epoch
+  double duration_seconds = 0;  // 0 while the span is still open
+};
+
+// Thread-safe collector for one run's span tree. Span ids are dense indices
+// in begin() order; under parallel classification that order depends on
+// scheduling, so consumers needing determinism sort by (name, tag) — see
+// obs/report.hpp's stable mode.
+class SpanSink {
+ public:
+  SpanSink();
+
+  SpanId begin(const char* name, SpanId parent = kNoSpan,
+               std::uint64_t tag = 0);
+  void end(SpanId id);
+
+  std::vector<SpanRecord> snapshot() const;
+  // Moves the recorded spans out and clears the sink (the epoch is kept).
+  std::vector<SpanRecord> take();
+
+ private:
+  double now_seconds() const;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII handle: begins on construction, ends on destruction (including
+// unwinding out of a throwing stage). Null sink → no-op.
+class Span {
+ public:
+  Span(SpanSink* sink, const char* name, SpanId parent = kNoSpan,
+       std::uint64_t tag = 0)
+      : sink_(sink) {
+    if (sink_ != nullptr) id_ = sink_->begin(name, parent, tag);
+  }
+  ~Span() {
+    if (sink_ != nullptr) sink_->end(id_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  SpanId id() const { return id_; }
+
+ private:
+  SpanSink* sink_;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace wolf::obs

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "robust/fault.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -16,6 +17,13 @@
 namespace wolf::rt {
 
 namespace {
+
+const obs::Counter kRuns("rt.runs");
+// Force-releases and watchdog firings depend on wall-clock races in the
+// real-thread substrate, so they are excluded from byte-stable reports.
+const obs::Counter kForcedReleases("rt.forced_releases", /*stable=*/false);
+const obs::Counter kWatchdogTimeouts("rt.watchdog_timeouts",
+                                     /*stable=*/false);
 
 // Thrown inside worker threads when the run is torn down after a diagnosed
 // deadlock; unwinds the interpreter so std::thread::join succeeds.
@@ -211,6 +219,7 @@ class Executor {
       // controller release) can now end the trial.
       if (options_.fault != nullptr && options_.fault->drop_force_releases)
         return;
+      kForcedReleases.add();
       ThreadId victim =
           options_.controller != nullptr
               ? options_.controller->force_release(paused, rng_)
@@ -255,6 +264,7 @@ class Executor {
         break;
       }
     if (all_done) return;  // natural completion raced the deadline
+    kWatchdogTimeouts.add();
     timed_out_ = true;
     abort_locked();
   }
@@ -538,6 +548,7 @@ class Executor {
 
 sim::RunResult execute(const sim::Program& program,
                        const ExecutorOptions& options) {
+  kRuns.add();
   Executor executor(program, options);
   return executor.run();
 }

@@ -45,6 +45,9 @@ struct FaultPlan;
 
 namespace wolf::rt {
 
+// Deprecated as a public entry type: prefer wolf::Config::executor plus
+// Config::executor_options() (wolf.hpp). Kept for one release as the
+// underlying section type.
 struct ExecutorOptions {
   TraceSink* sink = nullptr;                 // trace recording (optional)
   sim::ScheduleController* controller = nullptr;  // replay steering (optional)

@@ -62,15 +62,16 @@ bool Flags::set_from_string(Flag& flag, const std::string& value) {
 }
 
 bool Flags::parse(int argc, char** argv) {
+  const std::string who = context_.empty() ? std::string(argv[0]) : context_;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "%s", usage(argv[0]).c_str());
+      std::fprintf(stderr, "%s", usage(who).c_str());
       return false;
     }
     if (!starts_with(arg, "--")) {
-      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
-                   arg.c_str(), usage(argv[0]).c_str());
+      std::fprintf(stderr, "%s: unexpected positional argument: %s\n%s",
+                   who.c_str(), arg.c_str(), usage(who).c_str());
       return false;
     }
     std::string name = arg.substr(2);
@@ -83,8 +84,8 @@ bool Flags::parse(int argc, char** argv) {
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
-      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
-                   usage(argv[0]).c_str());
+      std::fprintf(stderr, "%s: unknown flag: --%s\n%s", who.c_str(),
+                   name.c_str(), usage(who).c_str());
       return false;
     }
     Flag& flag = it->second;
@@ -94,14 +95,15 @@ bool Flags::parse(int argc, char** argv) {
         continue;
       }
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        std::fprintf(stderr, "%s: flag --%s expects a value\n", who.c_str(),
+                     name.c_str());
         return false;
       }
       value = argv[++i];
     }
     if (!set_from_string(flag, value)) {
-      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
-                   value.c_str());
+      std::fprintf(stderr, "%s: bad value for --%s: %s\n", who.c_str(),
+                   name.c_str(), value.c_str());
       return false;
     }
   }
@@ -148,6 +150,25 @@ std::string Flags::usage(const std::string& program) const {
     os << "\n      " << flag.help << '\n';
   }
   return os.str();
+}
+
+void register_common_flags(Flags& flags) {
+  flags.define_int("seed", 2014, "seed");
+  flags.define_int("jobs", 0,
+                   "classification parallelism (0 = hardware concurrency; "
+                   "1 reproduces the serial pipeline exactly)");
+  flags.define_string("engine", "scc",
+                      "cycle enumeration engine (scc|reference)");
+  flags.define_int("deadline-ms", 0,
+                   "wall-clock budget per trial (0 = unlimited; rt watchdog)");
+  flags.define_string("metrics-out", "",
+                      "write a JSON metrics report (spans + counters + "
+                      "funnel) to this path ('-' for stdout)");
+  flags.define_bool("metrics-stable", false,
+                    "emit the byte-stable metrics variant (no timings or "
+                    "ids; identical at every --jobs level)");
+  flags.define_bool("progress", false,
+                    "print throttled progress heartbeats to stderr");
 }
 
 }  // namespace wolf

@@ -1,7 +1,10 @@
-// Tiny command-line flag parser for the example and bench executables.
+// Tiny command-line flag parser for the CLI, example and bench executables.
 //
 // Supports "--name=value", "--name value" and boolean "--name" forms.
-// Unknown flags are an error so that typos in experiment scripts fail loudly.
+// Unknown flags are an error so that typos in experiment scripts fail
+// loudly; set_context() names the subcommand in those diagnostics.
+// register_common_flags() defines the flag surface every wolf subcommand
+// shares (mirroring wolf::Config in wolf.hpp).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,16 @@ class Flags {
                    const std::string& help);
   void define_string(const std::string& name, const std::string& default_value,
                      const std::string& help);
+
+  // Names the command in diagnostics and usage (e.g. "wolf analyze"), so
+  // an unknown flag reports which subcommand rejected it. Empty (default)
+  // falls back to argv[0].
+  void set_context(const std::string& context) { context_ = context; }
+
+  // True when a flag of this name has been defined (any kind).
+  bool defined(const std::string& name) const {
+    return flags_.count(name) != 0;
+  }
 
   // Returns false (after printing a diagnostic to stderr) on malformed or
   // unknown arguments, or when --help is requested.
@@ -45,6 +58,13 @@ class Flags {
   bool set_from_string(Flag& flag, const std::string& value);
 
   std::map<std::string, Flag> flags_;
+  std::string context_;
 };
+
+// Defines the shared flag surface of every wolf subcommand, mirroring the
+// top-level scalars of wolf::Config: --seed, --jobs, --engine,
+// --deadline-ms, plus the observability flags --metrics-out,
+// --metrics-stable and --progress.
+void register_common_flags(Flags& flags);
 
 }  // namespace wolf

@@ -11,9 +11,20 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace wolf {
 
 namespace {
+
+// pool.tasks counts fn invocations (serial path included) and pool.batches
+// counts parallel_for_each calls; both depend on the jobs level (the cycle
+// engine bypasses the pool entirely at jobs=1), and pool.parks — a worker
+// finding the queue momentarily empty — depends on raw scheduling, so all
+// three are registered non-stable and excluded from byte-stable reports.
+const obs::Counter kTasks("pool.tasks", /*stable=*/false);
+const obs::Counter kBatches("pool.batches", /*stable=*/false);
+const obs::Counter kParks("pool.parks", /*stable=*/false);
 
 // Shared state of one parallel_for_each call. Owned via shared_ptr by the
 // caller and by every queued drain task, so a worker that finishes last can
@@ -43,6 +54,7 @@ struct Batch {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      kTasks.add();
       try {
         (*fn)(i);
       } catch (...) {
@@ -70,6 +82,7 @@ struct ThreadPool::Impl {
       std::shared_ptr<Batch> batch;
       {
         std::unique_lock<std::mutex> lock(mu);
+        if (!stopping && queue.empty()) kParks.add();
         cv.wait(lock, [&] { return stopping || !queue.empty(); });
         if (stopping && queue.empty()) return;
         batch = std::move(queue.front());
@@ -108,12 +121,14 @@ int ThreadPool::hardware_jobs() {
 void ThreadPool::parallel_for_each(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  kBatches.add();
   if (impl_ == nullptr || count == 1) {
     // Serial path: identical contract — run everything, then rethrow the
     // lowest-index exception.
     std::size_t error_index = std::numeric_limits<std::size_t>::max();
     std::exception_ptr error;
     for (std::size_t i = 0; i < count; ++i) {
+      kTasks.add();
       try {
         fn(i);
       } catch (...) {

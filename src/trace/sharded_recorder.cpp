@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/counters.hpp"
+
 namespace wolf {
+
+namespace {
+const obs::Counter kRecordedEvents("trace.recorded_events");
+}  // namespace
 
 namespace {
 
@@ -42,6 +48,7 @@ Trace ShardedTraceRecorder::take() {
   std::size_t total = 0;
   for (const auto& s : shards_) total += s->events_.size();
   trace.events.reserve(total);
+  kRecordedEvents.add(total);
 
   // K-way merge by seq over the seq-sorted shard buffers: a min-heap of
   // (next seq, shard index). Tickets are a permutation of 0..total-1, so the

@@ -3,12 +3,17 @@
 #include <cstring>
 #include <istream>
 
+#include "obs/counters.hpp"
 #include "support/str.hpp"
 #include "trace/wire.hpp"
 
 namespace wolf {
 
 namespace {
+
+const obs::Counter kBlocksRead("trace.blocks");
+const obs::Counter kEventsRead("trace.events");
+const obs::Counter kSalvageRepairs("trace.salvage_repairs");
 
 constexpr int kEof = std::istream::traits_type::eof();
 
@@ -26,6 +31,8 @@ bool VectorTraceReader::next_block(std::vector<Event>& out) {
   out.assign(trace_->events.begin() + static_cast<std::ptrdiff_t>(pos_),
              trace_->events.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
+  kBlocksRead.add();
+  kEventsRead.add(n);
   return true;
 }
 
@@ -38,16 +45,24 @@ void StreamTraceReader::defect(std::string msg) {
     stage_ = Stage::kDone;
     return;
   }
+  kSalvageRepairs.add();
   if (diagnostics_.size() < wire::kMaxDiagnostics)
     diagnostics_.push_back(std::move(msg));
 }
 
 bool StreamTraceReader::next_block(std::vector<Event>& out) {
   out.clear();
+  bool more = false;
   if (stage_ == Stage::kStart && !start()) return false;
-  if (stage_ == Stage::kText) return next_text(out);
-  if (stage_ == Stage::kBinary) return next_binary(out);
-  return false;
+  if (stage_ == Stage::kText)
+    more = next_text(out);
+  else if (stage_ == Stage::kBinary)
+    more = next_binary(out);
+  if (more) {
+    kBlocksRead.add();
+    kEventsRead.add(out.size());
+  }
+  return more;
 }
 
 bool StreamTraceReader::start() {

@@ -1,0 +1,109 @@
+// wolf.hpp — the single public entry point to the WOLF library.
+//
+// Library users include this header instead of the seven per-stage ones and
+// configure everything through wolf::Config: one struct with the shared
+// scalars every stage reads (seed, jobs, deadline) plus the historical
+// option structs nested as sections. validate() reports misconfigurations
+// before a run burns time on them; the *_options() exploders produce the
+// per-stage structs the pipeline entry points take, with the shared scalars
+// folded in (a shared scalar always wins over the section field it shadows,
+// so setting Config::jobs configures both enumeration and classification).
+//
+// Migration from the per-stage structs (kept, with deprecation notes, for
+// one release — they remain the section types, so old field names work):
+//
+//   WolfOptions::seed            -> Config::seed
+//   WolfOptions::jobs            -> Config::jobs
+//   DetectorOptions::*           -> Config::detector.*
+//   DetectorOptions::jobs        -> Config::jobs
+//   ReplayOptions::*             -> Config::replay.*
+//   ReplayOptions::retry.attempt_deadline_ms -> Config::deadline_ms
+//   MultiRunOptions::runs        -> Config::runs
+//   rt::ExecutorOptions::*       -> Config::executor.*
+//   ReportWriterOptions::*       -> Config::report.*
+//   DfOptions::*                 -> df_options() (derived from the above)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/df_pipeline.hpp"
+#include "core/metrics.hpp"
+#include "core/multi.hpp"
+#include "core/pipeline.hpp"
+#include "core/report_writer.hpp"
+#include "rt/executor.hpp"
+
+namespace wolf {
+
+// One finding from Config::validate(). Fatal issues make the configuration
+// unusable (an exploded run would crash or silently do nothing); non-fatal
+// ones flag conflicting settings where one silently wins (e.g. the
+// reference engine ignoring enumeration jobs).
+struct ConfigIssue {
+  bool fatal = false;
+  std::string message;
+};
+
+struct Config {
+  // ---- shared scalars, read by every stage ------------------------------
+  std::uint64_t seed = 2014;
+  // Parallelism of enumeration and classification: 0 = hardware
+  // concurrency, 1 = the serial pipeline. Reports are identical at every
+  // level. Overrides detector.jobs and the per-run jobs split.
+  int jobs = 0;
+  // Per-trial wall-clock budget in ms (0 = unlimited). Arms the rt watchdog
+  // and the recording retry deadline. Overrides replay.retry and
+  // executor.deadline_ms.
+  std::int64_t deadline_ms = 0;
+
+  // ---- stage sections (the historical option structs) -------------------
+  DetectorOptions detector;
+  ReplayOptions replay;
+  rt::ExecutorOptions executor;
+  ReportWriterOptions report;
+
+  // ---- pipeline scalars (historical WolfOptions fields) -----------------
+  int record_attempts = 20;
+  std::uint64_t max_steps = 2'000'000;
+  bool enable_pruner = true;
+  bool enable_generator_check = true;
+  const robust::FaultPlan* fault = nullptr;  // not owned
+
+  // ---- multi-run section ------------------------------------------------
+  int runs = 5;
+
+  // Checks the configuration for fatal errors and conflicting settings.
+  // Empty result = clean. Callers decide how to surface non-fatal issues.
+  std::vector<ConfigIssue> validate() const;
+  bool fatal() const {
+    for (const ConfigIssue& issue : validate())
+      if (issue.fatal) return true;
+    return false;
+  }
+
+  // Exploders: per-stage option structs with the shared scalars folded in.
+  WolfOptions wolf_options() const;
+  MultiRunOptions multi_options() const;
+  baseline::DfOptions df_options() const;
+  rt::ExecutorOptions executor_options() const;
+};
+
+// Facade entry points — the pipeline functions, taking Config directly.
+inline WolfReport run(const sim::Program& program, const Config& config) {
+  return run_wolf(program, config.wolf_options());
+}
+inline WolfReport analyze(const sim::Program& program, const Trace& trace,
+                          const Config& config) {
+  return analyze_trace(program, trace, config.wolf_options());
+}
+inline MultiRunReport run_multi(const sim::Program& program,
+                                const Config& config) {
+  return run_wolf_multi(program, config.multi_options());
+}
+inline baseline::DfReport run_baseline(const sim::Program& program,
+                                       const Config& config) {
+  return baseline::run_deadlock_fuzzer(program, config.df_options());
+}
+
+}  // namespace wolf

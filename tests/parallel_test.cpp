@@ -11,6 +11,8 @@
 
 #include "core/multi.hpp"
 #include "core/pipeline.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
 #include "robust/fault.hpp"
 #include "support/thread_pool.hpp"
 #include "workloads/collections.hpp"
@@ -175,6 +177,32 @@ TEST(ParallelDeterminismTest, AnalyzeTraceJobsInvariant) {
   options.jobs = 8;
   WolfReport parallel = analyze_trace(w.program, *trace, options);
   expect_identical_reports(serial, parallel, w.program.sites());
+}
+
+TEST(ParallelDeterminismTest, ObservabilityOnOrOffDoesNotPerturbReports) {
+  // The obs layer only observes: with counters and progress enabled, every
+  // jobs level must still produce the identical report it produces with
+  // them off (the cross-check inside expect_jobs_invariant), and the
+  // enabled/disabled runs must agree with each other.
+  auto w = workloads::make_collections_map("HashMap");
+  WolfOptions options;
+  options.seed = 2014;
+  options.replay.attempts = 8;
+  options.jobs = 8;
+
+  obs::set_counters_enabled(false);
+  WolfReport off = run_wolf(w.program, options);
+
+  obs::set_counters_enabled(true);
+  obs::set_progress_enabled(true);
+  obs::set_progress_writer([](const char*) {});  // swallow heartbeats
+  expect_jobs_invariant(w.program);
+  WolfReport on = run_wolf(w.program, options);
+  obs::set_progress_writer(nullptr);
+  obs::set_progress_enabled(false);
+  obs::set_counters_enabled(false);
+
+  expect_identical_reports(off, on, w.program.sites());
 }
 
 TEST(ParallelDeterminismTest, MultiRunMergeIsJobsInvariant) {

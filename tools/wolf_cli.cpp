@@ -15,6 +15,17 @@
 // (--rt), and `convert` rewrites a trace in another format, preserving the
 // checksum.
 //
+// Every subcommand parses its own flag set: the shared surface
+// (register_common_flags: --seed, --jobs, --engine, --deadline-ms, plus the
+// observability flags) and only the extras that subcommand understands, so
+// a misplaced flag is an error naming the subcommand that rejected it.
+//
+// Observability: --metrics-out=<file> writes a versioned JSON run report
+// (span tree + counter deltas + per-cycle funnel verdicts; '-' = stdout);
+// --metrics-stable emits the byte-stable variant, identical at every --jobs
+// level; --progress prints throttled heartbeats to stderr. All three are
+// off by default and none of them changes detection output.
+//
 // Robustness flags: --deadline-ms arms a per-trial wall-clock watchdog,
 // --retry sets recording retry attempts, --salvage loads damaged traces by
 // recovering the longest valid prefix, and --fault injects faults (see
@@ -36,15 +47,17 @@
 #include <string_view>
 
 #include "core/magic_prune.hpp"
-#include "core/pipeline.hpp"
+#include "core/metrics.hpp"
 #include "core/ranking.hpp"
-#include "core/report_writer.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
 #include "robust/fault.hpp"
 #include "rt/replay_rt.hpp"
 #include "support/flags.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace_reader.hpp"
 #include "trace/wire.hpp"
+#include "wolf.hpp"
 #include "workloads/paper_examples.hpp"
 #include "workloads/suite.hpp"
 
@@ -71,6 +84,79 @@ void list_workloads() {
        {"figure1", "figure2", "figure4", "figure9", "philosophers"})
     std::cout << "  " << f << '\n';
 }
+
+// ---- per-subcommand flag registration -------------------------------------
+
+// Flags shared by the subcommands that take a workload and (optionally) a
+// recorded trace.
+void register_workload_flags(Flags& flags) {
+  flags.define_string("workload", "", "built-in workload name (see `list`)");
+  flags.define_string("trace", "", "path to a recorded trace (optional)");
+  flags.define_int("retry", 60, "recording retry attempts");
+  flags.define_bool("salvage", false,
+                    "recover the longest valid prefix of a damaged trace");
+  flags.define_string("fault", "",
+                      "fault-injection spec (robust/fault.hpp grammar)");
+}
+
+void register_detector_flags(Flags& flags) {
+  flags.define_bool("magic-prune", false, "MagicFuzzer tuple reduction");
+  flags.define_int("max-cycles", 100000,
+                   "cap on enumerated cycles (a warning is printed when hit)");
+  flags.define_bool("clock-prune", false,
+                    "fold the Pruner's clock test into the search (scc "
+                    "engine); enumerates only cycles the Pruner would keep");
+}
+
+// ---- observability wiring -------------------------------------------------
+
+// Arms the obs layer from the common flags and, after the run, writes the
+// --metrics-out report with the counter delta spanning this scope. One
+// instance per subcommand, constructed before the pipeline runs.
+class MetricsScope {
+ public:
+  explicit MetricsScope(const Flags& flags)
+      : path_(flags.get_string("metrics-out")),
+        stable_(flags.get_bool("metrics-stable")) {
+    if (flags.get_bool("progress")) obs::set_progress_enabled(true);
+    if (path_.empty()) return;
+    obs::set_counters_enabled(true);
+    before_ = obs::CounterRegistry::instance().snapshot();
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  // Fills metrics.counters with the delta since construction and writes the
+  // report. Returns false (after a diagnostic) when the file cannot be
+  // written. No-op when --metrics-out was not given.
+  bool write(obs::RunMetrics metrics) {
+    if (!active()) return true;
+    metrics.counters =
+        obs::delta(obs::CounterRegistry::instance().snapshot(), before_);
+    std::string error;
+    if (!obs::write_metrics_file(metrics, path_, stable_, &error)) {
+      std::cerr << error << '\n';
+      return false;
+    }
+    if (path_ != "-") std::cerr << "metrics written to " << path_ << '\n';
+    return true;
+  }
+
+  // Counters-only report for subcommands that do not run the full pipeline
+  // (record/detect/replay): no spans, no funnel.
+  bool write_counters(int jobs) {
+    obs::RunMetrics metrics;
+    metrics.jobs = jobs;
+    return write(std::move(metrics));
+  }
+
+ private:
+  std::string path_;
+  bool stable_;
+  obs::CounterSnapshot before_;
+};
+
+// ---- shared flag decoding -------------------------------------------------
 
 // Parses --fault; returns false (with a message) on a malformed spec. An
 // empty spec leaves `plan` empty.
@@ -125,12 +211,50 @@ std::optional<Trace> load_or_record(const sim::Program& program,
   return trace;
 }
 
+// Shared by detect/analyze: detector knobs from flags. Returns false (with a
+// message) on a bad --engine.
+bool detector_from_flags(const Flags& flags, DetectorOptions& options) {
+  options.magic_prune = flags.get_bool("magic-prune");
+  options.max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles"));
+  options.clock_prune_during_search = flags.get_bool("clock-prune");
+  options.jobs = static_cast<int>(flags.get_int("jobs"));
+  const std::string engine = flags.get_string("engine");
+  if (engine == "scc") {
+    options.engine = CycleEngine::kScc;
+  } else if (engine == "reference") {
+    options.engine = CycleEngine::kReference;
+  } else {
+    std::cerr << "bad --engine '" << engine << "' (want scc|reference)\n";
+    return false;
+  }
+  return true;
+}
+
+void warn_if_truncated(const Detection& det) {
+  if (det.truncated)
+    std::cerr << "warning: " << truncation_message(det) << '\n';
+}
+
+// Prints validate() findings; returns false when any is fatal.
+bool report_config_issues(const Config& config) {
+  bool ok = true;
+  for (const ConfigIssue& issue : config.validate()) {
+    std::cerr << (issue.fatal ? "error: " : "warning: ") << issue.message
+              << '\n';
+    if (issue.fatal) ok = false;
+  }
+  return ok;
+}
+
+// ---- subcommands ----------------------------------------------------------
+
 int cmd_record(const sim::Program& program, const Flags& flags) {
   std::optional<robust::FaultPlan> fault;
   if (!fault_from_flags(flags, fault)) return 1;
-  auto trace =
-      sim::record_trace(program, static_cast<std::uint64_t>(flags.get_int("seed")),
-                        retry_from_flags(flags));
+  MetricsScope metrics(flags);
+  auto trace = sim::record_trace(
+      program, static_cast<std::uint64_t>(flags.get_int("seed")),
+      retry_from_flags(flags));
   if (!trace) {
     std::cerr << "every recording run deadlocked\n";
     return 1;
@@ -155,7 +279,7 @@ int cmd_record(const sim::Program& program, const Flags& flags) {
   os << text;
   std::cout << "recorded " << trace->size() << " events -> " << out << " ("
             << to_string(*format) << ")\n";
-  return 0;
+  return metrics.write_counters(/*jobs=*/1) ? 0 : 1;
 }
 
 // wolf convert <in> <out> [--format=v1|v2|v3] — rewrites a trace in another
@@ -171,6 +295,7 @@ int cmd_convert(int argc, char** argv) {
   const std::string in_path = argv[0];
   const std::string out_path = argv[1];
   Flags flags;
+  flags.set_context("wolf convert");
   flags.define_string("format", "v3", "output trace format (v1|v2|v3)");
   // parse() treats its argv[0] as the program name, so hand it the slot
   // before the first flag.
@@ -204,33 +329,8 @@ int cmd_convert(int argc, char** argv) {
   return 0;
 }
 
-// Shared by detect/analyze: detector knobs from flags. Returns false (with a
-// message) on a bad --engine.
-bool detector_from_flags(const Flags& flags, DetectorOptions& options) {
-  options.magic_prune = flags.get_bool("magic-prune");
-  options.max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles"));
-  options.clock_prune_during_search = flags.get_bool("clock-prune");
-  options.jobs = static_cast<int>(flags.get_int("jobs"));
-  const std::string engine = flags.get_string("engine");
-  if (engine == "scc") {
-    options.engine = CycleEngine::kScc;
-  } else if (engine == "reference") {
-    options.engine = CycleEngine::kReference;
-  } else {
-    std::cerr << "bad --engine '" << engine << "' (want scc|reference)\n";
-    return false;
-  }
-  return true;
-}
-
-void warn_if_truncated(const Detection& det) {
-  if (det.truncated)
-    std::cerr << "warning: cycle enumeration stopped at --max-cycles="
-              << det.cycle_cap
-              << "; more potential deadlocks may exist\n";
-}
-
 int cmd_detect(const sim::Program& program, const Flags& flags) {
+  MetricsScope metrics(flags);
   auto trace =
       load_or_record(program, flags.get_string("trace"),
                      static_cast<std::uint64_t>(flags.get_int("seed")), flags);
@@ -260,22 +360,27 @@ int cmd_detect(const sim::Program& program, const Flags& flags) {
     }
     std::cout << '\n';
   }
-  return 0;
+  return metrics.write_counters(options.jobs) ? 0 : 1;
 }
 
 int cmd_analyze(const sim::Program& program, const Flags& flags) {
   std::optional<robust::FaultPlan> fault;
   if (!fault_from_flags(flags, fault)) return 1;
 
-  WolfOptions options;
-  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  if (!detector_from_flags(flags, options.detector)) return 1;
-  options.replay.attempts = static_cast<int>(flags.get_int("attempts"));
-  options.replay.retry.attempt_deadline_ms = flags.get_int("deadline-ms");
-  options.record_attempts = static_cast<int>(flags.get_int("retry"));
-  options.jobs = static_cast<int>(flags.get_int("jobs"));
-  if (fault.has_value()) options.fault = &*fault;
+  // The facade path: fold the flag surface into a wolf::Config, surface
+  // validate() findings, then explode into the per-stage structs.
+  Config config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.jobs = static_cast<int>(flags.get_int("jobs"));
+  config.deadline_ms = flags.get_int("deadline-ms");
+  if (!detector_from_flags(flags, config.detector)) return 1;
+  config.replay.attempts = static_cast<int>(flags.get_int("attempts"));
+  config.record_attempts = static_cast<int>(flags.get_int("retry"));
+  if (fault.has_value()) config.fault = &*fault;
+  if (!report_config_issues(config)) return 1;
+  WolfOptions options = config.wolf_options();
 
+  MetricsScope metrics(flags);
   WolfReport report;
   const std::string trace_path = flags.get_string("trace");
   if (!trace_path.empty() && !flags.get_bool("salvage")) {
@@ -321,12 +426,13 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   if (flags.get_bool("rank"))
     std::cout << "\nranking (most actionable first):\n"
               << format_ranking(report, program.sites());
-  return 0;
+  return metrics.write(collect_metrics(report)) ? 0 : 1;
 }
 
 int cmd_replay(const sim::Program& program, const Flags& flags) {
   std::optional<robust::FaultPlan> fault;
   if (!fault_from_flags(flags, fault)) return 1;
+  MetricsScope metrics(flags);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed"));
   auto trace = load_or_record(program, flags.get_string("trace"), seed, flags);
@@ -361,6 +467,7 @@ int cmd_replay(const sim::Program& program, const Flags& flags) {
             << stats.hits << ", other-deadlocks " << stats.other_deadlocks
             << ", clean " << stats.no_deadlocks << ", timeouts "
             << stats.timeouts << "]\n";
+  if (!metrics.write_counters(/*jobs=*/1)) return 1;
   return stats.reproduced() ? 0 : 2;
 }
 
@@ -379,36 +486,32 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") return cmd_convert(argc - 2, argv + 2);
 
+  // Each subcommand owns its flag set: the shared surface plus its extras.
+  // A flag given to the wrong subcommand is an unknown-flag error naming
+  // that subcommand.
   Flags flags;
-  flags.define_string("workload", "", "built-in workload name (see `list`)");
-  flags.define_string("trace", "", "path to a recorded trace (optional)");
-  flags.define_string("out", "trace.txt", "output path for `record`");
-  flags.define_string("format", "v2",
-                      "trace format written by `record` (v1|v2|v3)");
-  flags.define_int("seed", 2014, "seed");
-  flags.define_int("attempts", 10, "replay attempts");
-  flags.define_int("cycle", 0, "cycle index for `replay`");
-  flags.define_bool("magic-prune", false, "MagicFuzzer tuple reduction");
-  flags.define_string("engine", "scc",
-                      "cycle enumeration engine (scc|reference)");
-  flags.define_int("max-cycles", 100000,
-                   "cap on enumerated cycles (a warning is printed when hit)");
-  flags.define_bool("clock-prune", false,
-                    "fold the Pruner's clock test into the search (scc "
-                    "engine); enumerates only cycles the Pruner would keep");
-  flags.define_bool("rank", false, "print the defect ranking");
-  flags.define_bool("rt", false, "replay on real OS threads");
-  flags.define_string("report", "", "write a markdown report to this path");
-  flags.define_int("deadline-ms", 0,
-                   "wall-clock budget per trial (0 = unlimited; rt watchdog)");
-  flags.define_int("retry", 60, "recording retry attempts");
-  flags.define_bool("salvage", false,
-                    "recover the longest valid prefix of a damaged trace");
-  flags.define_string("fault", "",
-                      "fault-injection spec (robust/fault.hpp grammar)");
-  flags.define_int("jobs", 0,
-                   "classification parallelism (0 = hardware concurrency; "
-                   "1 reproduces the serial pipeline exactly)");
+  flags.set_context("wolf " + command);
+  register_common_flags(flags);
+  register_workload_flags(flags);
+  if (command == "record") {
+    flags.define_string("out", "trace.txt", "output path for `record`");
+    flags.define_string("format", "v2",
+                        "trace format written by `record` (v1|v2|v3)");
+  } else if (command == "detect") {
+    register_detector_flags(flags);
+  } else if (command == "analyze") {
+    register_detector_flags(flags);
+    flags.define_int("attempts", 10, "replay attempts");
+    flags.define_bool("rank", false, "print the defect ranking");
+    flags.define_string("report", "", "write a markdown report to this path");
+  } else if (command == "replay") {
+    flags.define_int("attempts", 10, "replay attempts");
+    flags.define_int("cycle", 0, "cycle index for `replay`");
+    flags.define_bool("rt", false, "replay on real OS threads");
+  } else {
+    std::cerr << "unknown command '" << command << "'\n";
+    return 1;
+  }
   if (!flags.parse(argc - 1, argv + 1)) return 1;
 
   auto program = find_workload(flags.get_string("workload"));
@@ -421,7 +524,5 @@ int main(int argc, char** argv) {
   if (command == "record") return cmd_record(*program, flags);
   if (command == "detect") return cmd_detect(*program, flags);
   if (command == "analyze") return cmd_analyze(*program, flags);
-  if (command == "replay") return cmd_replay(*program, flags);
-  std::cerr << "unknown command '" << command << "'\n";
-  return 1;
+  return cmd_replay(*program, flags);
 }
