@@ -1,0 +1,417 @@
+// perf_online — benchmark-gated perf harness for resource-governed online
+// detection (core/governor.hpp): the SLO the robustness work promises is
+// "10^7 events stream through a fixed memory budget, with bounded-latency
+// windows and an honest verdict", and this harness measures exactly that,
+// emitting machine-readable BENCH_online.json.
+//
+// Three scenarios over the same synthetic event stream (regenerated from
+// the same seed each time, never materialized — 10^7 events as a vector
+// would dominate the RSS this bench is supposed to measure):
+//
+//   1. budgeted  — hard memory budget; run FIRST so the recorded peak RSS
+//      (VmHWM) reflects governed ingestion, not a later unbounded run.
+//      Reports Mev/s, per-window p50/p99 detection latency, peak tuple
+//      store vs budget, evictions, and the honesty bits.
+//   2. unbounded — no budget, no deadline; the final detection must match
+//      plain StreamingDetector cycle for cycle (the differential gate:
+//      speed only counts when the answer is right).
+//   3. deadline  — small windows under a per-window deadline; reports how
+//      far the degradation ladder moved and how many windows degraded.
+//   4. shed      — a stream whose canonical tuple set outgrows a small
+//      budget, forcing the aging rung; gates that eviction always came
+//      with an honest incomplete-coverage verdict.
+//
+// The stream: worker threads acquire locks in globally ordered depth bands
+// (shared locks, no accidental cycles) from a small per-(thread, depth)
+// choice set, each choice tagged with a fixed site — like source locations
+// in a real program, so canonical tuples dedup heavily while the raw tuple
+// store still grows with every acquire (that growth is what the budget
+// governs). A phase counter rotates the site namespace a few times per run
+// so the canonical set keeps growing across the whole stream. A scripted
+// AB/BA ring on two dedicated threads every ring_every events — fixed
+// sites — dedups to a handful of canonical tuples and a stable cycle set.
+//
+//   perf_online [--quick] [--events=N] [--budget-mb=N]
+//               [--out=BENCH_online.json]
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/governor.hpp"
+#include "support/flags.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace wolf;
+
+namespace {
+
+// Deterministic synthetic event source. Workers acquire locks whose ids
+// rise with nesting depth (so workers alone never deadlock) and release in
+// LIFO order. Each (thread, depth) has kChoices fixed lock/site options —
+// a fixed code location per option, the way call sites repeat in a real
+// program — so the canonical tuple set stays in the low thousands while
+// raw tuples accumulate with every acquire. phase_every rotates the site
+// namespace so the canonical set keeps growing over a long run instead of
+// saturating in the first windows. Every ring_every events two dedicated
+// threads run the classic AB/BA pattern on fixed sites.
+class OnlineEventStream {
+ public:
+  OnlineEventStream(int workers, int locks, std::uint64_t phase_every,
+                    std::uint64_t ring_every, std::uint64_t seed)
+      : workers_(workers), locks_(locks), phase_every_(phase_every),
+        ring_every_(ring_every), rng_(seed) {
+    held_.resize(static_cast<std::size_t>(workers));
+  }
+
+  Event next() {
+    if (pending_.empty()) {
+      if (ring_every_ != 0 && emitted_ > 0 && emitted_ % ring_every_ == 0)
+        script_ring();
+      else
+        step_worker();
+    }
+    Event e = pending_.front();
+    pending_.pop_front();
+    e.seq = emitted_++;
+    return e;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 4;
+  static constexpr int kChoices = 3;
+
+  void push(EventKind kind, ThreadId t, LockId l, SiteId site) {
+    Event e;
+    e.kind = kind;
+    e.thread = t;
+    e.lock = l;
+    e.site = site;
+    e.occurrence = 1;
+    pending_.push_back(e);
+  }
+
+  // Depth d draws from lock band [d*locks/kMaxDepth, ...): globally
+  // ordered, so worker threads share locks without forming cycles.
+  LockId lock_at(ThreadId t, int depth, int choice) const {
+    const int band = locks_ / kMaxDepth;
+    return static_cast<LockId>(depth * band +
+                               (static_cast<int>(t) * kChoices + choice) %
+                                   band);
+  }
+
+  // Fixed "source location" per (phase, thread, depth, choice): contexts
+  // are paths through these locations, so canonical tuples per phase are
+  // bounded by workers * sum_d kChoices^(d+1) — low thousands, like a real
+  // program — rather than growing with the event count.
+  SiteId site_at(ThreadId t, int depth, int choice) const {
+    const std::uint64_t phase =
+        phase_every_ == 0 ? 0 : emitted_ / phase_every_;
+    return static_cast<SiteId>(
+        1000 +
+        ((phase * static_cast<std::uint64_t>(workers_) +
+          static_cast<std::uint64_t>(t)) *
+             kMaxDepth +
+         static_cast<std::uint64_t>(depth)) *
+            kChoices +
+        static_cast<std::uint64_t>(choice));
+  }
+
+  void step_worker() {
+    const auto t = static_cast<ThreadId>(rr_++ % static_cast<std::uint64_t>(
+                                                     workers_));
+    auto& stack = held_[static_cast<std::size_t>(t)];
+    const bool acquire =
+        stack.empty() ||
+        (stack.size() < kMaxDepth && rng_.chance(0.55));
+    if (acquire) {
+      const auto depth = static_cast<int>(stack.size());
+      const auto choice = static_cast<int>(rng_.below(kChoices));
+      push(EventKind::kLockAcquire, t, lock_at(t, depth, choice),
+           site_at(t, depth, choice));
+      stack.push_back(lock_at(t, depth, choice));
+    } else {
+      push(EventKind::kLockRelease, t, stack.back(), kInvalidSite);
+      stack.pop_back();
+    }
+  }
+
+  void script_ring() {
+    // Two dedicated threads beyond the worker pool, two dedicated locks
+    // beyond the ordered ranges, fixed sites: every injection dedups onto
+    // the same canonical tuples, keeping the cycle set stable.
+    const auto ta = static_cast<ThreadId>(workers_);
+    const auto tb = static_cast<ThreadId>(workers_ + 1);
+    const auto ra = static_cast<LockId>(locks_);
+    const auto rb = static_cast<LockId>(locks_ + 1);
+    push(EventKind::kLockAcquire, ta, ra, 101);
+    push(EventKind::kLockAcquire, ta, rb, 102);
+    push(EventKind::kLockRelease, ta, rb, kInvalidSite);
+    push(EventKind::kLockRelease, ta, ra, kInvalidSite);
+    push(EventKind::kLockAcquire, tb, rb, 201);
+    push(EventKind::kLockAcquire, tb, ra, 202);
+    push(EventKind::kLockRelease, tb, ra, kInvalidSite);
+    push(EventKind::kLockRelease, tb, rb, kInvalidSite);
+  }
+
+  int workers_;
+  int locks_;
+  std::uint64_t phase_every_;
+  std::uint64_t ring_every_;
+  Rng rng_;
+  std::uint64_t rr_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::deque<Event> pending_;
+  std::vector<std::vector<LockId>> held_;
+};
+
+// VmHWM from /proc/self/status — the high-water mark of resident memory,
+// in bytes (0 where /proc is unavailable; the JSON then says so).
+std::size_t peak_rss_bytes() {
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::size_t kb = 0;
+      for (char c : line)
+        if (c >= '0' && c <= '9') kb = kb * 10 + static_cast<std::size_t>(c - '0');
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double mevents_per_s = 0;
+  std::size_t windows = 0;
+  double p50_detect_ms = 0;
+  double p99_detect_ms = 0;
+  std::size_t peak_store_bytes = 0;
+  std::size_t budget_bytes = 0;
+  std::size_t tuples_evicted = 0;
+  std::size_t degraded_windows = 0;
+  std::size_t detection_faults = 0;
+  bool coverage_complete = false;
+  std::string final_level;
+  std::size_t cycles = 0;
+  std::size_t peak_rss_bytes = 0;  // VmHWM right after the run
+};
+
+OnlineEventStream make_stream(std::uint64_t events, std::uint64_t seed,
+                              std::uint64_t phases = 8) {
+  // Eight phases by default: the canonical set grows stepwise across the
+  // whole run (so compaction keeps having fresh duplicates to fold, and
+  // the budget accounting is exercised throughout), while the ring fires
+  // often enough that suspicious windows trigger incremental enumeration
+  // all along. The shed scenario passes more phases so the canonical set
+  // itself outgrows the budget and aging has to evict.
+  return OnlineEventStream(/*workers=*/8, /*locks=*/48,
+                           /*phase_every=*/std::max<std::uint64_t>(1, events / phases),
+                           /*ring_every=*/std::max<std::uint64_t>(1, events / 64),
+                           seed);
+}
+
+ScenarioResult run_scenario(const std::string& name, std::uint64_t events,
+                            std::uint64_t seed, const GovernorOptions& options,
+                            Detection* out_detection = nullptr,
+                            std::uint64_t phases = 8) {
+  ScenarioResult r;
+  r.name = name;
+  r.events = events;
+  r.budget_bytes = options.memory_budget_mb << 20;
+
+  OnlineEventStream stream = make_stream(events, seed, phases);
+  GovernedStreamingDetector governed(options);
+  Stopwatch watch;
+  for (std::uint64_t i = 0; i < events; ++i) governed.add(stream.next());
+  Detection detection = governed.finish();
+  const double seconds = watch.seconds();
+
+  r.mevents_per_s = static_cast<double>(events) / seconds / 1e6;
+  const GovernorVerdict& verdict = governed.verdict();
+  r.windows = verdict.windows;
+  r.tuples_evicted = verdict.tuples_evicted;
+  r.degraded_windows = verdict.degraded_windows;
+  r.detection_faults = verdict.detection_faults;
+  r.coverage_complete = verdict.coverage_complete;
+  r.final_level = to_string(verdict.final_level);
+  r.cycles = detection.cycles.size();
+
+  std::vector<double> detect_ms;
+  detect_ms.reserve(governed.windows().size());
+  for (const WindowReport& w : governed.windows()) {
+    detect_ms.push_back(w.detect_seconds * 1e3);
+    r.peak_store_bytes = std::max(r.peak_store_bytes, w.store_bytes);
+  }
+  r.p50_detect_ms = percentile(detect_ms, 0.50);
+  r.p99_detect_ms = percentile(detect_ms, 0.99);
+  r.peak_rss_bytes = peak_rss_bytes();
+  if (out_detection != nullptr) *out_detection = std::move(detection);
+  return r;
+}
+
+void write_json(std::ostream& os, bool quick, std::uint64_t events,
+                const std::vector<ScenarioResult>& scenarios,
+                bool differential_ok) {
+  os << "{\n"
+     << "  \"bench\": \"perf_online\",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"events\": " << events << ",\n"
+     << "  \"hardware_concurrency\": " << ThreadPool::hardware_jobs() << ",\n"
+     << "  \"differential_vs_batch_ok\": "
+     << (differential_ok ? "true" : "false") << ",\n"
+     << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    os << "    {\"name\": \"" << s.name << "\", \"events\": " << s.events
+       << ",\n"
+       << "     \"mevents_per_s\": " << s.mevents_per_s
+       << ", \"windows\": " << s.windows
+       << ", \"p50_window_detect_ms\": " << s.p50_detect_ms
+       << ", \"p99_window_detect_ms\": " << s.p99_detect_ms << ",\n"
+       << "     \"budget_bytes\": " << s.budget_bytes
+       << ", \"peak_store_bytes\": " << s.peak_store_bytes
+       << ", \"peak_rss_bytes\": " << s.peak_rss_bytes << ",\n"
+       << "     \"tuples_evicted\": " << s.tuples_evicted
+       << ", \"degraded_windows\": " << s.degraded_windows
+       << ", \"detection_faults\": " << s.detection_faults
+       << ", \"coverage_complete\": "
+       << (s.coverage_complete ? "true" : "false")
+       << ", \"final_level\": \"" << s.final_level << "\""
+       << ", \"cycles\": " << s.cycles << "}"
+       << (i + 1 < scenarios.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_bool("quick", false, "CI smoke mode: 10^6 events");
+  flags.define_int("events", 0, "event count (0 = 10^7, or 10^6 with --quick)");
+  flags.define_int("budget-mb", 0,
+                   "memory budget for the budgeted scenario "
+                   "(0 = 16 full / 2 quick)");
+  flags.define_int("seed", 2014, "stream seed");
+  flags.define_string("out", "BENCH_online.json", "JSON output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const bool quick = flags.get_bool("quick");
+  std::uint64_t events = static_cast<std::uint64_t>(flags.get_int("events"));
+  if (events == 0) events = quick ? 1'000'000 : 10'000'000;
+  std::size_t budget_mb = static_cast<std::size_t>(flags.get_int("budget-mb"));
+  if (budget_mb == 0) budget_mb = quick ? 2 : 16;
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::vector<ScenarioResult> scenarios;
+
+  // 1. Budgeted — first, so VmHWM is the governed run's peak.
+  GovernorOptions budgeted;
+  budgeted.memory_budget_mb = budget_mb;
+  scenarios.push_back(run_scenario("budgeted", events, seed, budgeted));
+
+  // 2. Unbounded + differential gate vs plain streaming detection.
+  GovernorOptions unbounded;
+  Detection governed_detection;
+  scenarios.push_back(run_scenario("unbounded", events, seed, unbounded,
+                                   &governed_detection));
+
+  StreamingDetector batch;
+  {
+    OnlineEventStream stream = make_stream(events, seed);
+    for (std::uint64_t i = 0; i < events; ++i) batch.add(stream.next());
+  }
+  Detection batch_detection = batch.finish();
+  bool differential_ok =
+      governed_detection.cycles.size() == batch_detection.cycles.size();
+  for (std::size_t i = 0; differential_ok &&
+                          i < governed_detection.cycles.size();
+       ++i)
+    differential_ok = governed_detection.cycles[i].tuple_idx ==
+                      batch_detection.cycles[i].tuple_idx;
+
+  // 3. Deadline pressure on small windows.
+  GovernorOptions deadline;
+  deadline.window_events = 8192;
+  deadline.window_deadline_ms = 1;
+  scenarios.push_back(run_scenario("deadline", events, seed, deadline));
+
+  // 4. Shedding — a 64-phase stream whose canonical tuple set alone
+  // outgrows a small budget, so compaction cannot save it and aging must
+  // evict; the honest verdict (coverage_complete = false) is gated below.
+  GovernorOptions shed;
+  shed.memory_budget_mb = 2;
+  scenarios.push_back(run_scenario("shed", events, seed, shed,
+                                   /*out_detection=*/nullptr, /*phases=*/64));
+
+  TextTable table({"Scenario", "Mev/s", "Windows", "p50 ms", "p99 ms",
+                   "Peak store", "Budget", "Evicted", "Complete", "Cycles"});
+  for (const ScenarioResult& s : scenarios)
+    table.add_row({s.name, TextTable::num(s.mevents_per_s, 2),
+                   std::to_string(s.windows),
+                   TextTable::num(s.p50_detect_ms, 2),
+                   TextTable::num(s.p99_detect_ms, 2),
+                   TextTable::num(static_cast<double>(s.peak_store_bytes) / 1e6,
+                                  1) + " MB",
+                   s.budget_bytes == 0
+                       ? std::string("-")
+                       : TextTable::num(
+                             static_cast<double>(s.budget_bytes) / 1e6, 1) +
+                             " MB",
+                   std::to_string(s.tuples_evicted),
+                   s.coverage_complete ? "yes" : "NO (reported)",
+                   std::to_string(s.cycles)});
+  table.render(std::cout);
+  std::cout << "\ndifferential vs batch: "
+            << (differential_ok ? "identical" : "DIVERGED") << ", peak RSS "
+            << TextTable::num(
+                   static_cast<double>(scenarios[0].peak_rss_bytes) / 1e6, 1)
+            << " MB after the budgeted run\n";
+
+  const std::string out = flags.get_string("out");
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  write_json(os, quick, events, scenarios, differential_ok);
+  std::cout << "wrote " << out << '\n';
+
+  // Correctness gates: throughput only counts when the contract held.
+  bool ok = differential_ok;
+  for (const ScenarioResult& s : scenarios) {
+    if (s.budget_bytes > 0 && s.peak_store_bytes > s.budget_bytes) {
+      std::cerr << "FAIL: " << s.name << " exceeded its memory budget\n";
+      ok = false;
+    }
+    if (s.tuples_evicted > 0 && s.coverage_complete) {
+      std::cerr << "FAIL: " << s.name
+                << " evicted without an incomplete-coverage verdict\n";
+      ok = false;
+    }
+  }
+  if (scenarios.back().tuples_evicted == 0) {
+    std::cerr << "FAIL: shed scenario never hit the aging rung\n";
+    ok = false;
+  }
+  if (!differential_ok)
+    std::cerr << "FAIL: governed detection diverged from batch\n";
+  return ok ? 0 : 1;
+}

@@ -73,24 +73,31 @@ std::vector<Defect> group_defects(const std::vector<PotentialDeadlock>& cycles,
   return defects;
 }
 
-Detection StreamingDetector::finish() {
+Detection finish_detection(LockDependency dep, ClockTracker clocks,
+                           const DetectorOptions& options) {
   Detection det;
-  det.dep = builder_.take_dependency();
-  det.clocks = builder_.clocks();
-  builder_.clear();
+  det.dep = std::move(dep);
+  det.clocks = std::move(clocks);
   EnumerationResult res;
-  if (options_.magic_prune) {
+  if (options.magic_prune) {
     LockDependency reduced = det.dep;
     reduced.unique = magic_prune(det.dep);
-    res = enumerate_cycles_ex(reduced, options_, &det.clocks);
+    res = enumerate_cycles_ex(reduced, options, &det.clocks);
   } else {
-    res = enumerate_cycles_ex(det.dep, options_, &det.clocks);
+    res = enumerate_cycles_ex(det.dep, options, &det.clocks);
   }
   det.cycles = std::move(res.cycles);
   det.truncated = res.truncated;
-  det.cycle_cap = res.truncated ? options_.max_cycles : 0;
+  det.cycle_cap = res.truncated ? options.max_cycles : 0;
   det.defects = group_defects(det.cycles, det.dep);
   return det;
+}
+
+Detection StreamingDetector::finish() {
+  LockDependency dep = builder_.take_dependency();
+  ClockTracker clocks = builder_.clocks();
+  builder_.clear();
+  return finish_detection(std::move(dep), std::move(clocks), options_);
 }
 
 Detection detect_reader(TraceReader& reader, const DetectorOptions& options) {

@@ -130,6 +130,13 @@ class StreamingDetector {
   LockDependencyBuilder builder_;
 };
 
+// Shared back half of StreamingDetector::finish and the governed detector
+// (core/governor.hpp): enumerates cycles and groups defects over an
+// already-built relation (`unique` must be computed, e.g. by
+// LockDependencyBuilder::take_dependency or snapshot_dependency).
+Detection finish_detection(LockDependency dep, ClockTracker clocks,
+                           const DetectorOptions& options);
+
 // Cycle enumeration only (used by tests that build D_σ by hand). Dispatches
 // on options.engine; truncation and clock-aware variants live in
 // core/cycle_engine.hpp.

@@ -35,6 +35,12 @@ std::vector<ConfigIssue> Config::validate() const {
     issues.push_back(fatal_issue("detector.max_cycles must be >= 1"));
   if (replay.attempts <= 0)
     issues.push_back(fatal_issue("replay.attempts must be >= 1"));
+  if (window_events == 0)
+    issues.push_back(
+        fatal_issue("window_events must be >= 1 (the governed detector "
+                    "cannot close zero-event windows)"));
+  if (window_deadline_ms < 0)
+    issues.push_back(fatal_issue("window_deadline_ms must be >= 0"));
 
   // Conflicts: legal, but one of the two settings silently wins. Non-fatal
   // so existing invocations (e.g. --engine=reference with the default jobs)
@@ -63,6 +69,25 @@ std::vector<ConfigIssue> Config::validate() const {
     issues.push_back(
         warning("both deadline_ms and replay.retry.attempt_deadline_ms are "
                 "set; the shared deadline_ms wins"));
+  }
+  // A fault plan that stalls or wedges execution needs a retry budget (and
+  // ideally a deadline) to absorb the faulted attempts; with attempts=1 the
+  // first injected fault is the final answer.
+  if (fault != nullptr && fault->faults_execution()) {
+    if (record_attempts <= 1 || replay.attempts <= 1) {
+      issues.push_back(
+          warning("fault plan injects execution faults but the retry budget "
+                  "is a single attempt (record_attempts/replay.attempts); "
+                  "the first fault will be terminal — raise --retry to let "
+                  "the pipeline absorb injected faults"));
+    }
+    if (fault->drop_force_releases && deadline_ms == 0 &&
+        executor.deadline_ms == 0) {
+      issues.push_back(
+          warning("fault plan drops force-releases but no deadline is set; "
+                  "a wedged rt run can only be ended by the watchdog — set "
+                  "deadline_ms"));
+    }
   }
   return issues;
 }
@@ -105,6 +130,17 @@ baseline::DfOptions Config::df_options() const {
   // has no jobs knob, so only the seed and deadline fold in.
   o.replay.seed = seed;
   if (deadline_ms != 0) o.replay.retry.attempt_deadline_ms = deadline_ms;
+  return o;
+}
+
+GovernorOptions Config::governor_options() const {
+  GovernorOptions o;
+  o.memory_budget_mb = memory_budget_mb;
+  o.window_events = window_events;
+  o.window_deadline_ms = window_deadline_ms;
+  o.detector = detector;
+  o.detector.jobs = jobs;
+  o.fault = fault;
   return o;
 }
 

@@ -1,0 +1,212 @@
+// Resource-governed online detection (DESIGN.md §14).
+//
+// StreamingDetector accumulates an unbounded D_σ and enumerates once at the
+// end — fine for batch analysis, fatal for an always-on engine ingesting
+// millions of events per second. GovernedStreamingDetector is the
+// production shape: ingestion is chopped into fixed-size event windows, and
+// at every window boundary the governor
+//
+//   1. consults the linear-time sound pre-filter (core/prefilter.hpp) — the
+//      expensive tuple-level cycle enumeration fires only on windows the
+//      lock graph flags as suspicious, and only at ladder rungs that allow
+//      it;
+//   2. enforces the memory budget on the tuple store: first *compaction*
+//      (dropping non-canonical duplicate tuples — lossless for cycle
+//      enumeration, which runs over the canonical view), then, only if the
+//      budget is still exceeded, *aging* (evicting the oldest tuples —
+//      lossy, and therefore reported);
+//   3. drives the degradation ladder off the window's detection latency:
+//
+//          kFullScc → kClockPruned → kPrefilterOnly   (deadline pressure)
+//                                      kShedding      (memory pressure)
+//
+//      A window that blows its deadline demotes the rung; two consecutive
+//      comfortably-fast windows promote it back (hysteresis). kClockPruned
+//      folds the Pruner's clock cut into the per-window search — cheaper,
+//      and principled: the cycles it skips are exactly the ones the Pruner
+//      would prove infeasible. kPrefilterOnly stops per-window enumeration
+//      entirely; windows are still flagged. kShedding is not a rung the
+//      deadline reaches — it marks windows where aging evicted tuples.
+//
+// Honesty contract (the same one --max-cycles truncation already honors):
+// every downgrade is surfaced. Each window produces a WindowReport; the
+// run produces a GovernorVerdict whose coverage_complete is true iff the
+// final Detection provably equals what batch analysis of the same event
+// stream would produce — no eviction, no detection fault. Per-window
+// enumeration faults (injected or real) degrade only that window's early
+// surfacing; finish() re-enumerates over everything retained, so they do
+// not lose final coverage. A fault *in* finish() does, and flips
+// coverage_complete.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/prefilter.hpp"
+#include "robust/fault.hpp"
+#include "trace/recorder.hpp"
+
+namespace wolf {
+
+// The degradation ladder, cheapest-last. Numeric order is demotion order.
+enum class DetectionLevel : std::uint8_t {
+  kFullScc = 0,        // suspicious windows get full cycle enumeration
+  kClockPruned = 1,    // enumeration with the in-search clock cut
+  kPrefilterOnly = 2,  // windows only flagged; enumeration deferred
+  kShedding = 3,       // memory pressure: oldest tuples evicted (lossy)
+};
+const char* to_string(DetectionLevel level);
+
+struct GovernorOptions {
+  // Tuple-store budget in MiB; 0 = ungoverned (the store grows like
+  // StreamingDetector's). Approximate accounting — see tuple_bytes().
+  std::size_t memory_budget_mb = 0;
+  // Events per detection window. Also the granularity of budget and
+  // deadline enforcement.
+  std::size_t window_events = 65536;
+  // Wall-clock budget for one window's detection work; 0 = no deadline
+  // (the ladder never demotes).
+  std::int64_t window_deadline_ms = 0;
+  // Engine configuration for per-window and final enumeration.
+  DetectorOptions detector;
+  // Injected faults (robust/fault.hpp): detect_throw_window exercises the
+  // per-window containment path. Not owned.
+  const robust::FaultPlan* fault = nullptr;
+};
+
+// What happened in one window — the structured, honestly-reported verdict
+// of the degradation machinery.
+struct WindowReport {
+  std::size_t index = 0;
+  std::size_t events = 0;       // events ingested in this window
+  std::size_t tuples_live = 0;  // tuples retained after governance
+  std::size_t store_bytes = 0;  // approx store footprint after governance
+  DetectionLevel level = DetectionLevel::kFullScc;  // rung the window ran at
+  bool suspicious = false;      // pre-filter verdict for this window
+  std::size_t new_cycles = 0;   // cycles first surfaced in this window
+  std::size_t tuples_compacted = 0;
+  std::size_t tuples_evicted = 0;  // > 0 ⇒ lossy (level == kShedding)
+  double detect_seconds = 0;    // detection latency of this window
+  std::string note;             // fault/failure detail; empty when clean
+
+  bool degraded() const {
+    return level != DetectionLevel::kFullScc || tuples_evicted > 0 ||
+           !note.empty();
+  }
+};
+
+// Run-level roll-up. coverage_complete is the load-bearing bit: when true,
+// the final Detection covers exactly what batch analysis would.
+struct GovernorVerdict {
+  bool coverage_complete = true;
+  std::size_t windows = 0;
+  std::size_t suspicious_windows = 0;
+  std::size_t degraded_windows = 0;
+  std::size_t tuples_compacted = 0;
+  std::size_t tuples_evicted = 0;
+  std::size_t detection_faults = 0;
+  DetectionLevel final_level = DetectionLevel::kFullScc;
+  std::vector<std::string> notes;  // one per fault/degradation event (capped)
+
+  bool degraded() const { return degraded_windows > 0 || !coverage_complete; }
+  std::string summary() const;  // one human-readable line
+};
+
+// Pure ladder-transition rule, exposed for deterministic tests: given the
+// current rung, one window's detection latency and the deadline, returns
+// the next rung and updates the promote-hysteresis streak (demote resets
+// it; promotion requires two consecutive windows under half the deadline).
+DetectionLevel next_rung(DetectionLevel current, double detect_seconds,
+                         std::int64_t deadline_ms, int& fast_streak);
+
+// Approximate heap footprint of one stored tuple (vector capacities
+// included) — the unit of the governor's memory accounting.
+std::size_t tuple_bytes(const LockTuple& tuple);
+
+class GovernedStreamingDetector {
+ public:
+  explicit GovernedStreamingDetector(const GovernorOptions& options = {});
+
+  void add(const Event& e);
+  void add_block(const std::vector<Event>& events);
+
+  std::size_t events_seen() const { return builder_.events_seen(); }
+  std::size_t store_bytes() const { return store_bytes_; }
+  DetectionLevel level() const { return rung_; }
+  const std::vector<WindowReport>& windows() const { return windows_; }
+
+  // Closes the trailing partial window, runs the authoritative enumeration
+  // over every retained tuple and returns the completed Detection. The
+  // verdict is final after this call. Never throws on detection failure —
+  // a fault there yields an empty cycle set and coverage_complete = false.
+  Detection finish();
+
+  // Valid (final) after finish(); before that it reflects windows so far.
+  GovernorVerdict verdict() const;
+
+ private:
+  void close_window();
+  // Pre-filter + (rung-permitting) enumeration for the closing window.
+  void run_window_detection(WindowReport& w);
+  // Budget enforcement: compaction, then aging. Updates store_bytes_.
+  void govern_memory(WindowReport& w);
+  void recompute_store_bytes();
+  void note_event(GovernorVerdict& v, std::string note) const;
+
+  GovernorOptions options_;
+  LockDependencyBuilder builder_;
+  LockGraph prefilter_;
+  std::vector<WindowReport> windows_;
+  GovernorVerdict verdict_;
+  bool finished_ = false;
+  // Set when an event fired a builder invariant check (malformed input,
+  // e.g. from a corrupted live feed): ingestion stops, coverage_complete is
+  // cleared, and finish() analyzes only what was consistently built.
+  bool poisoned_ = false;
+
+  DetectionLevel rung_ = DetectionLevel::kFullScc;
+  int fast_streak_ = 0;
+  std::size_t window_events_ = 0;      // events in the open window
+  std::size_t tuples_fed_ = 0;         // tuples already fed to the prefilter
+  std::uint64_t prefilter_generation_ = 0;  // at the last window boundary
+  std::size_t store_bytes_ = 0;
+  // Cycles already surfaced by per-window enumeration, keyed by signature
+  // hash — so new_cycles counts first sightings only.
+  std::vector<std::uint64_t> seen_cycle_keys_;
+};
+
+struct GovernedDetection {
+  Detection detection;
+  std::vector<WindowReport> windows;
+  GovernorVerdict verdict;
+};
+
+// Streaming detection with governance — the governed analogue of
+// detect_reader(). On a defective stream the result reflects the prefix
+// delivered (callers check the reader), plus the governor's verdict.
+GovernedDetection detect_reader_governed(TraceReader& reader,
+                                         const GovernorOptions& options);
+
+// Online bookkeeping during execution, now resource-governed: attach to a
+// substrate as its TraceSink to pay detection-instrumentation cost at
+// runtime with bounded memory. Replaces the unbounded OnlineAnalysisSink
+// path when governance options are supplied (core/online_sink.hpp keeps
+// the ungoverned adapter for the Table-1 slowdown measurements).
+class GovernedOnlineSink final : public TraceSink {
+ public:
+  explicit GovernedOnlineSink(const GovernorOptions& options = {})
+      : detector_(options) {}
+
+  void on_event(Event e) override { detector_.add(e); }
+
+  GovernedStreamingDetector& detector() { return detector_; }
+  const GovernedStreamingDetector& detector() const { return detector_; }
+
+ private:
+  GovernedStreamingDetector detector_;
+};
+
+}  // namespace wolf

@@ -108,26 +108,68 @@ void LockDependencyBuilder::add(const Event& e) {
   }
 }
 
-LockDependency LockDependencyBuilder::take_dependency() {
-  // Deduplicate by (thread, lock, context site signature): the canonical
-  // representative is the first occurrence. Hash-indexed — the ordered map
-  // this replaces paid an O(|context|) lexicographic compare per tree level
-  // on every lookup, which dominated D_σ construction on long traces.
+namespace {
+
+TupleKey key_of(const LockTuple& t) {
+  TupleKey key;
+  key.thread = t.thread;
+  key.lock = t.lock;
+  key.sites.reserve(t.context.size());
+  for (const ExecIndex& idx : t.context) key.sites.push_back(idx.site);
+  return key;
+}
+
+// Deduplicate by (thread, lock, context site signature): the canonical
+// representative is the first occurrence. Hash-indexed — the ordered map
+// this replaces paid an O(|context|) lexicographic compare per tree level
+// on every lookup, which dominated D_σ construction on long traces.
+void compute_unique(LockDependency& dep) {
   std::unordered_map<TupleKey, std::size_t, TupleKeyHash> seen;
-  seen.reserve(dep_.tuples.size());
-  dep_.unique.clear();
-  for (std::size_t i = 0; i < dep_.tuples.size(); ++i) {
-    const LockTuple& t = dep_.tuples[i];
-    TupleKey key;
-    key.thread = t.thread;
-    key.lock = t.lock;
-    key.sites.reserve(t.context.size());
-    for (const ExecIndex& idx : t.context) key.sites.push_back(idx.site);
-    if (seen.emplace(std::move(key), i).second) dep_.unique.push_back(i);
+  seen.reserve(dep.tuples.size());
+  dep.unique.clear();
+  for (std::size_t i = 0; i < dep.tuples.size(); ++i) {
+    if (seen.emplace(key_of(dep.tuples[i]), i).second) dep.unique.push_back(i);
   }
+}
+
+}  // namespace
+
+LockDependency LockDependencyBuilder::take_dependency() {
+  compute_unique(dep_);
   LockDependency out = std::move(dep_);
   dep_ = LockDependency{};
   return out;
+}
+
+LockDependency LockDependencyBuilder::snapshot_dependency() const {
+  LockDependency copy = dep_;
+  compute_unique(copy);
+  return copy;
+}
+
+std::size_t LockDependencyBuilder::compact() {
+  std::unordered_map<TupleKey, std::size_t, TupleKeyHash> seen;
+  seen.reserve(dep_.tuples.size());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < dep_.tuples.size(); ++i) {
+    if (!seen.emplace(key_of(dep_.tuples[i]), i).second) continue;
+    if (kept != i) dep_.tuples[kept] = std::move(dep_.tuples[i]);
+    ++kept;
+  }
+  const std::size_t removed = dep_.tuples.size() - kept;
+  dep_.tuples.resize(kept);
+  dep_.tuples.shrink_to_fit();
+  return removed;
+}
+
+std::size_t LockDependencyBuilder::evict_oldest(std::size_t max_tuples) {
+  if (dep_.tuples.size() <= max_tuples) return 0;
+  const std::size_t evicted = dep_.tuples.size() - max_tuples;
+  // Tuples are in trace order, so the oldest are the front.
+  dep_.tuples.erase(dep_.tuples.begin(),
+                    dep_.tuples.begin() + static_cast<std::ptrdiff_t>(evicted));
+  dep_.tuples.shrink_to_fit();
+  return evicted;
 }
 
 void LockDependencyBuilder::clear() {

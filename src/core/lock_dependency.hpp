@@ -87,6 +87,26 @@ class LockDependencyBuilder {
   LockDependency take_dependency();
   void clear();
 
+  // ---- governed-store surface (core/governor.hpp) -----------------------
+  // The accumulating relation, read-only (`unique` is not yet computed).
+  const LockDependency& pending() const { return dep_; }
+
+  // Copy of the relation so far with `unique` computed, without consuming
+  // the builder — what per-window cycle enumeration runs on.
+  LockDependency snapshot_dependency() const;
+
+  // Site-table compaction: drops every non-canonical duplicate tuple (same
+  // thread, lock and context-site signature as an earlier one), keeping the
+  // first occurrence. Cycle enumeration runs over the canonical view only,
+  // so the cycle set is unchanged; returns the number of tuples removed.
+  std::size_t compact();
+
+  // Aging: drops the *oldest* tuples until at most `max_tuples` remain.
+  // Lossy — evicted tuples can carry cycles — so callers must surface the
+  // returned count as lost coverage. Clock and held-lock state are
+  // untouched (they are O(threads + locks), not O(trace)).
+  std::size_t evict_oldest(std::size_t max_tuples);
+
  private:
   LockDependency dep_;
   ClockTracker clocks_;

@@ -407,4 +407,25 @@ WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
   return classify_detection(program, std::move(detection), options, sink);
 }
 
+WolfReport analyze_reader_governed(const sim::Program& program,
+                                   TraceReader& reader,
+                                   const WolfOptions& options,
+                                   const GovernorOptions& governor) {
+  obs::SpanSink sink;
+  GovernorOptions gov = governor;
+  gov.detector = options.detector;
+  if (options.fault != nullptr) gov.fault = options.fault;
+  GovernedDetection governed;
+  {
+    obs::Span detect_span(&sink, "phase/detect");
+    governed = detect_reader_governed(reader, gov);
+  }
+  WolfReport report = classify_detection(program, std::move(governed.detection),
+                                         options, sink);
+  report.governed = true;
+  report.windows = std::move(governed.windows);
+  report.governor = std::move(governed.verdict);
+  return report;
+}
+
 }  // namespace wolf

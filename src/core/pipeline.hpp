@@ -10,6 +10,7 @@
 
 #include "core/detector.hpp"
 #include "core/generator.hpp"
+#include "core/governor.hpp"
 #include "core/pruner.hpp"
 #include "core/replayer.hpp"
 #include "obs/span.hpp"
@@ -127,6 +128,16 @@ struct WolfReport {
   double avg_gs_vertices = 0;  // over generated (non-pruned) cycles
   int jobs_used = 1;           // effective classification parallelism
 
+  // Resource-governed streaming extras (core/governor.hpp), populated only
+  // by analyze_reader_governed: per-window reports plus the run-level
+  // verdict. When governor.coverage_complete is false the detection —
+  // and therefore everything classified from it — may be missing defects,
+  // and report writers must say so (the same honesty contract as
+  // Detection::truncated).
+  bool governed = false;
+  std::vector<WindowReport> windows;
+  GovernorVerdict governor;
+
   int count_cycles(Classification c) const;
   int count_defects(Classification c) const;
   int false_positive_cycles() const;
@@ -150,6 +161,18 @@ WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
 // strict callers must check the reader themselves.
 WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
                           const WolfOptions& options);
+
+// analyze_reader under resource governance (core/governor.hpp): detection
+// ingests through GovernedStreamingDetector — windowed, budgeted, with the
+// degradation ladder — and the report carries the per-window reports and
+// the governor's verdict. governor.detector and governor.fault are
+// overridden from `options` so the pipeline has one source of truth for
+// engine configuration and fault plans. With no budget, no deadline and no
+// faults the detection is bit-identical to analyze_reader's.
+WolfReport analyze_reader_governed(const sim::Program& program,
+                                   TraceReader& reader,
+                                   const WolfOptions& options,
+                                   const GovernorOptions& governor);
 
 // Classifies one detected cycle (prune → generate → replay); exposed for
 // targeted tests and the comparison harnesses.

@@ -1,0 +1,186 @@
+#include "core/prefilter.hpp"
+
+#include <algorithm>
+
+#include "obs/counters.hpp"
+
+namespace wolf {
+
+namespace {
+const obs::Counter kEdgesCounter("prefilter.edges");
+const obs::Counter kChecksCounter("prefilter.checks");
+}  // namespace
+
+std::uint64_t lockset_mask(const std::vector<LockId>& lockset) {
+  std::uint64_t mask = 0;
+  for (LockId l : lockset) {
+    const auto bit = static_cast<std::uint64_t>(static_cast<std::uint32_t>(l));
+    if (bit < 64) mask |= 1ULL << bit;
+  }
+  return mask;
+}
+
+int LockGraph::intern(LockId lock) {
+  auto [it, inserted] = lock_ids_.emplace(lock, static_cast<int>(locks_.size()));
+  if (inserted) {
+    locks_.push_back(lock);
+    out_.emplace_back();
+  }
+  return it->second;
+}
+
+void LockGraph::on_tuple(const LockTuple& tuple) {
+  if (tuple.lockset.empty()) return;  // top-of-stack acquisitions add no edge
+  const int to = intern(tuple.lock);
+  const std::uint64_t guards = lockset_mask(tuple.lockset);
+  for (LockId held : tuple.lockset) {
+    const int from = intern(held);
+    std::vector<Edge>& edges = out_[static_cast<std::size_t>(from)];
+    auto it = std::find_if(edges.begin(), edges.end(),
+                           [&](const Edge& e) { return e.to == to; });
+    if (it == edges.end()) {
+      Edge e;
+      e.to = to;
+      e.first_thread = tuple.thread;
+      e.guard_mask = guards;
+      edges.push_back(e);
+      ++edge_count_;
+      ++generation_;
+      kEdgesCounter.add();
+      continue;
+    }
+    // Existing edge: widen the thread set, narrow the guard intersection.
+    // Only changes that could flip the verdict bump the generation.
+    if (!it->multi_thread && it->first_thread != tuple.thread) {
+      it->multi_thread = true;
+      ++generation_;
+    }
+    const std::uint64_t narrowed = it->guard_mask & guards;
+    if (narrowed != it->guard_mask) {
+      it->guard_mask = narrowed;
+      ++generation_;
+    }
+  }
+}
+
+// Tarjan over the lock graph; an SCC is suspicious when it spans >= 2 locks,
+// its edges come from >= 2 distinct threads, and no lock is held by every
+// contributing tuple of every internal edge (see header for why each test is
+// sound).
+void LockGraph::recompute() const {
+  kChecksCounter.add();
+  verdict_generation_ = generation_;
+  verdict_ = false;
+  verdict_scc_count_ = 0;
+
+  const int n = static_cast<int>(locks_.size());
+  if (n == 0) return;
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int comp_count = 0;
+
+  // Iterative Tarjan: (node, next-edge-cursor) frames.
+  std::vector<std::pair<int, std::size_t>> frames;
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    frames.emplace_back(root, 0);
+    while (!frames.empty()) {
+      auto& [v, cursor] = frames.back();
+      const auto vi = static_cast<std::size_t>(v);
+      if (cursor == 0) {
+        index[vi] = low[vi] = next_index++;
+        stack.push_back(v);
+        on_stack[vi] = true;
+      }
+      if (cursor < out_[vi].size()) {
+        const int w = out_[vi][cursor++].to;
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          frames.emplace_back(w, 0);
+        } else if (on_stack[wi]) {
+          low[vi] = std::min(low[vi], index[wi]);
+        }
+        continue;
+      }
+      if (low[vi] == index[vi]) {
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          comp[static_cast<std::size_t>(w)] = comp_count;
+          if (w == v) break;
+        }
+        ++comp_count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto& [parent, unused] = frames.back();
+        const auto pi = static_cast<std::size_t>(parent);
+        low[pi] = std::min(low[pi], low[vi]);
+      }
+    }
+  }
+
+  // Per-SCC refinement over the internal edges.
+  std::vector<int> scc_size(static_cast<std::size_t>(comp_count), 0);
+  for (int v = 0; v < n; ++v)
+    ++scc_size[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])];
+  struct SccInfo {
+    ThreadId first_thread = kInvalidThread;
+    bool multi_thread = false;
+    std::uint64_t common_guards = ~0ULL;
+  };
+  std::vector<SccInfo> info(static_cast<std::size_t>(comp_count));
+  for (int v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const int c = comp[vi];
+    if (scc_size[static_cast<std::size_t>(c)] < 2) continue;
+    for (const Edge& e : out_[vi]) {
+      if (comp[static_cast<std::size_t>(e.to)] != c) continue;
+      SccInfo& s = info[static_cast<std::size_t>(c)];
+      s.common_guards &= e.guard_mask;
+      if (e.multi_thread) {
+        s.multi_thread = true;
+      } else if (s.first_thread == kInvalidThread) {
+        s.first_thread = e.first_thread;
+      } else if (s.first_thread != e.first_thread) {
+        s.multi_thread = true;
+      }
+    }
+  }
+  for (int c = 0; c < comp_count; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (scc_size[ci] < 2) continue;
+    if (!info[ci].multi_thread) continue;
+    if (info[ci].common_guards != 0) continue;
+    verdict_ = true;
+    ++verdict_scc_count_;
+  }
+}
+
+bool LockGraph::suspicious() const {
+  if (verdict_generation_ != generation_ || generation_ == 0) recompute();
+  return verdict_;
+}
+
+std::size_t LockGraph::suspicious_scc_count() const {
+  if (verdict_generation_ != generation_ || generation_ == 0) recompute();
+  return verdict_scc_count_;
+}
+
+void LockGraph::clear() {
+  lock_ids_.clear();
+  locks_.clear();
+  out_.clear();
+  edge_count_ = 0;
+  generation_ = 0;
+  verdict_generation_ = 0;
+  verdict_ = false;
+  verdict_scc_count_ = 0;
+}
+
+}  // namespace wolf

@@ -1,0 +1,100 @@
+// Linear-time sound deadlock pre-filter (PAPERS.md: Tunç, Mathur,
+// Pavlogiannis, Viswanathan — "Sound Dynamic Deadlock Prediction in Linear
+// Time"), adapted to D_σ tuples.
+//
+// The expensive part of online detection is tuple-level cycle enumeration.
+// This module maintains a much coarser abstraction incrementally — a
+// lock-level holds→requests digraph: when a tuple (t, L, ℓ, …) is added,
+// every held lock h ∈ L gains an edge h → ℓ. Any potential deadlock
+// θ = {η1 … ηn} of the detector induces a directed cycle
+// lock(η1) → lock(η2) → … → lock(ηn) → lock(η1) here (ηi+1 holds lock(ηi)
+// while requesting lock(ηi+1)), so:
+//
+//     lock graph has no "suspicious" SCC  ⇒  D_σ has no potential deadlock.
+//
+// The converse does not hold — the pre-filter may flag windows with no
+// cycle — which is exactly the right direction for a *sound* cheap pass:
+// enumeration is only skipped when skipping provably loses nothing.
+//
+// Two refinements sharpen "suspicious" while preserving soundness:
+//   * threads — each edge records which threads contributed it; a cycle
+//     needs pairwise-distinct threads, so an SCC whose edges all come from
+//     one single thread cannot contain one;
+//   * guards — each edge records the intersection of the contributing
+//     tuples' locksets (as a 64-lock bitmask; locks beyond the mask are
+//     conservatively ignored). If every edge of an SCC shares a common held
+//     lock g, any cycle through the SCC would need two tuples both holding
+//     g, violating lockset disjointness — the classic gate-lock idiom is
+//     discharged without enumerating anything.
+//
+// Maintenance is O(|lockset|) amortized per tuple; the verdict is one
+// Tarjan pass over the lock graph (O(locks + edges)), recomputed lazily
+// only when an edge changed since the last query. Both are linear in the
+// trace — this is the pass the degradation ladder falls back to when
+// budgets bite (DESIGN.md §14).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lock_dependency.hpp"
+#include "trace/ids.hpp"
+
+namespace wolf {
+
+class LockGraph {
+ public:
+  // Folds one D_σ tuple into the graph.
+  void on_tuple(const LockTuple& tuple);
+
+  // Sound verdict over everything added so far: false guarantees that the
+  // tuples seen so far admit no potential-deadlock cycle. Lazily recomputes
+  // the SCC decomposition when the graph changed since the last call.
+  bool suspicious() const;
+
+  // Locks participating in some suspicious SCC (dense node ids — see
+  // lock_of()); empty iff !suspicious(). Useful for diagnostics.
+  std::size_t suspicious_scc_count() const;
+
+  std::size_t lock_count() const { return locks_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+  // True when on_tuple() changed an edge since the given generation; the
+  // governor uses generation() deltas to skip windows that added nothing.
+  std::uint64_t generation() const { return generation_; }
+
+  void clear();
+
+ private:
+  struct Edge {
+    int to = -1;
+    ThreadId first_thread = kInvalidThread;
+    bool multi_thread = false;   // contributed by >= 2 distinct threads
+    std::uint64_t guard_mask = ~0ULL;  // AND of contributors' lockset masks
+  };
+
+  int intern(LockId lock);
+  void touch() const {}  // documentation aid; mutation bumps generation_
+
+  std::unordered_map<LockId, int> lock_ids_;  // LockId -> dense node
+  std::vector<LockId> locks_;                 // dense node -> LockId
+  // Adjacency: per node, edges keyed by target node (small vectors; lock
+  // graphs are tiny compared to D_σ).
+  std::vector<std::vector<Edge>> out_;
+  std::size_t edge_count_ = 0;
+  std::uint64_t generation_ = 0;
+
+  // Lazy verdict cache.
+  mutable std::uint64_t verdict_generation_ = 0;
+  mutable bool verdict_ = false;
+  mutable std::size_t verdict_scc_count_ = 0;
+  void recompute() const;
+};
+
+// Lockset bitmask over the first 64 lock ids; locks with larger ids are
+// dropped from the mask (conservative: a dropped guard can only make the
+// filter *more* suspicious, never less sound).
+std::uint64_t lockset_mask(const std::vector<LockId>& lockset);
+
+}  // namespace wolf

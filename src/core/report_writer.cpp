@@ -28,6 +28,27 @@ std::string truncation_message(const Detection& detection) {
   return os.str();
 }
 
+std::string degradation_message(const GovernorVerdict& verdict) {
+  if (!verdict.degraded()) return std::string();
+  std::ostringstream os;
+  if (!verdict.coverage_complete) {
+    os << "governed detection is INCOMPLETE — ";
+    if (verdict.tuples_evicted > 0)
+      os << verdict.tuples_evicted
+         << " dependency tuples were evicted under the memory budget";
+    if (verdict.tuples_evicted > 0 && verdict.detection_faults > 0) os << " and ";
+    if (verdict.detection_faults > 0)
+      os << verdict.detection_faults << " detection fault(s) occurred";
+    os << "; absence of a defect below is not evidence of absence";
+  } else {
+    os << "governed detection degraded in " << verdict.degraded_windows
+       << " of " << verdict.windows
+       << " window(s) (final level " << to_string(verdict.final_level)
+       << ") but retained full coverage";
+  }
+  return os.str();
+}
+
 std::string write_markdown_report(const WolfReport& report,
                                   const SiteTable& sites,
                                   const ReportWriterOptions& options) {
@@ -58,6 +79,18 @@ std::string write_markdown_report(const WolfReport& report,
     os << "> **Warning:** " << truncation_message(report.detection)
        << ". Re-run with a larger `--max-cycles` for exhaustive "
           "enumeration.\n\n";
+  }
+
+  if (report.governed) {
+    const std::string degraded = degradation_message(report.governor);
+    if (!degraded.empty()) os << "> **Warning:** " << degraded << ".\n\n";
+    os << "## Governed streaming\n\n";
+    os << report.governor.summary() << "\n\n";
+    if (!report.governor.notes.empty()) {
+      for (const std::string& note : report.governor.notes)
+        os << "- " << note << "\n";
+      os << '\n';
+    }
   }
 
   if (options.include_ranking && !report.defects.empty()) {

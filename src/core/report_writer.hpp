@@ -29,4 +29,10 @@ std::string write_markdown_report(const WolfReport& report,
 // drift. Empty when the detection was not truncated.
 std::string truncation_message(const Detection& detection);
 
+// One sentence describing a degraded governed run (evictions, detection
+// faults, ladder demotions) — the governed analogue of truncation_message,
+// shared by the CLI stderr warning and the markdown report. Empty when the
+// verdict is clean.
+std::string degradation_message(const GovernorVerdict& verdict);
+
 }  // namespace wolf

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "support/rng.hpp"
 #include "support/str.hpp"
 
 namespace wolf::robust {
@@ -80,6 +81,13 @@ std::optional<FaultPlan> parse_fault_plan(const std::string& spec,
         return std::nullopt;
       }
       plan.classify_throw_cycle = static_cast<int>(cycle);
+    } else if (starts_with(clause, "detect-throw-window=")) {
+      long long window = 0;
+      if (!parse_int(clause.substr(20), window) || window < 0) {
+        fail(error, "malformed clause '" + std::string(clause) + "'");
+        return std::nullopt;
+      }
+      plan.detect_throw_window = static_cast<int>(window);
     } else if (starts_with(clause, "truncate=")) {
       double fraction = 0;
       if (!parse_double(clause.substr(9), fraction) || fraction < 0 ||
@@ -95,6 +103,20 @@ std::optional<FaultPlan> parse_fault_plan(const std::string& spec,
         return std::nullopt;
       }
       plan.garble_line = static_cast<int>(line);
+    } else if (starts_with(clause, "tear=")) {
+      long long bytes = 0;
+      if (!parse_int(clause.substr(5), bytes) || bytes < 0) {
+        fail(error, "malformed clause '" + std::string(clause) + "'");
+        return std::nullopt;
+      }
+      plan.io_tear_after = bytes;
+    } else if (starts_with(clause, "bitflip=")) {
+      long long count = 0;
+      if (!parse_int(clause.substr(8), count) || count < 0) {
+        fail(error, "malformed clause '" + std::string(clause) + "'");
+        return std::nullopt;
+      }
+      plan.bitflip_count = static_cast<int>(count);
     } else {
       fail(error, "unknown fault clause '" + std::string(clause) + "'");
       return std::nullopt;
@@ -118,6 +140,25 @@ std::string corrupt_trace_text(std::string text, const FaultPlan& plan) {
         std::clamp(plan.truncate_fraction, 0.0, 1.0)));
   }
   return text;
+}
+
+std::string corrupt_trace_bytes(std::string bytes, const FaultPlan& plan,
+                                std::uint64_t seed) {
+  if (plan.bitflip_count > 0 && !bytes.empty()) {
+    std::uint64_t h = mix64(seed ^ 0xb17f11bb17f11bULL);
+    for (int i = 0; i < plan.bitflip_count; ++i) {
+      h = mix64(h + static_cast<std::uint64_t>(i));
+      const std::size_t pos = static_cast<std::size_t>(h % bytes.size());
+      const int bit = static_cast<int>((h >> 32) % 8);
+      bytes[pos] = static_cast<char>(
+          static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+    }
+  }
+  if (plan.io_tear_after >= 0 &&
+      static_cast<std::size_t>(plan.io_tear_after) < bytes.size()) {
+    bytes.resize(static_cast<std::size_t>(plan.io_tear_after));
+  }
+  return bytes;
 }
 
 }  // namespace wolf::robust

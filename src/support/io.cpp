@@ -1,0 +1,48 @@
+#include "support/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace wolf::support {
+
+namespace {
+
+void fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error, std::size_t fail_after_bytes) {
+  // Same directory as the target so the rename cannot cross filesystems.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      fail(error, "cannot open temp file '" + tmp + "' for writing");
+      return false;
+    }
+    const std::size_t n = std::min(fail_after_bytes, contents.size());
+    out.write(contents.data(), static_cast<std::streamsize>(n));
+    out.flush();
+    if (!out || n < contents.size()) {
+      out.close();
+      std::remove(tmp.c_str());
+      fail(error, n < contents.size()
+                      ? "write torn after " + std::to_string(n) +
+                            " bytes (injected fault); '" + path +
+                            "' left untouched"
+                      : "short write to temp file '" + tmp + "'");
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(error, "rename '" + tmp + "' -> '" + path + "' failed");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wolf::support

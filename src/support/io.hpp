@@ -1,0 +1,33 @@
+// Crash-consistent file output.
+//
+// A recorder that dies mid-write must not leave a half-written trace where
+// a good one used to be — the salvage reader can recover a torn *stream*,
+// but a torn *overwrite* of a previously valid file destroys data the user
+// already had. atomic_write_file gives the standard guarantee: write the
+// full contents to a sibling temp file, then std::rename it over the
+// target. rename(2) is atomic on POSIX, so at every instant the target
+// path holds either the complete old contents or the complete new ones.
+//
+// fail_after_bytes is the built-in kill point for fault injection
+// (FaultPlan::io_tear_after): the write "crashes" after that many bytes,
+// the temp file is removed, the rename never happens, and the target is
+// untouched — which is exactly what tests assert.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace wolf::support {
+
+// Writes `contents` to `path` atomically (temp file + rename). Returns
+// false and fills *error (when non-null) on failure; the target file is
+// never left partially written. fail_after_bytes < contents.size()
+// simulates a crash after that many bytes reach the temp file.
+bool atomic_write_file(
+    const std::string& path, std::string_view contents,
+    std::string* error = nullptr,
+    std::size_t fail_after_bytes = std::numeric_limits<std::size_t>::max());
+
+}  // namespace wolf::support

@@ -1,8 +1,10 @@
 #include "trace/serialize.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/check.hpp"
 #include "trace/trace_reader.hpp"
@@ -137,6 +139,62 @@ std::optional<Trace> trace_from_string(const std::string& text,
   return read_trace(is, error);
 }
 
+namespace {
+
+// Semantic lock-discipline validation over salvaged events. Format-level
+// salvage catches framing damage (and v3 checksums catch payload damage),
+// but a flipped bit inside a *text* trace can yield a line that still
+// parses — e.g. a release naming a lock its thread never acquired — and
+// such an event would fire invariant checks deep inside analysis. The
+// salvage contract is that the returned prefix is safe to analyze, so walk
+// the events with per-thread held stacks and cut at the first violation.
+void validate_salvaged_events(SalvageReport& report) {
+  std::unordered_map<ThreadId, std::vector<LockId>> held;
+  std::size_t bad = report.trace.events.size();
+  std::string what;
+  for (std::size_t i = 0; i < report.trace.events.size(); ++i) {
+    const Event& e = report.trace.events[i];
+    std::ostringstream os;
+    if (e.thread < 0) {
+      os << "negative thread id " << e.thread;
+    } else if ((e.kind == EventKind::kThreadStart ||
+                e.kind == EventKind::kThreadJoin) &&
+               e.other < 0) {
+      os << "negative child thread id " << e.other;
+    } else if (e.kind == EventKind::kLockAcquire) {
+      held[e.thread].push_back(e.lock);
+      continue;
+    } else if (e.kind == EventKind::kLockRelease) {
+      auto& stack = held[e.thread];
+      auto it = std::find(stack.rbegin(), stack.rend(), e.lock);
+      if (it == stack.rend()) {
+        os << "t" << e.thread << " releases lock " << e.lock
+           << " it does not hold";
+      } else {
+        stack.erase(std::next(it).base());
+        continue;
+      }
+    } else {
+      continue;
+    }
+    bad = i;
+    what = os.str();
+    break;
+  }
+  if (bad == report.trace.events.size()) return;
+  const std::size_t dropped = report.trace.events.size() - bad;
+  std::ostringstream os;
+  os << "event " << bad << " (seq " << report.trace.events[bad].seq
+     << "): " << what << "; dropping it and the " << (dropped - 1)
+     << " event(s) after it";
+  report.trace.events.resize(bad);
+  report.events_dropped += dropped;
+  report.complete = false;
+  report.diagnostics.push_back(os.str());
+}
+
+}  // namespace
+
 SalvageReport read_trace_salvage(std::istream& is) {
   StreamTraceReader reader(is, StreamTraceReader::Mode::kSalvage);
   SalvageReport report;
@@ -148,6 +206,7 @@ SalvageReport read_trace_salvage(std::istream& is) {
   report.complete = reader.complete();
   report.events_dropped = reader.events_dropped();
   report.diagnostics = reader.diagnostics();
+  validate_salvaged_events(report);
   return report;
 }
 

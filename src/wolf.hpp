@@ -73,6 +73,21 @@ struct Config {
   // ---- multi-run section ------------------------------------------------
   int runs = 5;
 
+  // ---- resource governance (core/governor.hpp) --------------------------
+  // Tuple-store budget for governed streaming analysis, in MiB (0 =
+  // unbounded). Setting this or window_deadline_ms switches `wolf analyze`
+  // onto the governed path.
+  std::size_t memory_budget_mb = 0;
+  // Events per detection window of the governed path.
+  std::size_t window_events = 65536;
+  // Per-window detection deadline in ms (0 = no deadline; the degradation
+  // ladder never demotes).
+  std::int64_t window_deadline_ms = 0;
+
+  bool governed() const {
+    return memory_budget_mb != 0 || window_deadline_ms != 0;
+  }
+
   // Checks the configuration for fatal errors and conflicting settings.
   // Empty result = clean. Callers decide how to surface non-fatal issues.
   std::vector<ConfigIssue> validate() const;
@@ -87,6 +102,7 @@ struct Config {
   MultiRunOptions multi_options() const;
   baseline::DfOptions df_options() const;
   rt::ExecutorOptions executor_options() const;
+  GovernorOptions governor_options() const;
 };
 
 // Facade entry points — the pipeline functions, taking Config directly.

@@ -1,0 +1,429 @@
+// Resource-governed online detection (core/governor.hpp) and its
+// linear-time sound pre-filter (core/prefilter.hpp).
+//
+// The load-bearing properties:
+//   * pre-filter soundness — whenever tuple-level enumeration finds a
+//     cycle, the lock graph is suspicious (differentially, over random
+//     programs); the refinements (single-thread SCCs, common guard locks)
+//     only discharge windows that provably contain no cycle;
+//   * governed ≡ ungoverned — with no budget, no deadline and no faults,
+//     the governed detector's final Detection matches StreamingDetector's
+//     bit for bit, at every window size;
+//   * honesty — eviction flips coverage_complete and marks the window
+//     kShedding; a per-window detection fault degrades only that window
+//     (finish() re-enumerates, coverage stays complete); a fault in the
+//     final enumeration is reported as incomplete coverage, never as a
+//     clean empty report;
+//   * the degradation ladder is a pure function with hysteresis.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/governor.hpp"
+#include "core/pipeline.hpp"
+#include "core/prefilter.hpp"
+#include "robust/fault.hpp"
+#include "support/thread_pool.hpp"
+#include "testutil.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+Event acquire(ThreadId t, LockId l, SiteId site, std::int32_t occ = 1) {
+  Event e;
+  e.kind = EventKind::kLockAcquire;
+  e.thread = t;
+  e.lock = l;
+  e.site = site;
+  e.occurrence = occ;
+  return e;
+}
+
+Event release(ThreadId t, LockId l) {
+  Event e;
+  e.kind = EventKind::kLockRelease;
+  e.thread = t;
+  e.lock = l;
+  return e;
+}
+
+// Classic two-thread AB/BA deadlock pattern, optionally guarded by a gate
+// lock g held around both regions.
+Trace ab_ba_trace(bool gated) {
+  Trace trace;
+  SiteId site = 1;
+  auto region = [&](ThreadId t, LockId a, LockId b) {
+    if (gated) trace.events.push_back(acquire(t, 5, site++));
+    trace.events.push_back(acquire(t, a, site++));
+    trace.events.push_back(acquire(t, b, site++));
+    trace.events.push_back(release(t, b));
+    trace.events.push_back(release(t, a));
+    if (gated) trace.events.push_back(release(t, 5));
+  };
+  region(1, 10, 20);
+  region(2, 20, 10);
+  std::uint64_t seq = 0;
+  for (Event& e : trace.events) e.seq = seq++;
+  return trace;
+}
+
+std::set<DefectSignature> signatures_of(const Detection& det) {
+  std::set<DefectSignature> sigs;
+  for (const PotentialDeadlock& cycle : det.cycles)
+    sigs.insert(signature_of(cycle, det.dep));
+  return sigs;
+}
+
+LockGraph graph_of(const Trace& trace) {
+  LockGraph g;
+  LockDependency dep = LockDependency::from_trace(trace);
+  for (const LockTuple& t : dep.tuples) g.on_tuple(t);
+  return g;
+}
+
+// ------------------------------------------------------------- pre-filter
+
+TEST(PrefilterTest, FlagsTheUngatedAbBaPattern) {
+  LockGraph g = graph_of(ab_ba_trace(/*gated=*/false));
+  EXPECT_TRUE(g.suspicious());
+  EXPECT_GE(g.suspicious_scc_count(), 1u);
+}
+
+TEST(PrefilterTest, GateLockDischargesTheSccWithoutEnumeration) {
+  // Both AB/BA regions run under gate lock 5: every edge of the {10,20}
+  // SCC carries the gate in its guard intersection, so the lockset-
+  // disjointness requirement can never be met — not suspicious.
+  Trace gated = ab_ba_trace(/*gated=*/true);
+  EXPECT_TRUE(detect(gated).cycles.empty());
+  EXPECT_FALSE(graph_of(gated).suspicious());
+}
+
+TEST(PrefilterTest, SingleThreadCycleIsNotSuspicious) {
+  // One thread acquiring in both orders creates the lock-graph cycle
+  // 10 -> 20 -> 10, but a deadlock needs two distinct threads.
+  Trace trace;
+  SiteId site = 1;
+  for (auto [a, b] : {std::pair<LockId, LockId>{10, 20}, {20, 10}}) {
+    trace.events.push_back(acquire(1, a, site++));
+    trace.events.push_back(acquire(1, b, site++));
+    trace.events.push_back(release(1, b));
+    trace.events.push_back(release(1, a));
+  }
+  EXPECT_FALSE(graph_of(trace).suspicious());
+}
+
+TEST(PrefilterTest, GenerationAdvancesOnlyOnVerdictRelevantChanges) {
+  LockGraph g;
+  LockDependency dep = LockDependency::from_trace(ab_ba_trace(false));
+  for (const LockTuple& t : dep.tuples) g.on_tuple(t);
+  const std::uint64_t gen = g.generation();
+  // Re-feeding identical tuples adds no edge, widens no thread set and
+  // narrows no guard mask — the generation must not move.
+  for (const LockTuple& t : dep.tuples) g.on_tuple(t);
+  EXPECT_EQ(g.generation(), gen);
+}
+
+TEST(PrefilterTest, LocksetMaskDropsHighLockIdsConservatively) {
+  EXPECT_EQ(lockset_mask({0, 3}), (1ULL << 0) | (1ULL << 3));
+  // Locks >= 64 vanish from the mask: a vanished guard can only weaken the
+  // common-guard refinement (more suspicious), never discharge an SCC.
+  EXPECT_EQ(lockset_mask({70}), 0ULL);
+}
+
+// Differential soundness over random programs: detector finds a cycle ⇒
+// the pre-filter must have flagged the graph. (The converse may fail; that
+// is the allowed direction.)
+class PrefilterSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefilterSoundnessTest, NeverClearsATraceWithCycles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 23);
+  test::RandomProgramConfig config;
+  config.workers = 2 + static_cast<int>(rng.below(3));
+  config.locks = 2 + static_cast<int>(rng.below(3));
+  sim::Program program = test::random_program(rng, config);
+  auto trace = sim::record_trace(program, rng(), 40);
+  if (!trace.has_value()) GTEST_SKIP() << "recording deadlocked";
+
+  Detection det = detect(*trace);
+  if (det.cycles.empty()) GTEST_SKIP() << "no cycles to witness";
+  EXPECT_TRUE(graph_of(*trace).suspicious())
+      << "pre-filter cleared a trace with " << det.cycles.size()
+      << " enumerable cycle(s) — unsound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefilterSoundnessTest,
+                         ::testing::Range(0, 40));
+
+// --------------------------------------------------------------- governor
+
+TEST(GovernorTest, UngovernedMatchesStreamingDetectorBitForBit) {
+  Rng rng(77);
+  sim::Program program = test::random_program(rng);
+  auto trace = sim::record_trace(program, 5, 40);
+  ASSERT_TRUE(trace.has_value());
+
+  StreamingDetector plain;
+  for (const Event& e : trace->events) plain.add(e);
+  Detection expected = plain.finish();
+
+  for (std::size_t window : {std::size_t{8}, std::size_t{1000},
+                             std::size_t{1} << 20}) {
+    GovernorOptions options;
+    options.window_events = window;
+    GovernedStreamingDetector governed(options);
+    for (const Event& e : trace->events) governed.add(e);
+    Detection got = governed.finish();
+
+    EXPECT_EQ(got.cycles.size(), expected.cycles.size()) << window;
+    for (std::size_t i = 0;
+         i < std::min(got.cycles.size(), expected.cycles.size()); ++i)
+      EXPECT_EQ(got.cycles[i].tuple_idx, expected.cycles[i].tuple_idx);
+    EXPECT_EQ(got.defects.size(), expected.defects.size());
+    EXPECT_EQ(got.dep.unique.size(), expected.dep.unique.size());
+
+    GovernorVerdict verdict = governed.verdict();
+    EXPECT_TRUE(verdict.coverage_complete);
+    EXPECT_EQ(verdict.tuples_evicted, 0u);
+    EXPECT_EQ(verdict.windows,
+              (trace->size() + window - 1) / window);
+  }
+}
+
+TEST(GovernorTest, SuspiciousWindowsSurfaceCyclesBeforeFinish) {
+  Trace trace = ab_ba_trace(false);
+  GovernorOptions options;
+  options.window_events = 4;  // boundaries inside and after the pattern
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+  Detection det = governed.finish();
+  ASSERT_FALSE(det.cycles.empty());
+
+  std::size_t surfaced = 0;
+  bool any_suspicious = false;
+  for (const WindowReport& w : governed.windows()) {
+    surfaced += w.new_cycles;
+    any_suspicious |= w.suspicious;
+  }
+  EXPECT_TRUE(any_suspicious);
+  EXPECT_GE(surfaced, 1u);
+}
+
+TEST(GovernorTest, CompactionIsLosslessForTheCycleSet) {
+  // Repeat the AB/BA pattern many times: the tuple store fills with
+  // duplicates that compaction may drop without changing the cycle set.
+  LockDependencyBuilder builder;
+  for (int rep = 0; rep < 50; ++rep)
+    for (const Event& e : ab_ba_trace(false).events) builder.add(e);
+  const std::size_t before = builder.tuple_count();
+  LockDependency full = builder.snapshot_dependency();
+
+  const std::size_t removed = builder.compact();
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(builder.tuple_count(), before - removed);
+
+  Detection with_full = finish_detection(full, builder.clocks(), {});
+  Detection compacted =
+      finish_detection(builder.snapshot_dependency(), builder.clocks(), {});
+  EXPECT_EQ(signatures_of(with_full), signatures_of(compacted));
+  EXPECT_EQ(with_full.cycles.size(), compacted.cycles.size());
+}
+
+TEST(GovernorTest, EvictOldestDropsFromTheFront) {
+  LockDependencyBuilder builder;
+  for (const Event& e : ab_ba_trace(false).events) builder.add(e);
+  const std::size_t total = builder.tuple_count();
+  ASSERT_GE(total, 3u);
+  const std::size_t first_kept =
+      builder.pending().tuples[total - 2].trace_pos;
+  EXPECT_EQ(builder.evict_oldest(2), total - 2);
+  EXPECT_EQ(builder.tuple_count(), 2u);
+  EXPECT_EQ(builder.pending().tuples.front().trace_pos, first_kept);
+  EXPECT_EQ(builder.evict_oldest(10), 0u);  // already under the cap
+}
+
+TEST(GovernorTest, MemoryBudgetEvictionIsReportedHonestly) {
+  // A long synthetic stream of distinct tuples (every acquisition has a
+  // fresh site, so compaction cannot help) against a 1 MiB budget.
+  Trace trace;
+  std::uint64_t seq = 0;
+  SiteId site = 1;
+  for (int rep = 0; rep < 40000; ++rep) {
+    const ThreadId t = static_cast<ThreadId>(1 + (rep & 1));
+    trace.events.push_back(acquire(t, 10, site++));
+    trace.events.push_back(acquire(t, 20, site++));
+    trace.events.push_back(release(t, 20));
+    trace.events.push_back(release(t, 10));
+  }
+  for (Event& e : trace.events) e.seq = seq++;
+
+  GovernorOptions options;
+  options.memory_budget_mb = 1;
+  options.window_events = 4096;
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+  (void)governed.finish();
+
+  GovernorVerdict verdict = governed.verdict();
+  EXPECT_GT(verdict.tuples_evicted, 0u);
+  EXPECT_FALSE(verdict.coverage_complete);
+  EXPECT_TRUE(verdict.degraded());
+  EXPECT_FALSE(verdict.notes.empty());
+
+  // The budget actually held: every post-governance window footprint is
+  // under 1 MiB, and shedding windows are marked as such.
+  std::size_t evicted = 0;
+  for (const WindowReport& w : governed.windows()) {
+    EXPECT_LE(w.store_bytes, options.memory_budget_mb << 20) << w.index;
+    if (w.tuples_evicted > 0) {
+      EXPECT_EQ(w.level, DetectionLevel::kShedding);
+      EXPECT_TRUE(w.degraded());
+    }
+    evicted += w.tuples_evicted;
+  }
+  EXPECT_EQ(evicted, verdict.tuples_evicted);
+}
+
+TEST(GovernorTest, PerWindowDetectionFaultIsContained) {
+  Trace trace = ab_ba_trace(false);
+  robust::FaultPlan fault;
+  fault.detect_throw_window = 0;
+
+  GovernorOptions options;
+  options.window_events = 4;
+  options.fault = &fault;
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+  Detection det = governed.finish();
+
+  GovernorVerdict verdict = governed.verdict();
+  EXPECT_EQ(verdict.detection_faults, 1u);
+  // finish() re-enumerated over everything retained: the fault cost window
+  // 0 its early surfacing, not final coverage.
+  EXPECT_TRUE(verdict.coverage_complete);
+  EXPECT_FALSE(det.cycles.empty());
+  ASSERT_FALSE(governed.windows().empty());
+  EXPECT_FALSE(governed.windows()[0].note.empty());
+  EXPECT_TRUE(governed.windows()[0].degraded());
+}
+
+TEST(GovernorTest, FinalEnumerationFaultIsIncompleteNotClean) {
+  Trace trace = ab_ba_trace(false);
+  GovernorOptions options;
+  options.detector.jobs = 2;  // engage the pool so the task fault fires
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+
+  ThreadPool::inject_task_fault(0);
+  Detection det = governed.finish();
+  ThreadPool::clear_task_fault();
+
+  GovernorVerdict verdict = governed.verdict();
+  EXPECT_TRUE(det.cycles.empty());
+  // The trailing window's enumeration hits the injected fault too (it is
+  // contained); the final enumeration's is the one that loses coverage.
+  EXPECT_GE(verdict.detection_faults, 1u);
+  EXPECT_FALSE(verdict.coverage_complete)
+      << "an empty report after a failed final enumeration must not look "
+         "like a clean bill of health";
+}
+
+// ----------------------------------------------------- degradation ladder
+
+TEST(LadderTest, NoDeadlineNeverMoves) {
+  int streak = 0;
+  EXPECT_EQ(next_rung(DetectionLevel::kFullScc, 1e9, 0, streak),
+            DetectionLevel::kFullScc);
+}
+
+TEST(LadderTest, DemotesOnMissAndStopsAtPrefilterOnly) {
+  int streak = 5;
+  DetectionLevel level = DetectionLevel::kFullScc;
+  level = next_rung(level, 0.2, 100, streak);  // 200ms > 100ms deadline
+  EXPECT_EQ(level, DetectionLevel::kClockPruned);
+  EXPECT_EQ(streak, 0);
+  level = next_rung(level, 0.2, 100, streak);
+  EXPECT_EQ(level, DetectionLevel::kPrefilterOnly);
+  level = next_rung(level, 0.2, 100, streak);
+  EXPECT_EQ(level, DetectionLevel::kPrefilterOnly)
+      << "deadline pressure never reaches kShedding";
+}
+
+TEST(LadderTest, PromotesOnlyAfterTwoConsecutiveFastWindows) {
+  int streak = 0;
+  DetectionLevel level = DetectionLevel::kPrefilterOnly;
+  level = next_rung(level, 0.01, 100, streak);  // fast #1
+  EXPECT_EQ(level, DetectionLevel::kPrefilterOnly);
+  level = next_rung(level, 0.01, 100, streak);  // fast #2 -> promote
+  EXPECT_EQ(level, DetectionLevel::kClockPruned);
+  // A merely-adequate window (over deadline/2) resets the streak.
+  level = next_rung(level, 0.07, 100, streak);
+  EXPECT_EQ(level, DetectionLevel::kClockPruned);
+  level = next_rung(level, 0.01, 100, streak);
+  EXPECT_EQ(level, DetectionLevel::kClockPruned)
+      << "one fast window after a reset must not promote";
+  level = next_rung(level, 0.01, 100, streak);
+  EXPECT_EQ(level, DetectionLevel::kFullScc);
+}
+
+TEST(LadderTest, DeadlinePressureDemotesARealRun) {
+  // An effectively-zero deadline (1ms against per-window enumeration of a
+  // growing store) must walk the ladder down; the verdict reports the
+  // demotion without losing final coverage.
+  Trace trace;
+  std::uint64_t seq = 0;
+  SiteId site = 1;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (const Event& e : ab_ba_trace(false).events) {
+      trace.events.push_back(e);
+      trace.events.back().site =
+          trace.events.back().site == kInvalidSite ? kInvalidSite : site++;
+      trace.events.back().seq = seq++;
+    }
+  }
+  GovernorOptions options;
+  options.window_events = 64;
+  options.window_deadline_ms = 0;  // ungoverned reference
+  GovernedStreamingDetector reference(options);
+  for (const Event& e : trace.events) reference.add(e);
+  Detection expected = reference.finish();
+
+  options.window_deadline_ms = 1;
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+  Detection got = governed.finish();
+
+  EXPECT_EQ(signatures_of(got), signatures_of(expected))
+      << "ladder demotions must not change the final detection";
+  EXPECT_TRUE(governed.verdict().coverage_complete);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(GovernorTest, GovernedPipelineOnPaperWorkload) {
+  workloads::Figure4 example = workloads::make_figure4();
+  auto trace = sim::record_trace(example.program, 3, 40);
+  ASSERT_TRUE(trace.has_value());
+
+  WolfOptions options;
+  options.jobs = 1;
+  options.replay.attempts = 4;
+  GovernorOptions governor;
+  governor.window_events = 16;
+
+  VectorTraceReader reader(*trace);
+  WolfReport report =
+      analyze_reader_governed(example.program, reader, options, governor);
+  EXPECT_TRUE(report.governed);
+  EXPECT_GT(report.governor.windows, 0u);
+  EXPECT_TRUE(report.governor.coverage_complete);
+
+  WolfReport batch = analyze_trace(example.program, *trace, options);
+  EXPECT_EQ(report.detection.cycles.size(), batch.detection.cycles.size());
+  EXPECT_EQ(report.defects.size(), batch.defects.size());
+}
+
+}  // namespace
+}  // namespace wolf

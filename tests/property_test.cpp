@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/generator.hpp"
@@ -181,11 +182,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WolfPropertyTest, ::testing::Range(0, 30));
 
 // A random but well-formed trace: strictly increasing seqs with random gaps
 // (salvaged traces are sparse), random kinds and field values, sized to span
-// `blocks` v3 blocks plus a random partial tail.
+// `blocks` v3 blocks plus a random partial tail. Lock and thread references
+// respect the discipline salvage validates (releases match a held lock,
+// start/join name a real thread) so salvaging any prefix returns it whole.
 Trace random_trace(Rng& rng, std::size_t blocks) {
   Trace trace;
   const std::size_t n = blocks * wire::kBlockEvents + rng.below(64);
   std::uint64_t seq = rng.below(8);
+  std::unordered_map<ThreadId, std::vector<LockId>> held;
   for (std::size_t i = 0; i < n; ++i) {
     Event e;
     e.seq = seq;
@@ -199,6 +203,23 @@ Trace random_trace(Rng& rng, std::size_t blocks) {
                              : static_cast<LockId>(rng.below(32));
     e.other = rng.chance(0.5) ? kInvalidThread
                               : static_cast<ThreadId>(rng.below(64));
+    if (e.kind == EventKind::kThreadStart || e.kind == EventKind::kThreadJoin)
+      e.other = static_cast<ThreadId>(rng.below(64));
+    if (e.kind == EventKind::kLockAcquire) {
+      if (e.lock == kInvalidLock) e.lock = static_cast<LockId>(rng.below(32));
+      held[e.thread].push_back(e.lock);
+    } else if (e.kind == EventKind::kLockRelease) {
+      auto& stack = held[e.thread];
+      if (stack.empty()) {
+        e.kind = EventKind::kLockAcquire;
+        if (e.lock == kInvalidLock) e.lock = static_cast<LockId>(rng.below(32));
+        stack.push_back(e.lock);
+      } else {
+        const std::size_t pick = rng.below(stack.size());
+        e.lock = stack[pick];
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
     trace.events.push_back(e);
   }
   return trace;
@@ -283,6 +304,68 @@ TEST_P(SerializationPropertyTest, TruncationAtEveryBlockBoundary) {
     std::uint64_t whole = 0;
     for (std::size_t j = 0; j < k; ++j) whole += block_count[j];
     EXPECT_EQ(report.trace.size(), whole) << "cut inside block " << k;
+  }
+}
+
+// Exhaustive truncation: cut the serialized bytes at EVERY offset, in all
+// three formats. Salvage must never crash, must return a prefix of the
+// original events, and must either claim completeness honestly (v2/v3 carry
+// footers, so only the untruncated buffer may claim complete; v1 has no
+// footer, so any newline-boundary cut is indistinguishable from a complete
+// file) or say what was dropped in a diagnostic.
+TEST_P(SerializationPropertyTest, TruncationAtEveryByteOffset) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x2545f4914f6cdd1dULL + 3);
+  // Small traces keep offsets * formats tractable (a few hundred KB of
+  // salvage work per seed); block-boundary coverage for big traces is above.
+  Trace original = random_trace(rng, 0);
+  for (TraceFormat format :
+       {TraceFormat::kV1, TraceFormat::kV2, TraceFormat::kV3}) {
+    const std::string bytes = trace_to_string(original, format);
+    const bool text = format != TraceFormat::kV3;
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+      SalvageReport report = salvage_trace_from_string(bytes.substr(0, cut));
+      ASSERT_LE(report.trace.size(), original.events.size())
+          << to_string(format) << " cut at " << cut;
+      // Prefix property. Text formats carry no per-event checksum, so a
+      // line torn inside a trailing multi-digit field can still parse —
+      // the FINAL salvaged event may be a torn variant of the original.
+      // v3's block checksums close exactly that hole: every survivor is
+      // bit-exact.
+      const std::size_t exact = report.trace.size() == 0 ? 0
+                                : text ? report.trace.size() - 1
+                                       : report.trace.size();
+      for (std::size_t i = 0; i < exact; ++i) {
+        ASSERT_EQ(report.trace.events[i], original.events[i])
+            << to_string(format) << " cut at " << cut
+            << ": salvage returned a non-prefix";
+      }
+      if (text && report.trace.size() > 0) {
+        // Even a torn final event keeps the original's seq prefix order.
+        ASSERT_LE(report.trace.events.back().seq,
+                  original.events[report.trace.size() - 1].seq)
+            << to_string(format) << " cut at " << cut;
+      }
+      // Completeness claims. v2/v3 end with a footer the cut removed, so
+      // any proper truncation must be reported incomplete. v1 has no
+      // footer: a cut keeping only whole parseable lines is genuinely
+      // indistinguishable from a complete file, and that is the documented
+      // reason v2 grew one.
+      // (A cut that removes only the footer's trailing newline leaves the
+      // footer verifiable, so completeness is genuinely true there.)
+      if (format != TraceFormat::kV1 &&
+          bytes.compare(cut, std::string::npos, "\n") != 0 &&
+          cut < bytes.size()) {
+        ASSERT_FALSE(report.complete)
+            << to_string(format) << " cut at " << cut
+            << " claimed completeness without its footer";
+      }
+      // Anything detectably dropped must be named: the diagnostics point
+      // at the torn line (text) or the damaged/missing block/footer (v3).
+      if (report.trace.size() < original.events.size() && !report.complete)
+        ASSERT_FALSE(report.diagnostics.empty())
+            << to_string(format) << " cut at " << cut
+            << " dropped events without a diagnostic";
+    }
   }
 }
 

@@ -1,12 +1,17 @@
 // Unit tests for the support utilities: RNG, stats, tables, flags, strings.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 
 #include "support/check.hpp"
 #include "support/flags.hpp"
+#include "support/io.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -282,6 +287,81 @@ TEST(CheckTest, FailureCarriesMessage) {
 
 TEST(CheckTest, PassingCheckIsSilent) {
   EXPECT_NO_THROW(WOLF_CHECK(1 + 1 == 2));
+}
+
+// ------------------------------------------------------------- atomic io
+
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("wolf-io-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+TEST(AtomicWriteTest, WritesContentsAndLeavesNoTempFile) {
+  TempDir dir;
+  const std::string target = (dir.path / "out.txt").string();
+  std::string error;
+  ASSERT_TRUE(support::atomic_write_file(target, "hello", &error)) << error;
+  EXPECT_EQ(slurp(target), "hello");
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(AtomicWriteTest, OverwriteReplacesWholeContents) {
+  TempDir dir;
+  const std::string target = (dir.path / "out.txt").string();
+  ASSERT_TRUE(support::atomic_write_file(target, "first version"));
+  ASSERT_TRUE(support::atomic_write_file(target, "v2"));
+  EXPECT_EQ(slurp(target), "v2");
+}
+
+TEST(AtomicWriteTest, TornWriteLeavesTargetUntouched) {
+  TempDir dir;
+  const std::string target = (dir.path / "out.txt").string();
+  ASSERT_TRUE(support::atomic_write_file(target, "the good contents"));
+
+  // Kill point mid-write: the failure must report itself, remove the temp
+  // file, and leave the previous contents byte-for-byte intact.
+  std::string error;
+  EXPECT_FALSE(support::atomic_write_file(target, "replacement that dies",
+                                          &error, /*fail_after_bytes=*/4));
+  EXPECT_NE(error.find("torn"), std::string::npos);
+  EXPECT_NE(error.find("untouched"), std::string::npos);
+  EXPECT_EQ(slurp(target), "the good contents");
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(AtomicWriteTest, TornFirstWriteCreatesNothing) {
+  TempDir dir;
+  const std::string target = (dir.path / "fresh.txt").string();
+  EXPECT_FALSE(
+      support::atomic_write_file(target, "never lands", nullptr, 0));
+  EXPECT_FALSE(std::filesystem::exists(target));
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(AtomicWriteTest, FailsCleanlyOnUnwritableDirectory) {
+  std::string error;
+  EXPECT_FALSE(support::atomic_write_file(
+      "/nonexistent-dir-for-wolf-tests/out.txt", "x", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

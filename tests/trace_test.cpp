@@ -378,10 +378,12 @@ Trace block_trace(std::size_t blocks, std::size_t extra = 0) {
   Trace trace;
   const std::size_t n = blocks * wire::kBlockEvents + extra;
   for (std::size_t i = 0; i < n; ++i) {
+    // Adjacent acquire/release pairs on the same (thread, lock): salvage
+    // validates lock discipline, so any prefix must be consistent.
     Event e = make_event(
         (i & 1) == 0 ? EventKind::kLockAcquire : EventKind::kLockRelease,
-        static_cast<ThreadId>(i % 3), static_cast<SiteId>(i % 11),
-        static_cast<std::int32_t>(i / 11), static_cast<LockId>(i % 5));
+        static_cast<ThreadId>((i / 2) % 3), static_cast<SiteId>(i % 11),
+        static_cast<std::int32_t>(i / 11), static_cast<LockId>((i / 2) % 5));
     e.seq = i;
     trace.events.push_back(e);
   }

@@ -31,6 +31,14 @@
 // recovering the longest valid prefix, and --fault injects faults (see
 // robust/fault.hpp for the spec grammar) for degradation drills.
 //
+// Resource governance (analyze only): --memory-budget-mb bounds the tuple
+// store, --window-events sets the detection window, --window-deadline-ms
+// arms the per-window deadline that drives the degradation ladder
+// (core/governor.hpp). Any degradation is reported on stderr and in the
+// markdown report. `record` and `convert` write output atomically (temp
+// file + rename), so a crash — or an injected tear=<bytes> fault — never
+// clobbers an existing trace.
+//
 // --jobs N classifies detected cycles N-way parallel (default 0 = hardware
 // concurrency); reports are identical at every N, and --jobs 1 runs the
 // historical serial pipeline. The same flag parallelizes cycle enumeration.
@@ -42,6 +50,7 @@
 // provably-infeasible branches are never explored.
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -54,6 +63,7 @@
 #include "robust/fault.hpp"
 #include "rt/replay_rt.hpp"
 #include "support/flags.hpp"
+#include "support/io.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace_reader.hpp"
 #include "trace/wire.hpp"
@@ -266,17 +276,32 @@ int cmd_record(const sim::Program& program, const Flags& flags) {
     return 1;
   }
   const std::string out = flags.get_string("out");
-  std::ofstream os(out, std::ios::binary);
-  if (!os) {
-    std::cerr << "cannot write " << out << '\n';
+  std::string text = trace_to_string(*trace, *format);
+  // Content corruptions (garble/truncate/bitflip) produce a damaged-but-
+  // complete write — the salvage reader's diet. A tear is different: it
+  // models the writer dying mid-write, so it becomes the atomic-write kill
+  // point below — the write fails and any previous file is left intact.
+  std::size_t fail_after = std::numeric_limits<std::size_t>::max();
+  if (fault.has_value()) {
+    if (fault->truncate_fraction >= 0.0 || fault->garble_line >= 0)
+      text = robust::corrupt_trace_text(std::move(text), *fault);
+    if (fault->bitflip_count > 0) {
+      robust::FaultPlan flips;
+      flips.bitflip_count = fault->bitflip_count;
+      text = robust::corrupt_trace_bytes(
+          std::move(text), flips,
+          static_cast<std::uint64_t>(flags.get_int("seed")));
+    }
+    if (fault->corrupts_trace() && fault->io_tear_after < 0)
+      std::cout << "fault injection: wrote corrupted trace\n";
+    if (fault->io_tear_after >= 0)
+      fail_after = static_cast<std::size_t>(fault->io_tear_after);
+  }
+  std::string error;
+  if (!support::atomic_write_file(out, text, &error, fail_after)) {
+    std::cerr << "cannot write " << out << ": " << error << '\n';
     return 1;
   }
-  std::string text = trace_to_string(*trace, *format);
-  if (fault.has_value() && fault->corrupts_trace()) {
-    text = robust::corrupt_trace_text(std::move(text), *fault);
-    std::cout << "fault injection: wrote corrupted trace\n";
-  }
-  os << text;
   std::cout << "recorded " << trace->size() << " events -> " << out << " ("
             << to_string(*format) << ")\n";
   return metrics.write_counters(/*jobs=*/1) ? 0 : 1;
@@ -317,12 +342,12 @@ int cmd_convert(int argc, char** argv) {
     std::cerr << "bad trace: " << error << '\n';
     return 1;
   }
-  std::ofstream os(out_path, std::ios::binary);
-  if (!os) {
-    std::cerr << "cannot write " << out_path << '\n';
+  std::string write_error;
+  if (!support::atomic_write_file(out_path, trace_to_string(*trace, *format),
+                                  &write_error)) {
+    std::cerr << "cannot write " << out_path << ": " << write_error << '\n';
     return 1;
   }
-  write_trace(os, *trace, *format);
   std::cout << "converted " << trace->size() << " events -> " << out_path
             << " (" << to_string(*format) << ", checksum "
             << wire::to_hex(trace_checksum(*trace)) << ")\n";
@@ -376,6 +401,11 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   if (!detector_from_flags(flags, config.detector)) return 1;
   config.replay.attempts = static_cast<int>(flags.get_int("attempts"));
   config.record_attempts = static_cast<int>(flags.get_int("retry"));
+  config.memory_budget_mb =
+      static_cast<std::size_t>(flags.get_int("memory-budget-mb"));
+  config.window_events =
+      static_cast<std::size_t>(flags.get_int("window-events"));
+  config.window_deadline_ms = flags.get_int("window-deadline-ms");
   if (fault.has_value()) config.fault = &*fault;
   if (!report_config_issues(config)) return 1;
   WolfOptions options = config.wolf_options();
@@ -392,7 +422,10 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
       return 1;
     }
     StreamTraceReader reader(in, StreamTraceReader::Mode::kStrict);
-    report = analyze_reader(program, reader, options);
+    report = config.governed()
+                 ? analyze_reader_governed(program, reader, options,
+                                           config.governor_options())
+                 : analyze_reader(program, reader, options);
     if (!reader.ok()) {
       std::cerr << "bad trace: " << reader.error() << " (try --salvage)"
                 << '\n';
@@ -401,8 +434,17 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   } else if (!trace_path.empty()) {
     auto trace = load_or_record(program, trace_path, options.seed, flags);
     if (!trace) return 1;
-    report = analyze_trace(program, *trace, options);
+    if (config.governed()) {
+      VectorTraceReader reader(*trace);
+      report = analyze_reader_governed(program, reader, options,
+                                       config.governor_options());
+    } else {
+      report = analyze_trace(program, *trace, options);
+    }
   } else {
+    if (config.governed())
+      std::cerr << "warning: --memory-budget-mb/--window-deadline-ms govern "
+                   "trace analysis; ignored without --trace\n";
     report = run_wolf(program, options);
     if (!report.trace_recorded) {
       std::cerr << "every recording run deadlocked\n";
@@ -411,6 +453,11 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   }
 
   warn_if_truncated(report.detection);
+  if (report.governed) {
+    const std::string degraded = degradation_message(report.governor);
+    if (!degraded.empty()) std::cerr << "warning: " << degraded << '\n';
+    std::cout << "governed: " << report.governor.summary() << '\n';
+  }
   const std::string report_path = flags.get_string("report");
   if (!report_path.empty()) {
     std::ofstream os(report_path);
@@ -504,6 +551,14 @@ int main(int argc, char** argv) {
     flags.define_int("attempts", 10, "replay attempts");
     flags.define_bool("rank", false, "print the defect ranking");
     flags.define_string("report", "", "write a markdown report to this path");
+    flags.define_int("memory-budget-mb", 0,
+                     "tuple-store budget for governed streaming analysis "
+                     "(MiB, 0 = unbounded)");
+    flags.define_int("window-events", 65536,
+                     "events per governed detection window");
+    flags.define_int("window-deadline-ms", 0,
+                     "per-window detection deadline driving the degradation "
+                     "ladder (0 = none)");
   } else if (command == "replay") {
     flags.define_int("attempts", 10, "replay attempts");
     flags.define_int("cycle", 0, "cycle index for `replay`");
