@@ -11,7 +11,13 @@
 //   2. formats — suite-workload traces (plus a large synthetic one in full
 //      mode) encoded and decoded in v2 and v3; bytes/event, encode/decode
 //      MB/s, the v3:v2 size ratio, and a round-trip identity check.
-//   3. rt_slowdown — a deadlock-free rt workload run uninstrumented, with
+//   3. decode_paths — one indexed v3 file decoded through every file read
+//      path (buffered-serial, mmap-serial, mmap-indexed-parallel at jobs
+//      2/4); MB/s over *total file bytes* for each, the reader's
+//      mmap_used/index_present introspection, and an event-checksum identity
+//      gate across all paths. --huge streams a 10^8-event file through this
+//      section in O(block) memory (the events are never materialized).
+//   4. rt_slowdown — a deadlock-free rt workload run uninstrumented, with
 //      the serial recorder, and with the sharded recorder; paired seeds,
 //      wall-clock slowdown factors vs uninstrumented.
 //
@@ -19,8 +25,10 @@
 // hardware_concurrency is in the JSON, so a 1-CPU container's contention
 // figures are labeled as such rather than passed off as scalability.
 //
-//   perf_trace_io [--quick] [--threads=N] [--out=BENCH_trace_io.json]
+//   perf_trace_io [--quick] [--huge] [--threads=N]
+//                 [--out=BENCH_trace_io.json]
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -37,6 +45,8 @@
 #include "trace/recorder.hpp"
 #include "trace/serialize.hpp"
 #include "trace/sharded_recorder.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/wire.hpp"
 #include "workloads/suite.hpp"
 
 using namespace wolf;
@@ -193,6 +203,113 @@ FormatResult bench_formats(const std::string& name, const Trace& trace,
   return r;
 }
 
+// --- decode_paths: the file read paths of StreamTraceReader ---
+
+struct DecodeRow {
+  std::string label;
+  int jobs = 1;
+  double mb_s = 0;  // total file bytes / best wall time
+  bool mmap_used = false;
+  bool index_present = false;
+  bool parallel_decode = false;
+  bool identical = false;  // event count + checksum match the writer's
+};
+
+struct DecodePathsResult {
+  std::uint64_t events = 0;
+  std::size_t file_bytes = 0;
+  std::vector<DecodeRow> rows;
+  // Best indexed-parallel MB/s over buffered-serial MB/s.
+  double indexed_parallel_speedup = 0;
+};
+
+// Streams `events` synthetic events through a StreamTraceWriter into an
+// indexed v3 file; the trace is never materialized, so the huge regime
+// stays O(block). Returns the whole-trace event checksum.
+std::uint64_t write_synthetic_file(const std::string& path,
+                                   std::uint64_t events, std::uint64_t seed) {
+  std::ofstream os(path, std::ios::binary);
+  StreamTraceWriter writer(os, TraceFormat::kV3);
+  Rng rng(seed);
+  std::uint64_t checksum = wire::kChecksumSeed;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    Event e = make_event(static_cast<ThreadId>(rng.below(16)), i);
+    e.seq = i;
+    e.occurrence = static_cast<std::int32_t>(rng.below(200));
+    writer.write(e);
+    checksum = wire::checksum_event(checksum, e);
+  }
+  writer.finish();
+  return checksum;
+}
+
+DecodeRow measure_decode_path(const std::string& path, std::string label,
+                              bool allow_mmap, bool use_index, int jobs,
+                              int reps, std::size_t file_bytes,
+                              std::uint64_t want_events,
+                              std::uint64_t want_checksum) {
+  DecodeRow row;
+  row.label = std::move(label);
+  row.jobs = jobs;
+  double best_s = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    StreamTraceReader::Options options;
+    options.allow_mmap = allow_mmap;
+    options.use_index = use_index;
+    options.jobs = jobs;
+    Stopwatch watch;
+    StreamTraceReader reader(path, StreamTraceReader::Mode::kStrict, options);
+    std::uint64_t checksum = wire::kChecksumSeed;
+    std::uint64_t count = 0;
+    std::vector<Event> block;
+    while (reader.next_block(block)) {
+      for (const Event& e : block)
+        checksum = wire::checksum_event(checksum, e);
+      count += block.size();
+    }
+    best_s = std::min(best_s, watch.seconds());
+    row.identical =
+        reader.ok() && count == want_events && checksum == want_checksum;
+    row.mmap_used = reader.mmap_used();
+    row.index_present = reader.index_present();
+    row.parallel_decode = reader.parallel_decode();
+  }
+  row.mb_s = static_cast<double>(file_bytes) / 1e6 / best_s;
+  return row;
+}
+
+DecodePathsResult bench_decode_paths(const std::string& tmp_path,
+                                     std::uint64_t events, std::uint64_t seed,
+                                     int reps) {
+  DecodePathsResult r;
+  r.events = events;
+  const std::uint64_t checksum =
+      write_synthetic_file(tmp_path, events, seed);
+  {
+    std::ifstream probe(tmp_path, std::ios::binary | std::ios::ate);
+    r.file_bytes = static_cast<std::size_t>(probe.tellg());
+  }
+  r.rows.push_back(measure_decode_path(tmp_path, "buffered-serial",
+                                       /*allow_mmap=*/false,
+                                       /*use_index=*/false, 1, reps,
+                                       r.file_bytes, events, checksum));
+  r.rows.push_back(measure_decode_path(tmp_path, "mmap-serial",
+                                       /*allow_mmap=*/true,
+                                       /*use_index=*/false, 1, reps,
+                                       r.file_bytes, events, checksum));
+  for (int jobs : {2, 4})
+    r.rows.push_back(measure_decode_path(
+        tmp_path, "mmap-indexed-parallel", /*allow_mmap=*/true,
+        /*use_index=*/true, jobs, reps, r.file_bytes, events, checksum));
+  const double base = r.rows[0].mb_s;
+  for (const DecodeRow& row : r.rows)
+    if (row.parallel_decode && base > 0)
+      r.indexed_parallel_speedup =
+          std::max(r.indexed_parallel_speedup, row.mb_s / base);
+  std::remove(tmp_path.c_str());
+  return r;
+}
+
 struct SlowdownResult {
   std::string workload;
   int runs = 0;
@@ -240,13 +357,15 @@ SlowdownResult bench_rt_slowdown(const sim::Program& program,
   return r;
 }
 
-void write_json(std::ostream& os, bool quick,
+void write_json(std::ostream& os, bool quick, bool huge,
                 const std::vector<RecordResult>& record,
                 const std::vector<FormatResult>& formats,
+                const DecodePathsResult& decode,
                 const SlowdownResult& slowdown) {
   os << "{\n"
      << "  \"bench\": \"perf_trace_io\",\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"huge\": " << (huge ? "true" : "false") << ",\n"
      << "  \"hardware_concurrency\": " << ThreadPool::hardware_jobs() << ",\n"
      << "  \"record\": [\n";
   for (std::size_t i = 0; i < record.size(); ++i) {
@@ -277,6 +396,25 @@ void write_json(std::ostream& os, bool quick,
        << "}" << (i + 1 < formats.size() ? "," : "") << '\n';
   }
   os << "  ],\n"
+     << "  \"decode_paths\": {\n"
+     << "    \"events\": " << decode.events << ",\n"
+     << "    \"file_bytes\": " << decode.file_bytes << ",\n"
+     << "    \"rows\": [\n";
+  for (std::size_t i = 0; i < decode.rows.size(); ++i) {
+    const DecodeRow& row = decode.rows[i];
+    os << "      {\"path\": \"" << row.label << "\", \"jobs\": " << row.jobs
+       << ", \"mb_per_s\": " << row.mb_s
+       << ", \"mmap_used\": " << (row.mmap_used ? "true" : "false")
+       << ", \"index_present\": " << (row.index_present ? "true" : "false")
+       << ", \"parallel_decode\": "
+       << (row.parallel_decode ? "true" : "false")
+       << ", \"identical\": " << (row.identical ? "true" : "false") << "}"
+       << (i + 1 < decode.rows.size() ? "," : "") << '\n';
+  }
+  os << "    ],\n"
+     << "    \"indexed_parallel_speedup\": "
+     << decode.indexed_parallel_speedup << "\n"
+     << "  },\n"
      << "  \"rt_slowdown\": {\n"
      << "    \"workload\": \"" << slowdown.workload << "\",\n"
      << "    \"runs\": " << slowdown.runs << ",\n"
@@ -295,6 +433,9 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.define_bool("quick", false,
                     "CI smoke mode: fewer events, fewer workloads");
+  flags.define_bool("huge", false,
+                    "10^8-event decode_paths regime (~1 GB temp file, "
+                    "minutes of wall clock; events stream in O(block))");
   flags.define_int("threads", 0,
                    "recording threads (0 = max(4, hardware concurrency))");
   flags.define_int("seed", 2014, "seed");
@@ -302,6 +443,7 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
 
   const bool quick = flags.get_bool("quick");
+  const bool huge = flags.get_bool("huge");
   int threads = static_cast<int>(flags.get_int("threads"));
   if (threads <= 0) threads = std::max(4, ThreadPool::hardware_jobs());
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -335,7 +477,14 @@ int main(int argc, char** argv) {
       "synthetic",
       make_synthetic_trace(quick ? 100'000 : 1'000'000, mix64(seed)), reps));
 
-  // 3. End-to-end rt recording overhead.
+  // 3. File decode paths over one indexed v3 file.
+  const std::uint64_t decode_events =
+      huge ? 100'000'000 : (quick ? 200'000 : 2'000'000);
+  DecodePathsResult decode =
+      bench_decode_paths(flags.get_string("out") + ".tmp.v3", decode_events,
+                         mix64(seed ^ 0x5), huge ? 1 : (quick ? 2 : 3));
+
+  // 4. End-to-end rt recording overhead.
   const workloads::Benchmark& hashmap =
       workloads::find_benchmark(suite, "HashMap");
   SlowdownResult slowdown = bench_rt_slowdown(
@@ -362,6 +511,21 @@ int main(int argc, char** argv) {
                        TextTable::num(f.v3.decode_mb_s, 0),
                        f.roundtrip_ok ? "ok" : "BROKEN"});
   fmt_table.render(std::cout);
+  std::cout << '\n';
+
+  TextTable decode_table(
+      {"Decode path", "Jobs", "MB/s", "mmap", "Index", "Parallel", "Events"});
+  for (const DecodeRow& row : decode.rows)
+    decode_table.add_row({row.label, std::to_string(row.jobs),
+                          TextTable::num(row.mb_s, 0),
+                          row.mmap_used ? "yes" : "no",
+                          row.index_present ? "yes" : "no",
+                          row.parallel_decode ? "yes" : "no",
+                          row.identical ? "ok" : "BROKEN"});
+  decode_table.render(std::cout);
+  std::cout << "decode_paths: " << decode.events << " events, "
+            << decode.file_bytes << " bytes, indexed-parallel speedup "
+            << TextTable::num(decode.indexed_parallel_speedup, 2) << "x\n";
 
   std::cout << "\nrt slowdown (" << slowdown.workload << ", " << slowdown.runs
             << " paired runs): uninstrumented "
@@ -376,7 +540,7 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << out << '\n';
     return 1;
   }
-  write_json(os, quick, record, formats, slowdown);
+  write_json(os, quick, huge, record, formats, decode, slowdown);
   std::cout << "wrote " << out << " (hardware concurrency "
             << ThreadPool::hardware_jobs() << ")\n";
 
@@ -384,8 +548,10 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (const RecordResult& r : record) ok &= r.merge_ok;
   for (const FormatResult& f : formats) ok &= f.roundtrip_ok;
+  for (const DecodeRow& row : decode.rows) ok &= row.identical;
   if (!ok) {
-    std::cerr << "FAIL: recording merge or format round-trip broke\n";
+    std::cerr << "FAIL: recording merge, format round-trip, or decode-path "
+                 "identity broke\n";
     return 1;
   }
   return 0;

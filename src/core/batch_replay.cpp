@@ -1,0 +1,206 @@
+#include "core/batch_replay.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "obs/counters.hpp"
+#include "sim/policy.hpp"
+#include "sim/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace wolf {
+
+namespace {
+
+const obs::Counter kBatches("batch_replay.batches");
+const obs::Counter kDivergences("batch_replay.divergences");
+const obs::Counter kSharedSteps("batch_replay.shared_steps");
+const obs::Counter kForkedSteps("batch_replay.forked_steps");
+
+struct LiveMember {
+  std::size_t index;  // into members / report.stats
+  ReplayController controller;
+};
+
+// Fans one shared execution out to every live member's ReplayController and
+// reports divergence the moment their steering decisions disagree. Once
+// diverged it goes inert: it pauses the contested thread (if any), consumes
+// nothing, and leaves every member controller in its pre-decision state so a
+// forked scheduler can hand the decision to the member itself.
+class MultiplexController final : public sim::ScheduleController {
+ public:
+  explicit MultiplexController(std::vector<LiveMember>* live) : live_(live) {}
+
+  bool before_lock(ThreadId t, const ExecIndex& idx, LockId lock) override {
+    if (diverged_) return true;  // inert: hold everything for the forks
+    const bool pause = (*live_)[0].controller.would_pause(t, idx);
+    for (std::size_t i = 1; i < live_->size(); ++i) {
+      if ((*live_)[i].controller.would_pause(t, idx) != pause) {
+        diverged_ = true;
+        diverged_thread_ = t;
+        return true;  // park t; each fork re-attempts under its own member
+      }
+    }
+    for (LiveMember& m : *live_) m.controller.before_lock(t, idx, lock);
+    return pause;
+  }
+
+  void on_event(const Event& e) override {
+    if (diverged_) return;
+    for (LiveMember& m : *live_) m.controller.on_event(e);
+  }
+
+  std::vector<ThreadId> take_released() override {
+    if (diverged_) return {};
+    auto canon = [](std::vector<ThreadId> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    std::vector<ThreadId> first =
+        canon((*live_)[0].controller.pending_released());
+    for (std::size_t i = 1; i < live_->size(); ++i) {
+      if (canon((*live_)[i].controller.pending_released()) != first) {
+        diverged_ = true;  // consume nothing; forks drain their own queues
+        return {};
+      }
+    }
+    for (LiveMember& m : *live_) m.controller.take_released();
+    return first;
+  }
+
+  ThreadId force_release(const std::vector<ThreadId>& paused,
+                         Rng& rng) override {
+    // Any paused thread is a valid Algorithm-4 victim for every member, so
+    // one choice serves all: no divergence possible here.
+    ThreadId victim = paused[rng.index(paused)];
+    for (LiveMember& m : *live_) m.controller.forget_blocked(victim);
+    return victim;
+  }
+
+  bool diverged() const { return diverged_; }
+  ThreadId diverged_thread() const { return diverged_thread_; }
+
+ private:
+  std::vector<LiveMember>* live_;
+  bool diverged_ = false;
+  // The thread whose acquisition split the members; kInvalidThread when the
+  // split happened over pending releases instead.
+  ThreadId diverged_thread_ = kInvalidThread;
+};
+
+}  // namespace
+
+BatchReplayReport replay_batch(const sim::Program& program,
+                               const LockDependency& dep,
+                               const std::vector<BatchReplayMember>& members,
+                               const ReplayOptions& options) {
+  BatchReplayReport report;
+  report.stats.resize(members.size());
+  if (members.empty()) return report;
+  kBatches.add();
+
+  // Attempt-invariant per-member data.
+  std::vector<std::set<ThreadId>> monitored(members.size());
+  std::vector<std::vector<SiteId>> expected(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j : members[i].cycle->tuple_idx)
+      monitored[i].insert(dep.tuples[j].thread);
+    expected[i] = expected_sites(*members[i].cycle, dep);
+  }
+
+  Rng seeds(options.seed);
+  for (int attempt = 0; attempt < options.attempts; ++attempt) {
+    const std::uint64_t attempt_seed = seeds();
+    std::vector<LiveMember> live;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (options.stop_on_first_hit && report.stats[i].hits > 0) continue;
+      live.push_back(
+          LiveMember{i, ReplayController(*members[i].gs, monitored[i])});
+    }
+    if (live.empty()) break;
+    ++report.attempts;
+
+    Rng rng(attempt_seed);
+    MultiplexController mux(&live);
+    sim::SchedulerOptions sched_options;
+    sched_options.controller = &mux;
+    sched_options.max_steps = options.max_steps;
+    sched_options.fault = options.fault;
+    sim::Scheduler shared(program, sched_options);
+    sim::RandomPolicy policy;
+
+    // Shared phase: sim::run()'s loop with a divergence exit. Divergence can
+    // surface mid-step (the scheduler drains releases right after pausing or
+    // completing an acquisition), so it is re-checked after step() too.
+    bool fault_stalled = false;
+    while (!shared.finished() &&
+           shared.steps_executed() < shared.max_steps()) {
+      shared.drain_releases();
+      if (mux.diverged()) break;
+      auto enabled = shared.enabled_threads();
+      if (enabled.empty()) {
+        auto paused = shared.paused_threads();
+        if (paused.empty()) break;
+        if (shared.fault_drops_force_releases()) {
+          fault_stalled = true;
+          break;
+        }
+        ThreadId victim = mux.force_release(paused, rng);
+        shared.release_paused(victim, /*bypass_controller=*/true);
+        continue;
+      }
+      ThreadId t = policy.pick(enabled, rng);
+      shared.step(t);
+      if (mux.diverged()) break;
+    }
+
+    const std::uint64_t prefix = shared.steps_executed();
+    if (live.size() >= 2) {
+      report.shared_steps += prefix;
+      kSharedSteps.add(prefix);
+    }
+
+    if (!mux.diverged()) {
+      // One execution served every live member end to end.
+      sim::RunResult run = shared.result();
+      if (fault_stalled) run.outcome = sim::RunOutcome::kTimeout;
+      report.replayed_steps += run.steps;
+      for (LiveMember& m : live) {
+        record_outcome(report.stats[m.index],
+                       classify_run(run, expected[m.index]));
+        report.naive_steps += run.steps;
+      }
+      continue;
+    }
+
+    // Members disagreed: fork a scheduler copy per member and finish each
+    // trial privately. Every fork continues from the identical mid-run state
+    // and rng, so each member sees exactly the schedule its private replay
+    // would have seen from here under these coin flips.
+    kDivergences.add();
+    report.replayed_steps += prefix;
+    for (LiveMember& m : live) {
+      sim::Scheduler forked(shared);
+      forked.set_controller(&m.controller);
+      if (mux.diverged_thread() != kInvalidThread) {
+        // Re-attempt the contested acquisition under this member: the
+        // scheduler keeps occurrence bookkeeping stable across repeated
+        // attempts, so the member's before_lock sees the same ExecIndex the
+        // multiplexer compared.
+        forked.release_paused(mux.diverged_thread(),
+                              /*bypass_controller=*/false);
+      }
+      Rng fork_rng = rng;
+      sim::RunResult run = sim::run(forked, policy, fork_rng);
+      record_outcome(report.stats[m.index],
+                     classify_run(run, expected[m.index]));
+      report.replayed_steps += run.steps - prefix;
+      report.naive_steps += run.steps;
+      kForkedSteps.add(run.steps - prefix);
+    }
+  }
+  return report;
+}
+
+}  // namespace wolf

@@ -1,0 +1,83 @@
+// Batch replayer — prefix-shared re-execution for cycles of one trace.
+//
+// Algorithm 4 replays each potential deadlock independently, so k cycles from
+// the same recorded run cost k full re-executions even though their
+// synchronization dependency graphs steer the early schedule identically
+// (they are built from the same trace prefix). This module replays a *batch*
+// of cycles over ONE shared re-execution for as long as every member would
+// steer it the same way, and only forks per-member copies of the scheduler at
+// the first decision where they disagree.
+//
+// Correctness argument (DESIGN.md §15): a member's ReplayController is pure
+// state-machine over the event stream plus the pause/release decisions taken
+// on its behalf. During the shared phase the multiplexer
+//   * consults every member's would_pause() — a const predicate that predicts
+//     before_lock() exactly — and commits the decision to all members only
+//     when they are unanimous;
+//   * compares every member's pending_released() set before consuming any —
+//     releases are applied to the shared schedule only when identical;
+//   * force-releases one victim for all members (valid for each: Algorithm 4
+//     picks any paused thread) via forget_blocked().
+// Hence at every shared step each member controller is in exactly the state
+// it would have reached driving its own private re-execution under the same
+// coin flips. At the first disagreement the shared Scheduler (copyable by
+// design — the systematic explorer forks mid-run states too) is copied per
+// member; a copy re-attempts the contested acquisition under its own
+// controller via release_paused(t, bypass=false), which is sound because the
+// scheduler keeps occurrence bookkeeping stable across repeated attempts of
+// the same acquisition. From the fork on, each member's trial is an ordinary
+// Algorithm-4 replay.
+//
+// The batch path is opt-in (bench + CLI flag): the default pipeline keeps
+// replaying cycles independently so its reports stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/replayer.hpp"
+
+namespace wolf {
+
+// One cycle riding the batch. Both pointers must outlive the call.
+struct BatchReplayMember {
+  const PotentialDeadlock* cycle = nullptr;
+  const SyncDependencyGraph* gs = nullptr;  // acyclic (generator-approved)
+};
+
+struct BatchReplayReport {
+  // Per-member trial statistics, parallel to the members vector; outcomes
+  // are classified against each member's own expected sites, exactly as
+  // replay() would.
+  std::vector<ReplayStats> stats;
+  int attempts = 0;  // batch attempts driven (each serves all live members)
+
+  // Step accounting across all attempts:
+  //   shared_steps   — steps executed once while >= 2 members rode along;
+  //   replayed_steps — steps actually executed (shared prefixes counted
+  //                    once, forked continuations per member);
+  //   naive_steps    — what the same schedules cost if every member had
+  //                    replayed its prefix privately (= replayed_steps plus
+  //                    the de-duplicated prefix work).
+  std::uint64_t shared_steps = 0;
+  std::uint64_t replayed_steps = 0;
+  std::uint64_t naive_steps = 0;
+
+  double savings() const {
+    return naive_steps == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(replayed_steps) /
+                           static_cast<double>(naive_steps);
+  }
+};
+
+// Replays every member `options.attempts` times (members that hit stop
+// early under stop_on_first_hit), sharing re-execution prefixes. `dep` must
+// be the dependency the cycles were detected in.
+BatchReplayReport replay_batch(const sim::Program& program,
+                               const LockDependency& dep,
+                               const std::vector<BatchReplayMember>& members,
+                               const ReplayOptions& options);
+
+}  // namespace wolf

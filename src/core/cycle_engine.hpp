@@ -1,6 +1,6 @@
 // Scalable cycle enumeration over D_σ (DESIGN.md §12).
 //
-// Two engines produce the canonical cycle sequence of detector.hpp:
+// Three engines produce the canonical cycle sequence of detector.hpp:
 //
 //   * kReference — the original iGoodLock-style DFS over every canonical
 //     tuple, kept verbatim as the executable specification of the cycle
@@ -13,8 +13,13 @@
 //     (thread word-mask, lockset word-mask per tuple) instead of hash sets,
 //     and the Pruner's pairwise clock data (ClockPairMatrix) can optionally
 //     cut never-overlapping branches during the search.
+//   * kArenaScc — kScc's algorithm, with every per-node array (scalars,
+//     lockset bitsets, the per-lock inverted holder index as a CSR of
+//     offset+length slices) carved out of one support/arena bump allocator
+//     instead of per-node heap vectors (DESIGN.md §15). Same partition,
+//     same candidate order, same cuts — only the memory layout differs.
 //
-// Both engines emit cycles in the identical canonical order — the SCC
+// All engines emit cycles in the identical canonical order — the SCC
 // restriction and the clock cut only skip subtrees that emit nothing — so a
 // Detection is bit-identical across engines and, because per-start-tuple
 // enumerations are independent and merged in canonical order, across every
@@ -47,6 +52,13 @@ EnumerationResult enumerate_cycles_reference(const LockDependency& dep,
 EnumerationResult enumerate_cycles_scc(const LockDependency& dep,
                                        const DetectorOptions& options,
                                        const ClockTracker* clocks = nullptr);
+
+// The arena/SoA variant of the SCC engine; bit-identical output, node state
+// in one bump-allocated slab.
+EnumerationResult enumerate_cycles_arena_scc(const LockDependency& dep,
+                                             const DetectorOptions& options,
+                                             const ClockTracker* clocks
+                                             = nullptr);
 
 // Dispatch on options.engine; what detect()/StreamingDetector call.
 EnumerationResult enumerate_cycles_ex(const LockDependency& dep,

@@ -51,6 +51,8 @@ struct Defect {
 enum class CycleEngine : std::uint8_t {
   kReference,  // the original iGoodLock-style DFS over all canonical tuples
   kScc,        // SCC-partitioned bitset DFS, optionally parallel (default)
+  kArenaScc,   // kScc's algorithm over arena-allocated SoA/CSR node state
+               // (support/arena.hpp) — fewer allocations, better locality
 };
 
 // Deprecated as a public entry type: prefer wolf::Config::detector

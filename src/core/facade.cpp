@@ -49,7 +49,7 @@ std::vector<ConfigIssue> Config::validate() const {
     issues.push_back(
         warning("engine=reference enumerates serially; jobs only "
                 "parallelises classification, not cycle search (use "
-                "engine=scc for parallel enumeration)"));
+                "engine=scc or engine=arena for parallel enumeration)"));
   }
   if (detector.engine == CycleEngine::kReference &&
       detector.clock_prune_during_search) {

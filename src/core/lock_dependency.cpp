@@ -72,12 +72,22 @@ std::string LockTuple::to_string() const {
   return os.str();
 }
 
+LockDependencyBuilder::HeldStack& LockDependencyBuilder::held_stack(
+    ThreadId thread) {
+  if (thread >= 0) {
+    const std::size_t i = static_cast<std::size_t>(thread);
+    if (i >= held_.size()) held_.resize(i + 1);
+    return held_[i];
+  }
+  return held_other_[thread];
+}
+
 void LockDependencyBuilder::add(const Event& e) {
   const std::size_t pos = pos_++;
   clocks_.apply(e);
   switch (e.kind) {
     case EventKind::kLockAcquire: {
-      auto& stack = held_[e.thread];
+      auto& stack = held_stack(e.thread);
       LockTuple tuple;
       tuple.thread = e.thread;
       tuple.lock = e.lock;
@@ -94,7 +104,7 @@ void LockDependencyBuilder::add(const Event& e) {
       break;
     }
     case EventKind::kLockRelease: {
-      auto& stack = held_[e.thread];
+      auto& stack = held_stack(e.thread);
       auto it = std::find_if(stack.rbegin(), stack.rend(),
                              [&](const auto& h) { return h.first == e.lock; });
       WOLF_CHECK_MSG(it != stack.rend(),
@@ -176,6 +186,7 @@ void LockDependencyBuilder::clear() {
   dep_ = LockDependency{};
   clocks_ = ClockTracker{};
   held_.clear();
+  held_other_.clear();
   pos_ = 0;
 }
 
@@ -199,23 +210,46 @@ std::vector<std::size_t> LockDependency::thread_prefix(
 DependencyIndex DependencyIndex::build(const LockDependency& dep) {
   DependencyIndex index;
   index.dep_ = &dep;
-  // Tuples are in trace order, so each per-thread and per-(thread, lock)
-  // vector comes out sorted by trace_pos for free.
-  for (std::size_t i = 0; i < dep.tuples.size(); ++i) {
+  index.arena_ = std::make_unique<support::Arena>();
+  const std::size_t n = dep.tuples.size();
+
+  // Count pass: each tuple lands once in its thread's sequence and once in
+  // its (thread, lock) sequence, so the pool is exactly 2n entries.
+  for (const LockTuple& t : dep.tuples) {
+    ++index.by_thread_[t.thread].length;
+    ++index.by_thread_lock_[key(t.thread, t.lock)].length;
+  }
+  std::size_t* pool = index.arena_->alloc_array<std::size_t>(2 * n);
+  index.pool_ = pool;
+
+  // Offsets in first-appearance (trace) order, then the fill. Tuples are in
+  // trace order, so each sequence comes out sorted by trace_pos for free.
+  std::uint32_t next = 0;
+  auto place = [&](Range& r, std::size_t i) {
+    if (!r.assigned) {
+      r.offset = next;
+      next += r.length;
+      r.assigned = true;
+    }
+    pool[r.offset + r.filled++] = i;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
     const LockTuple& t = dep.tuples[i];
-    index.by_thread_[t.thread].push_back(i);
-    index.by_thread_lock_[key(t.thread, t.lock)].push_back(i);
+    place(index.by_thread_[t.thread], i);
+    place(index.by_thread_lock_[key(t.thread, t.lock)], i);
   }
   return index;
 }
 
 std::span<const std::size_t> DependencyIndex::prefix_of(
-    const std::vector<std::size_t>* full, std::size_t last_pos) const {
-  if (full == nullptr) return {};
+    const Range* range, std::size_t last_pos) const {
+  if (range == nullptr) return {};
+  const std::size_t* first = pool_ + range->offset;
+  const std::size_t* last = first + range->length;
   auto end = std::upper_bound(
-      full->begin(), full->end(), last_pos,
+      first, last, last_pos,
       [&](std::size_t pos, std::size_t i) { return pos < dep_->tuples[i].trace_pos; });
-  return {full->data(), static_cast<std::size_t>(end - full->begin())};
+  return {first, static_cast<std::size_t>(end - first)};
 }
 
 std::span<const std::size_t> DependencyIndex::thread_prefix(

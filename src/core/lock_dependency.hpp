@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "clock/clock_tracker.hpp"
+#include "support/arena.hpp"
 #include "trace/event.hpp"
 #include "trace/exec_index.hpp"
 #include "trace/ids.hpp"
@@ -108,10 +110,17 @@ class LockDependencyBuilder {
   std::size_t evict_oldest(std::size_t max_tuples);
 
  private:
+  // Per-thread held-lock state: (lock, acquisition index), acquisition order.
+  using HeldStack = std::vector<std::pair<LockId, ExecIndex>>;
+  HeldStack& held_stack(ThreadId thread);
+
   LockDependency dep_;
   ClockTracker clocks_;
-  // Per-thread held-lock state: (lock, acquisition index), acquisition order.
-  std::map<ThreadId, std::vector<std::pair<LockId, ExecIndex>>> held_;
+  // Recorder thread ids are dense from 0, so the hot lookup is a vector
+  // index; anything else (defensive: a hand-built trace with odd ids) falls
+  // back to the ordered map.
+  std::vector<HeldStack> held_;
+  std::map<ThreadId, HeldStack> held_other_;
   std::size_t pos_ = 0;
 };
 
@@ -122,9 +131,18 @@ class LockDependencyBuilder {
 // slices them by the cycle's cutoff positions instead of rescanning the
 // whole tuple sequence. Read-only after build(): safe to share across the
 // parallel classification workers.
+//
+// Storage is one arena-backed pool (DESIGN.md §15): every per-key sequence
+// is an offset+length range into a single contiguous slab instead of its
+// own heap vector, so build() does O(1) large allocations rather than
+// O(threads + thread·lock pairs) small ones. Move-only (the spans handed
+// out point into the arena, which the index owns).
 class DependencyIndex {
  public:
   static DependencyIndex build(const LockDependency& dep);
+
+  DependencyIndex(DependencyIndex&&) = default;
+  DependencyIndex& operator=(DependencyIndex&&) = default;
 
   // Indices of `thread`'s tuples with trace_pos <= last_pos, in trace order —
   // the same sequence LockDependency::thread_prefix returns, as a view.
@@ -138,12 +156,25 @@ class DependencyIndex {
                                                   std::size_t last_pos) const;
 
  private:
-  std::span<const std::size_t> prefix_of(const std::vector<std::size_t>* full,
+  DependencyIndex() = default;
+
+  // One per-key sequence: pool_[offset, offset + length). `filled` is
+  // build()'s write cursor and equals length afterwards.
+  struct Range {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    std::uint32_t filled = 0;
+    bool assigned = false;
+  };
+
+  std::span<const std::size_t> prefix_of(const Range* range,
                                          std::size_t last_pos) const;
 
   const LockDependency* dep_ = nullptr;  // not owned; must outlive the index
-  std::unordered_map<ThreadId, std::vector<std::size_t>> by_thread_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+  std::unique_ptr<support::Arena> arena_;
+  const std::size_t* pool_ = nullptr;  // all sequences, concatenated
+  std::unordered_map<ThreadId, Range> by_thread_;
+  std::unordered_map<std::uint64_t, Range>
       by_thread_lock_;  // key: (thread, lock) packed
 
   static std::uint64_t key(ThreadId thread, LockId lock) {

@@ -11,12 +11,10 @@ const obs::Counter kEdgesCounter("prefilter.edges");
 const obs::Counter kChecksCounter("prefilter.checks");
 }  // namespace
 
-std::uint64_t lockset_mask(const std::vector<LockId>& lockset) {
-  std::uint64_t mask = 0;
-  for (LockId l : lockset) {
-    const auto bit = static_cast<std::uint64_t>(static_cast<std::uint32_t>(l));
-    if (bit < 64) mask |= 1ULL << bit;
-  }
+GuardMask lockset_mask(const std::vector<LockId>& lockset) {
+  GuardMask mask;
+  for (LockId l : lockset)
+    mask.set(static_cast<std::size_t>(static_cast<std::uint32_t>(l)));
   return mask;
 }
 
@@ -32,7 +30,7 @@ int LockGraph::intern(LockId lock) {
 void LockGraph::on_tuple(const LockTuple& tuple) {
   if (tuple.lockset.empty()) return;  // top-of-stack acquisitions add no edge
   const int to = intern(tuple.lock);
-  const std::uint64_t guards = lockset_mask(tuple.lockset);
+  const GuardMask guards = lockset_mask(tuple.lockset);
   for (LockId held : tuple.lockset) {
     const int from = intern(held);
     std::vector<Edge>& edges = out_[static_cast<std::size_t>(from)];
@@ -55,7 +53,8 @@ void LockGraph::on_tuple(const LockTuple& tuple) {
       it->multi_thread = true;
       ++generation_;
     }
-    const std::uint64_t narrowed = it->guard_mask & guards;
+    GuardMask narrowed = it->guard_mask;
+    narrowed &= guards;
     if (narrowed != it->guard_mask) {
       it->guard_mask = narrowed;
       ++generation_;
@@ -132,7 +131,7 @@ void LockGraph::recompute() const {
   struct SccInfo {
     ThreadId first_thread = kInvalidThread;
     bool multi_thread = false;
-    std::uint64_t common_guards = ~0ULL;
+    GuardMask common_guards = GuardMask::all();
   };
   std::vector<SccInfo> info(static_cast<std::size_t>(comp_count));
   for (int v = 0; v < n; ++v) {
@@ -156,7 +155,7 @@ void LockGraph::recompute() const {
     const auto ci = static_cast<std::size_t>(c);
     if (scc_size[ci] < 2) continue;
     if (!info[ci].multi_thread) continue;
-    if (info[ci].common_guards != 0) continue;
+    if (info[ci].common_guards.any()) continue;
     verdict_ = true;
     ++verdict_scc_count_;
   }

@@ -21,11 +21,11 @@
 //     needs pairwise-distinct threads, so an SCC whose edges all come from
 //     one single thread cannot contain one;
 //   * guards — each edge records the intersection of the contributing
-//     tuples' locksets (as a 64-lock bitmask; locks beyond the mask are
-//     conservatively ignored). If every edge of an SCC shares a common held
-//     lock g, any cycle through the SCC would need two tuples both holding
-//     g, violating lockset disjointness — the classic gate-lock idiom is
-//     discharged without enumerating anything.
+//     tuples' locksets (as a fixed 256-lock bitmask; locks beyond the mask
+//     are conservatively ignored). If every edge of an SCC shares a common
+//     held lock g, any cycle through the SCC would need two tuples both
+//     holding g, violating lockset disjointness — the classic gate-lock
+//     idiom is discharged without enumerating anything.
 //
 // Maintenance is O(|lockset|) amortized per tuple; the verdict is one
 // Tarjan pass over the lock graph (O(locks + edges)), recomputed lazily
@@ -34,6 +34,7 @@
 // budgets bite (DESIGN.md §14).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -43,6 +44,42 @@
 #include "trace/ids.hpp"
 
 namespace wolf {
+
+// Fixed-block lockset bitmask over the first kBits (= 256) lock ids. Locks
+// with larger ids are dropped from the mask — conservative: a dropped guard
+// can only make the filter *more* suspicious, never less sound. The old
+// single-word mask saturated at 64 locks, which real traces exceed; four
+// words cover every workload in this repo while keeping the per-edge AND
+// branch-free.
+struct GuardMask {
+  static constexpr std::size_t kWords = 4;
+  static constexpr std::size_t kBits = kWords * 64;
+
+  std::array<std::uint64_t, kWords> w{};
+
+  static GuardMask all() {
+    GuardMask m;
+    m.w.fill(~0ULL);
+    return m;
+  }
+
+  void set(std::size_t bit) {
+    if (bit < kBits) w[bit / 64] |= 1ULL << (bit % 64);
+  }
+
+  GuardMask& operator&=(const GuardMask& o) {
+    for (std::size_t i = 0; i < kWords; ++i) w[i] &= o.w[i];
+    return *this;
+  }
+
+  bool any() const {
+    std::uint64_t acc = 0;
+    for (std::uint64_t word : w) acc |= word;
+    return acc != 0;
+  }
+
+  friend bool operator==(const GuardMask&, const GuardMask&) = default;
+};
 
 class LockGraph {
  public:
@@ -70,8 +107,8 @@ class LockGraph {
   struct Edge {
     int to = -1;
     ThreadId first_thread = kInvalidThread;
-    bool multi_thread = false;   // contributed by >= 2 distinct threads
-    std::uint64_t guard_mask = ~0ULL;  // AND of contributors' lockset masks
+    bool multi_thread = false;  // contributed by >= 2 distinct threads
+    GuardMask guard_mask = GuardMask::all();  // AND of contributors' masks
   };
 
   int intern(LockId lock);
@@ -92,9 +129,8 @@ class LockGraph {
   void recompute() const;
 };
 
-// Lockset bitmask over the first 64 lock ids; locks with larger ids are
-// dropped from the mask (conservative: a dropped guard can only make the
-// filter *more* suspicious, never less sound).
-std::uint64_t lockset_mask(const std::vector<LockId>& lockset);
+// Lockset bitmask over the first GuardMask::kBits lock ids; see GuardMask
+// for the conservative-drop argument.
+GuardMask lockset_mask(const std::vector<LockId>& lockset);
 
 }  // namespace wolf

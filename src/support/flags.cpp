@@ -158,7 +158,7 @@ void register_common_flags(Flags& flags) {
                    "classification parallelism (0 = hardware concurrency; "
                    "1 reproduces the serial pipeline exactly)");
   flags.define_string("engine", "scc",
-                      "cycle enumeration engine (scc|reference)");
+                      "cycle enumeration engine (scc|arena|reference)");
   flags.define_int("deadline-ms", 0,
                    "wall-clock budget per trial (0 = unlimited; rt watchdog)");
   flags.define_string("metrics-out", "",

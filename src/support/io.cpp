@@ -45,4 +45,47 @@ bool atomic_write_file(const std::string& path, std::string_view contents,
   return true;
 }
 
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_(path_ + ".tmp"),
+      out_(tmp_, std::ios::binary | std::ios::trunc) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!done_) abort();
+}
+
+bool AtomicFileWriter::commit(std::string* error) {
+  if (done_) {
+    fail(error, "atomic writer for '" + path_ + "' already finished");
+    return false;
+  }
+  if (!out_) {
+    abort();
+    fail(error, "write to temp file '" + tmp_ + "' failed");
+    return false;
+  }
+  out_.flush();
+  out_.close();
+  if (!out_) {
+    done_ = true;
+    std::remove(tmp_.c_str());
+    fail(error, "short write to temp file '" + tmp_ + "'");
+    return false;
+  }
+  done_ = true;
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    fail(error, "rename '" + tmp_ + "' -> '" + path_ + "' failed");
+    return false;
+  }
+  return true;
+}
+
+void AtomicFileWriter::abort() {
+  if (done_) return;
+  done_ = true;
+  out_.close();
+  std::remove(tmp_.c_str());
+}
+
 }  // namespace wolf::support

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -29,5 +30,39 @@ bool atomic_write_file(
     const std::string& path, std::string_view contents,
     std::string* error = nullptr,
     std::size_t fail_after_bytes = std::numeric_limits<std::size_t>::max());
+
+// Streaming variant of atomic_write_file for producers that cannot (or
+// should not) materialize the whole output — `wolf convert` rewriting a
+// 10^8-event trace stays in O(block) memory by pushing blocks through
+// this writer. Same contract: everything goes to a sibling temp file and
+// the target only changes at commit() via rename(2); destruction without
+// commit (including via exceptions) removes the temp file and leaves the
+// target untouched.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();  // aborts unless commit() succeeded
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // False when the temp file could not be opened or a write failed.
+  bool ok() const { return out_.good(); }
+  // The temp-file stream; write output here (binary mode).
+  std::ostream& stream() { return out_; }
+
+  // Flushes and renames the temp file over the target. Returns false and
+  // fills *error on any failure (the temp file is removed, the target is
+  // untouched). No further writes are valid after commit.
+  bool commit(std::string* error = nullptr);
+  // Removes the temp file without touching the target.
+  void abort();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool done_ = false;
+};
 
 }  // namespace wolf::support

@@ -1,0 +1,58 @@
+#include "support/mmap_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WOLF_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WOLF_HAVE_MMAP 0
+#endif
+
+namespace wolf::support {
+
+#if WOLF_HAVE_MMAP
+
+std::optional<MmapFile> MmapFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  MmapFile f;
+  f.size_ = static_cast<std::size_t>(st.st_size);
+  if (f.size_ != 0) {
+    void* addr = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    f.addr_ = addr;
+  }
+  ::close(fd);  // the mapping keeps the file contents live
+  return f;
+}
+
+void MmapFile::unmap() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+#else  // !WOLF_HAVE_MMAP
+
+std::optional<MmapFile> MmapFile::open(const std::string&) {
+  return std::nullopt;
+}
+
+void MmapFile::unmap() {
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+#endif
+
+}  // namespace wolf::support

@@ -1,0 +1,59 @@
+// Read-only memory-mapped file view.
+//
+// The v3 trace reader wants the whole file addressable at once: the block
+// index gives byte offsets, and decoding straight out of the page cache
+// skips one full copy per block (the std::istream path reads each payload
+// into a scratch string first). MmapFile is the thin, failure-tolerant
+// wrapper that makes this optional: open() returns nullopt on any platform
+// or filesystem where mapping is unavailable (non-POSIX builds, pipes,
+// /proc files, exotic mounts), and every caller falls back to buffered
+// reads — mapping is an optimization, never a requirement.
+//
+// The mapping is private and read-only; bytes() stays valid until the
+// object is destroyed or moved-from. Empty files map to an empty view
+// without touching mmap(2) (a zero-length mmap is an error on POSIX).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wolf::support {
+
+class MmapFile {
+ public:
+  // Maps `path` read-only. nullopt when the file cannot be opened, stat'd,
+  // or mapped — callers treat that as "use buffered I/O instead".
+  static std::optional<MmapFile> open(const std::string& path);
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      addr_ = other.addr_;
+      size_ = other.size_;
+      other.addr_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile() { unmap(); }
+
+  std::string_view bytes() const {
+    if (addr_ == nullptr) return {};
+    return {static_cast<const char*>(addr_), size_};
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  MmapFile() = default;
+  void unmap();
+
+  void* addr_ = nullptr;  // null for empty files and moved-from objects
+  std::size_t size_ = 0;
+};
+
+}  // namespace wolf::support

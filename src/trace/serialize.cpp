@@ -31,81 +31,108 @@ std::optional<TraceFormat> trace_format_from_string(std::string_view name) {
   return std::nullopt;
 }
 
-namespace {
-
-void write_trace_text(std::ostream& os, const Trace& trace,
-                      TraceFormat format) {
-  os << (format == TraceFormat::kV1 ? wire::kHeaderV1 : wire::kHeaderV2)
-     << '\n';
-  std::uint64_t checksum = wire::kChecksumSeed;
-  bool have_prev = false;
-  std::uint64_t prev_seq = 0;
-  for (const Event& e : trace.events) {
-    WOLF_CHECK_MSG(!have_prev || e.seq > prev_seq,
-                   "trace writer requires strictly increasing seq");
-    prev_seq = e.seq;
-    have_prev = true;
-    os << e.seq << ' ' << to_string(e.kind) << ' ' << e.thread << ' ' << e.site
-       << ' ' << e.occurrence << ' ' << e.lock << ' ' << e.other << '\n';
-    checksum = wire::checksum_event(checksum, e);
-  }
-  if (format == TraceFormat::kV2) {
-    os << wire::kFooterPrefix << ' ' << trace.events.size() << ' '
-       << wire::to_hex(checksum) << '\n';
+StreamTraceWriter::StreamTraceWriter(std::ostream& os, TraceFormat format,
+                                     Options options)
+    : os_(os),
+      format_(format),
+      options_(options),
+      checksum_(wire::kChecksumSeed) {
+  if (format_ == TraceFormat::kV3) {
+    os_.write(wire::kMagicV3, sizeof wire::kMagicV3);
+    bytes_ = sizeof wire::kMagicV3;
+    block_.reserve(wire::kBlockEvents);
+  } else {
+    os_ << (format_ == TraceFormat::kV1 ? wire::kHeaderV1 : wire::kHeaderV2)
+        << '\n';
   }
 }
 
-void write_trace_v3(std::ostream& os, const Trace& trace) {
-  os.write(wire::kMagicV3, sizeof wire::kMagicV3);
-  std::string frame, payload;
-  std::uint64_t total_checksum = wire::kChecksumSeed;
-  bool have_prev = false;
-  std::uint64_t prev_seq = 0;
-  for (std::size_t base = 0; base < trace.events.size();
-       base += wire::kBlockEvents) {
-    const std::size_t n =
-        std::min(wire::kBlockEvents, trace.events.size() - base);
-    payload.clear();
-    std::uint64_t block_checksum = wire::kChecksumSeed;
-    for (std::size_t j = 0; j < n; ++j) {
-      const Event& e = trace.events[base + j];
-      WOLF_CHECK_MSG(!have_prev || e.seq > prev_seq,
-                     "trace writer requires strictly increasing seq");
-      wire::put_event(payload, e, j == 0, prev_seq);
-      prev_seq = e.seq;
-      have_prev = true;
-      block_checksum = wire::checksum_event(block_checksum, e);
-      total_checksum = wire::checksum_event(total_checksum, e);
-    }
-    frame.clear();
-    frame.push_back(wire::kBlockTag);
-    wire::put_varint(frame, n);
-    wire::put_varint(frame, payload.size());
-    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    frame.clear();
-    wire::put_u64le(frame, block_checksum);
-    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+void StreamTraceWriter::write(const Event& e) {
+  WOLF_CHECK_MSG(!finished_, "trace writer already finished");
+  WOLF_CHECK_MSG(!have_prev_ || e.seq > prev_seq_,
+                 "trace writer requires strictly increasing seq");
+  prev_seq_ = e.seq;
+  have_prev_ = true;
+  checksum_ = wire::checksum_event(checksum_, e);
+  ++count_;
+  if (format_ == TraceFormat::kV3) {
+    block_.push_back(e);
+    if (block_.size() >= wire::kBlockEvents) flush_block();
+    return;
   }
+  os_ << e.seq << ' ' << to_string(e.kind) << ' ' << e.thread << ' ' << e.site
+      << ' ' << e.occurrence << ' ' << e.lock << ' ' << e.other << '\n';
+}
+
+void StreamTraceWriter::flush_block() {
+  if (block_.empty()) return;
+  std::string& payload = scratch_;
+  payload.clear();
+  std::uint64_t block_checksum = wire::kChecksumSeed;
+  std::uint64_t prev = 0;
+  for (std::size_t j = 0; j < block_.size(); ++j) {
+    const Event& e = block_[j];
+    wire::put_event(payload, e, j == 0, prev);
+    prev = e.seq;
+    block_checksum = wire::checksum_event(block_checksum, e);
+  }
+  std::string frame;
+  frame.push_back(wire::kBlockTag);
+  wire::put_varint(frame, block_.size());
+  wire::put_varint(frame, payload.size());
+  const std::size_t header_bytes = frame.size();
+  wire::IndexEntry entry;
+  entry.offset = bytes_;
+  entry.first_seq = block_.front().seq;
+  entry.last_seq = block_.back().seq;
+  entry.count = block_.size();
+  entry.chain = checksum_;  // write() already chained this block's events
+  index_.push_back(entry);
+  os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  os_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   frame.clear();
+  wire::put_u64le(frame, block_checksum);
+  os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  bytes_ += header_bytes + payload.size() + 8;
+  block_.clear();
+}
+
+void StreamTraceWriter::finish() {
+  WOLF_CHECK_MSG(!finished_, "trace writer already finished");
+  finished_ = true;
+  if (format_ != TraceFormat::kV3) {
+    if (format_ == TraceFormat::kV2) {
+      os_ << wire::kFooterPrefix << ' ' << count_ << ' '
+          << wire::to_hex(checksum_) << '\n';
+    }
+    return;
+  }
+  flush_block();
+  std::string frame;
   frame.push_back(wire::kFooterTag);
-  wire::put_varint(frame, trace.events.size());
-  wire::put_u64le(frame, total_checksum);
-  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  wire::put_varint(frame, count_);
+  wire::put_u64le(frame, checksum_);
+  os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  bytes_ += frame.size();
+  if (options_.index) {
+    frame.clear();
+    wire::put_index_section(frame, index_, bytes_);
+    os_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    bytes_ += frame.size();
+  }
 }
 
-}  // namespace
-
-void write_trace(std::ostream& os, const Trace& trace, TraceFormat format) {
-  if (format == TraceFormat::kV3)
-    write_trace_v3(os, trace);
-  else
-    write_trace_text(os, trace, format);
+void write_trace(std::ostream& os, const Trace& trace, TraceFormat format,
+                 StreamTraceWriter::Options options) {
+  StreamTraceWriter writer(os, format, options);
+  writer.write(trace.events);
+  writer.finish();
 }
 
-std::string trace_to_string(const Trace& trace, TraceFormat format) {
+std::string trace_to_string(const Trace& trace, TraceFormat format,
+                            StreamTraceWriter::Options options) {
   std::ostringstream os;
-  write_trace(os, trace, format);
+  write_trace(os, trace, format, options);
   return os.str();
 }
 
@@ -120,8 +147,10 @@ std::uint64_t trace_checksum(const Trace& trace) {
 // batch and block-by-block paths accept exactly the same inputs and report
 // exactly the same defects.
 
-std::optional<Trace> read_trace(std::istream& is, std::string* error) {
-  StreamTraceReader reader(is, StreamTraceReader::Mode::kStrict);
+namespace {
+
+std::optional<Trace> drain_strict(StreamTraceReader& reader,
+                                  std::string* error) {
   Trace trace;
   std::vector<Event> block;
   while (reader.next_block(block))
@@ -131,6 +160,21 @@ std::optional<Trace> read_trace(std::istream& is, std::string* error) {
     return std::nullopt;
   }
   return trace;
+}
+
+}  // namespace
+
+std::optional<Trace> read_trace(std::istream& is, std::string* error) {
+  StreamTraceReader reader(is, StreamTraceReader::Mode::kStrict);
+  return drain_strict(reader, error);
+}
+
+std::optional<Trace> read_trace(const std::string& path, std::string* error,
+                                int jobs) {
+  StreamTraceReader::Options options;
+  options.jobs = jobs;
+  StreamTraceReader reader(path, StreamTraceReader::Mode::kStrict, options);
+  return drain_strict(reader, error);
 }
 
 std::optional<Trace> trace_from_string(const std::string& text,
@@ -193,10 +237,9 @@ void validate_salvaged_events(SalvageReport& report) {
   report.diagnostics.push_back(os.str());
 }
 
-}  // namespace
-
-SalvageReport read_trace_salvage(std::istream& is) {
-  StreamTraceReader reader(is, StreamTraceReader::Mode::kSalvage);
+// Drains a salvage-mode reader into a batch report, applying the semantic
+// prefix validation both the stream and path entry points share.
+SalvageReport drain_salvage(StreamTraceReader& reader) {
   SalvageReport report;
   std::vector<Event> block;
   while (reader.next_block(block))
@@ -208,6 +251,20 @@ SalvageReport read_trace_salvage(std::istream& is) {
   report.diagnostics = reader.diagnostics();
   validate_salvaged_events(report);
   return report;
+}
+
+}  // namespace
+
+SalvageReport read_trace_salvage(std::istream& is) {
+  StreamTraceReader reader(is, StreamTraceReader::Mode::kSalvage);
+  return drain_salvage(reader);
+}
+
+SalvageReport read_trace_salvage(const std::string& path, int jobs) {
+  StreamTraceReader::Options options;
+  options.jobs = jobs;
+  StreamTraceReader reader(path, StreamTraceReader::Mode::kSalvage, options);
+  return drain_salvage(reader);
 }
 
 SalvageReport salvage_trace_from_string(const std::string& text) {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "trace/wire.hpp"
 
 namespace wolf {
 
@@ -61,12 +62,64 @@ const char* to_string(TraceFormat format);
 // Parses "v1"/"v2"/"v3" (CLI --format values); nullopt otherwise.
 std::optional<TraceFormat> trace_format_from_string(std::string_view name);
 
+// Incremental trace writer: the streaming dual of StreamTraceReader. Feed
+// events in strictly increasing seq order (any mix of single events and
+// batches), then call finish() exactly once to emit the footer. `wolf
+// convert` pumps a 10^8-event trace through this in O(block) memory; the
+// batch write_trace below is a thin wrapper, so the two paths can never
+// produce different bytes.
+//
+// For v3 the writer tracks every block's file offset, seq range, count,
+// and running checksum, and finish() appends the footer block index
+// (wire.hpp) that enables mmap + seek + parallel decode. Options.index
+// turns that off (the resulting file is still a valid v3 trace — readers
+// treat the index as optional).
+class StreamTraceWriter {
+ public:
+  struct Options {
+    bool index = true;  // v3 only: append the footer block index
+  };
+
+  // Writes the header/magic immediately. v3 streams must be binary.
+  StreamTraceWriter(std::ostream& os, TraceFormat format)
+      : StreamTraceWriter(os, format, Options{}) {}
+  StreamTraceWriter(std::ostream& os, TraceFormat format, Options options);
+  void write(const Event& e);
+  void write(const std::vector<Event>& events) {
+    for (const Event& e : events) write(e);
+  }
+  // Flushes the pending block and writes the footer (+ index). Must be
+  // called exactly once; no writes may follow.
+  void finish();
+
+  std::uint64_t events_written() const { return count_; }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  void flush_block();
+
+  std::ostream& os_;
+  TraceFormat format_;
+  Options options_;
+  bool finished_ = false;
+  std::uint64_t bytes_ = 0;  // v3: file offset of the next byte
+  std::uint64_t count_ = 0;
+  std::uint64_t checksum_;
+  bool have_prev_ = false;
+  std::uint64_t prev_seq_ = 0;
+  std::vector<Event> block_;    // v3: events pending in the open block
+  std::string scratch_;         // v3: encode buffer reused across blocks
+  std::vector<wire::IndexEntry> index_;
+};
+
 // Streams opened for v3 traffic should be binary; text formats tolerate
 // either. Writers require strictly increasing sequence numbers.
 void write_trace(std::ostream& os, const Trace& trace,
-                 TraceFormat format = TraceFormat::kV2);
+                 TraceFormat format = TraceFormat::kV2,
+                 StreamTraceWriter::Options options = {});
 std::string trace_to_string(const Trace& trace,
-                            TraceFormat format = TraceFormat::kV2);
+                            TraceFormat format = TraceFormat::kV2,
+                            StreamTraceWriter::Options options = {});
 
 // The checksum a v2 or v3 footer carries for `trace`; identical across
 // formats, so conversion preserves it.
@@ -74,6 +127,11 @@ std::uint64_t trace_checksum(const Trace& trace);
 
 // Strict readers: return nullopt and fill *error on malformed input.
 std::optional<Trace> read_trace(std::istream& is, std::string* error = nullptr);
+// Path overload: opens the file itself, which unlocks the mmap and (for
+// indexed v3 with jobs > 1) parallel-decode fast paths of the streaming
+// reader. Accepts and rejects exactly the same inputs as the stream form.
+std::optional<Trace> read_trace(const std::string& path,
+                                std::string* error = nullptr, int jobs = 1);
 std::optional<Trace> trace_from_string(const std::string& text,
                                        std::string* error = nullptr);
 
@@ -95,6 +153,9 @@ struct SalvageReport {
 // diagnostic); a damaged v3 block is skipped by name while later blocks
 // still load.
 SalvageReport read_trace_salvage(std::istream& is);
+// Path overload: same fast paths as the path form of read_trace, same
+// block-granularity recovery and diagnostics as the stream form.
+SalvageReport read_trace_salvage(const std::string& path, int jobs = 1);
 SalvageReport salvage_trace_from_string(const std::string& text);
 
 }  // namespace wolf

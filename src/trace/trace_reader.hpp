@@ -6,11 +6,12 @@
 // Producers:
 //
 //   * VectorTraceReader — adapter over an in-memory Trace (borrowed);
-//   * StreamTraceReader — incremental reader over an std::istream in any
-//     on-disk format (text v1/v2 or binary v3, auto-detected), the
-//     streaming equivalent of read_trace / read_trace_salvage. All three
-//     batch readers in serialize.cpp are thin drains over this class, so
-//     streaming and batch consumption can never diverge.
+//   * StreamTraceReader — incremental reader over an std::istream or a
+//     file path, in any on-disk format (text v1/v2 or binary v3,
+//     auto-detected), the streaming equivalent of read_trace /
+//     read_trace_salvage. All three batch readers in serialize.cpp are
+//     thin drains over this class, so streaming and batch consumption can
+//     never diverge.
 //
 // Usage:
 //
@@ -24,16 +25,29 @@
 // recovering the longest valid prefix of a text trace, and every intact
 // block of a v3 trace (a damaged block is skipped by name while the blocks
 // after it still load).
+//
+// The path constructor unlocks the 10^8-event fast path (DESIGN.md §15):
+// a v3 file is mmap'd (support/mmap_file) and decoded zero-copy, and when
+// it carries the footer block index and Options.jobs > 1, blocks are
+// decoded in parallel on a support/thread_pool — with bit-identical event
+// delivery, defect messages, and salvage accounting at every jobs level.
+// Every acceleration degrades gracefully: no mmap → buffered reads, no
+// index → sequential scan, no parallelism → serial decode.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "support/mmap_file.hpp"
 #include "trace/event.hpp"
+#include "trace/wire.hpp"
 
 namespace wolf {
+
+class ThreadPool;
 
 class TraceReader {
  public:
@@ -61,9 +75,29 @@ class StreamTraceReader final : public TraceReader {
  public:
   enum class Mode { kStrict, kSalvage };
 
+  struct Options {
+    // Try to mmap v3 files opened by path; failure silently falls back to
+    // buffered stream reads.
+    bool allow_mmap = true;
+    // Decode indexed v3 blocks on this many threads (<= 1: serial). Only
+    // effective with mmap and a valid footer index; delivery order, event
+    // bytes, and diagnostics are identical at every level.
+    int jobs = 1;
+    // Ignore a footer index even when present (forces the sequential
+    // scan; used by tests and honesty-mode benchmarks).
+    bool use_index = true;
+  };
+
   // Borrows `is`; the caller keeps the stream alive while reading. v3
   // streams must be opened in binary mode.
   explicit StreamTraceReader(std::istream& is, Mode mode = Mode::kStrict);
+  // Opens `path` itself; enables the mmap / indexed-parallel fast paths.
+  explicit StreamTraceReader(const std::string& path,
+                             Mode mode = Mode::kStrict)
+      : StreamTraceReader(path, mode, Options{}) {}
+  StreamTraceReader(const std::string& path, Mode mode, Options options);
+  ~StreamTraceReader();
+
   bool next_block(std::vector<Event>& out) override;
 
   // Valid once next_block has returned false.
@@ -79,21 +113,40 @@ class StreamTraceReader final : public TraceReader {
   const std::vector<std::string>& diagnostics() const { return diagnostics_; }
   std::uint64_t events_read() const { return count_; }
 
+  // Fast-path introspection (perf_trace_io records these in its JSON).
+  bool mmap_used() const { return mem_mode_; }
+  bool index_present() const { return index_present_; }
+  bool parallel_decode() const { return !index_.empty() && pool_ != nullptr; }
+
  private:
-  enum class Stage { kStart, kText, kBinary, kDone };
+  enum class Stage { kStart, kText, kBinary, kBinaryMem, kBinaryIndexed,
+                     kDone };
 
   // Records a defect: strict mode sets error_ and ends the stream; salvage
   // mode appends a (capped) diagnostic and leaves the stage alone.
   void defect(std::string msg);
   bool start();
+  bool open_memory_v3();  // true when the mmap path is usable
+  bool load_index();      // true when a valid footer index was adopted
   bool next_text(std::vector<Event>& out);
   bool next_binary(std::vector<Event>& out);
+  bool next_binary_mem(std::vector<Event>& out);
+  bool next_binary_indexed(std::vector<Event>& out);
+  void decode_batch();    // indexed mode: decode the next run of blocks
+  bool finish_indexed();  // indexed mode: footer + tail checks
   // One parsed text line; returns true when an event was appended to `out`.
   bool consume_text_line(std::string_view text, std::vector<Event>& out);
   void finish_footer_checks(bool dropped_any);
+  // Consumes the index section (tag already consumed) from the sequential
+  // position `cursor` to end-of-data; defects on any damage.
+  void consume_index_section_mem();
+  void consume_index_section_stream();
 
-  std::istream& is_;
+  std::istream* is_ = nullptr;           // borrowed or owned (file_)
+  std::unique_ptr<std::istream> file_;   // path-mode buffered fallback
+  std::string path_;                     // empty for the istream ctor
   Mode mode_;
+  Options options_;
   Stage stage_ = Stage::kStart;
   int version_ = 0;
   std::string error_;
@@ -117,6 +170,26 @@ class StreamTraceReader final : public TraceReader {
 
   // Binary state.
   std::size_t next_block_index_ = 0;
+
+  // Memory-mode (mmap) state.
+  std::optional<support::MmapFile> map_;
+  std::string_view data_;       // whole file when mem_mode_
+  std::size_t pos_ = 0;         // sequential cursor into data_
+  bool mem_mode_ = false;
+  std::size_t data_end_ = 0;    // end of block+footer region (before index)
+
+  // Footer-index state.
+  bool index_present_ = false;
+  std::uint64_t index_offset_ = 0;  // file offset of the 'I' section
+  std::vector<wire::IndexEntry> index_;
+  std::size_t next_entry_ = 0;      // next index entry to decode
+  std::unique_ptr<ThreadPool> pool_;
+  struct DecodedBlock;
+  std::vector<DecodedBlock> batch_;
+  std::size_t batch_pos_ = 0;
+  // File offset just past the last delivered block (0: framing broken, the
+  // next block's start cannot be cross-checked).
+  std::size_t last_block_end_ = 0;
 };
 
 }  // namespace wolf

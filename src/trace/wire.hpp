@@ -247,6 +247,117 @@ inline void put_event(std::string& out, const Event& e, bool first_in_block,
   put_zigzag(out, e.other);
 }
 
+// ------------------------------------------------------- v3 footer index --
+//
+// An indexed v3 file appends one extra section after the 'E' footer:
+//
+//   index:    'I' varint(block_count)
+//             entry*: varint(offset_delta) varint(first_seq_delta)
+//                     varint(last_seq - first_seq) varint(count)
+//                     u64le(chain)
+//             u64le(index_checksum)
+//   trailer:  u64le(index_section_offset)  index magic (8 bytes)
+//
+// Each entry names one block: the file offset of its 'B' tag (delta-coded
+// against the previous entry; the first entry is absolute), its first and
+// last sequence numbers (first_seq is delta-1 coded against the previous
+// entry's last_seq, mirroring the event encoding), its event count, and
+// `chain` — the running whole-trace checksum after that block, so a
+// parallel decoder can verify block i against entry i-1's chain without
+// replaying the prefix (the last entry's chain equals the footer
+// checksum). index_checksum chains mix64 over every decoded entry field.
+//
+// The fixed-size trailer is the random-access hook: a reader maps the
+// file, checks the last 8 bytes for the index magic, and jumps straight
+// to the section. Everything about the index is advisory — a reader that
+// finds it missing or damaged falls back to the sequential scan.
+
+inline constexpr char kIndexTag = 'I';
+inline constexpr char kIndexMagic[8] = {'\x89', 'W', 'I', 'D', 'X', '3',
+                                        '\r', '\n'};
+// u64le(index_section_offset) + kIndexMagic.
+inline constexpr std::size_t kIndexTrailerBytes = 16;
+
+struct IndexEntry {
+  std::uint64_t offset = 0;     // file offset of the block's 'B' tag
+  std::uint64_t first_seq = 0;  // seq of the block's first event
+  std::uint64_t last_seq = 0;   // seq of the block's last event
+  std::uint64_t count = 0;      // events in the block
+  std::uint64_t chain = 0;      // whole-trace checksum after this block
+};
+
+inline std::uint64_t index_checksum(const std::vector<IndexEntry>& entries) {
+  std::uint64_t h = kChecksumSeed;
+  for (const IndexEntry& e : entries) {
+    h = mix64(h ^ e.offset);
+    h = mix64(h ^ e.first_seq);
+    h = mix64(h ^ e.last_seq);
+    h = mix64(h ^ e.count);
+    h = mix64(h ^ e.chain);
+  }
+  return h;
+}
+
+// Appends the whole index section + trailer. `section_offset` is the file
+// offset at which this section will land (i.e. bytes written so far).
+inline void put_index_section(std::string& out,
+                              const std::vector<IndexEntry>& entries,
+                              std::uint64_t section_offset) {
+  out.push_back(kIndexTag);
+  put_varint(out, entries.size());
+  std::uint64_t prev_offset = 0;
+  std::uint64_t prev_last_seq = 0;
+  bool first = true;
+  for (const IndexEntry& e : entries) {
+    put_varint(out, e.offset - prev_offset);
+    put_varint(out, first ? e.first_seq : e.first_seq - prev_last_seq - 1);
+    put_varint(out, e.last_seq - e.first_seq);
+    put_varint(out, e.count);
+    put_u64le(out, e.chain);
+    prev_offset = e.offset;
+    prev_last_seq = e.last_seq;
+    first = false;
+  }
+  put_u64le(out, index_checksum(entries));
+  put_u64le(out, section_offset);
+  out.append(kIndexMagic, sizeof kIndexMagic);
+}
+
+// Parses the index section from `r`, which must be positioned just after
+// the 'I' tag and end just before the trailer. Returns false on any
+// structural defect, on trailing bytes, or when the checksum disagrees
+// with the decoded entries.
+inline bool get_index_entries(ByteReader& r, std::vector<IndexEntry>& out) {
+  out.clear();
+  std::uint64_t n = 0;
+  if (!r.get_varint(n)) return false;
+  // Every entry encodes to at least 12 bytes, so a count that cannot fit
+  // in the remaining bytes is structural corruption (and an OOM guard).
+  if (n > r.remaining() / 12) return false;
+  out.reserve(static_cast<std::size_t>(n));
+  std::uint64_t prev_offset = 0;
+  std::uint64_t prev_last_seq = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t d_off = 0, d_first = 0, span = 0, count = 0, chain = 0;
+    if (!r.get_varint(d_off) || !r.get_varint(d_first) ||
+        !r.get_varint(span) || !r.get_varint(count) || !r.get_u64le(chain))
+      return false;
+    IndexEntry e;
+    e.offset = prev_offset + d_off;
+    e.first_seq = out.empty() ? d_first : prev_last_seq + 1 + d_first;
+    e.last_seq = e.first_seq + span;
+    e.count = count;
+    e.chain = chain;
+    prev_offset = e.offset;
+    prev_last_seq = e.last_seq;
+    out.push_back(e);
+  }
+  std::uint64_t stored = 0;
+  if (!r.get_u64le(stored)) return false;
+  if (r.remaining() != 0) return false;
+  return stored == index_checksum(out);
+}
+
 // Decodes one event; mirrors put_event. Returns false on truncated input or
 // an out-of-range kind byte.
 inline bool get_event(ByteReader& r, bool first_in_block,

@@ -1,0 +1,160 @@
+// Tests for the batch replayer (core/batch_replay.hpp): a single-member
+// batch must be trial-for-trial identical to the independent Algorithm-4
+// replayer (same seed stream, same run loop), a multi-cycle batch must still
+// reproduce every member while sharing a non-empty prefix, and the step
+// accounting must show the de-duplicated work.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_replay.hpp"
+#include "core/pipeline.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/collections.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace wolf {
+namespace {
+
+Detection detect_program(const sim::Program& program, std::uint64_t seed) {
+  auto trace = sim::record_trace(program, seed);
+  EXPECT_TRUE(trace.has_value());
+  return detect(*trace);
+}
+
+// Builds Gs for every feasible cycle of `det`; `gens` owns the graphs the
+// returned members point into.
+std::vector<BatchReplayMember> feasible_members(
+    const Detection& det, std::vector<GeneratorResult>& gens) {
+  gens.clear();
+  gens.reserve(det.cycles.size());
+  std::vector<const PotentialDeadlock*> cycles;
+  for (const PotentialDeadlock& cycle : det.cycles) {
+    GeneratorResult gen = generate(cycle, det.dep);
+    if (!gen.feasible) continue;
+    gens.push_back(std::move(gen));
+    cycles.push_back(&cycle);
+  }
+  std::vector<BatchReplayMember> members;
+  for (std::size_t i = 0; i < gens.size(); ++i)
+    members.push_back(BatchReplayMember{cycles[i], &gens[i].gs});
+  return members;
+}
+
+TEST(BatchReplayTest, EmptyBatchReportsNothing) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 11);
+  BatchReplayReport report =
+      replay_batch(w.program, det.dep, {}, ReplayOptions{});
+  EXPECT_TRUE(report.stats.empty());
+  EXPECT_EQ(report.attempts, 0);
+  EXPECT_EQ(report.shared_steps, 0u);
+  EXPECT_EQ(report.replayed_steps, 0u);
+  EXPECT_EQ(report.naive_steps, 0u);
+  EXPECT_EQ(report.savings(), 0.0);
+}
+
+// With one member there is nothing to multiplex: the batch driver must make
+// the exact trials replay() makes — same per-attempt seed stream, same run
+// loop — so the stats agree field for field.
+TEST(BatchReplayTest, SingleMemberBatchMatchesIndependentReplay) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 11);
+  std::vector<GeneratorResult> gens;
+  std::vector<BatchReplayMember> members = feasible_members(det, gens);
+  ASSERT_FALSE(members.empty());
+
+  ReplayOptions options;
+  options.attempts = 6;
+  options.seed = 17;
+  options.stop_on_first_hit = false;
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    SCOPED_TRACE(i);
+    ReplayStats independent = replay(w.program, *members[i].cycle, det.dep,
+                                     *members[i].gs, options);
+    BatchReplayReport report =
+        replay_batch(w.program, det.dep, {members[i]}, options);
+    ASSERT_EQ(report.stats.size(), 1u);
+    const ReplayStats& batched = report.stats[0];
+    EXPECT_EQ(batched.attempts, independent.attempts);
+    EXPECT_EQ(batched.hits, independent.hits);
+    EXPECT_EQ(batched.other_deadlocks, independent.other_deadlocks);
+    EXPECT_EQ(batched.no_deadlocks, independent.no_deadlocks);
+    EXPECT_EQ(batched.step_limits, independent.step_limits);
+    EXPECT_EQ(batched.timeouts, independent.timeouts);
+    // A lone member shares with nobody: no prefix is counted as shared and
+    // nothing is saved.
+    EXPECT_EQ(report.shared_steps, 0u);
+    EXPECT_EQ(report.replayed_steps, report.naive_steps);
+  }
+}
+
+TEST(BatchReplayTest, BatchReproducesEveryArrayListCycle) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 11);
+  std::vector<GeneratorResult> gens;
+  std::vector<BatchReplayMember> members = feasible_members(det, gens);
+  ASSERT_GE(members.size(), 2u);
+
+  ReplayOptions options;
+  options.attempts = 20;
+  options.seed = 17;
+  BatchReplayReport report = replay_batch(w.program, det.dep, members, options);
+
+  ASSERT_EQ(report.stats.size(), members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_TRUE(report.stats[i].reproduced())
+        << "failed to reproduce " << members[i].cycle->to_string(det.dep);
+  }
+  // The members rode a common prefix at least once, and de-duplicating it
+  // must make the batch strictly cheaper than the sum of its forks.
+  EXPECT_GT(report.shared_steps, 0u);
+  EXPECT_LT(report.replayed_steps, report.naive_steps);
+  EXPECT_GT(report.savings(), 0.0);
+  EXPECT_LE(report.savings(), 1.0);
+}
+
+TEST(BatchReplayTest, HitRateModeDrivesEveryAttemptForEveryMember) {
+  auto fig = workloads::make_figure4();
+  Detection det = detect_program(fig.program, 42);
+  std::vector<GeneratorResult> gens;
+  std::vector<BatchReplayMember> members = feasible_members(det, gens);
+  ASSERT_FALSE(members.empty());
+
+  ReplayOptions options;
+  options.attempts = 5;
+  options.seed = 9;
+  options.stop_on_first_hit = false;
+  BatchReplayReport report =
+      replay_batch(fig.program, det.dep, members, options);
+  EXPECT_EQ(report.attempts, 5);
+  for (const ReplayStats& stats : report.stats) EXPECT_EQ(stats.attempts, 5);
+  // The batch can only ever remove duplicated prefix work, never add steps.
+  EXPECT_LE(report.replayed_steps, report.naive_steps);
+}
+
+// Stopping on the first hit must retire members from later attempts: a
+// member that reproduced early records fewer attempts than the batch drove.
+TEST(BatchReplayTest, StopOnFirstHitRetiresMembersIndividually) {
+  auto w = workloads::make_collections_list("ArrayList");
+  Detection det = detect_program(w.program, 11);
+  std::vector<GeneratorResult> gens;
+  std::vector<BatchReplayMember> members = feasible_members(det, gens);
+  ASSERT_GE(members.size(), 2u);
+
+  ReplayOptions options;
+  options.attempts = 20;
+  options.seed = 3;
+  options.stop_on_first_hit = true;
+  BatchReplayReport report = replay_batch(w.program, det.dep, members, options);
+  for (const ReplayStats& stats : report.stats) {
+    EXPECT_LE(stats.attempts, report.attempts);
+    if (stats.reproduced()) {
+      EXPECT_EQ(stats.hits, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wolf

@@ -59,8 +59,9 @@ void expect_equivalent(const Detection& a, const Detection& b,
   }
 }
 
-// Runs reference vs scc(jobs=1) vs scc(jobs=4) on one trace and asserts
-// bit-identity; returns the reference detection for further checks.
+// Runs reference vs scc vs arena-scc (each at jobs=1 and jobs=4) on one
+// trace and asserts bit-identity; returns the reference detection for
+// further checks.
 Detection check_engines_agree(const Trace& trace, bool magic,
                               std::size_t max_cycles = 100000) {
   Detection ref = detect(
@@ -69,9 +70,16 @@ Detection check_engines_agree(const Trace& trace, bool magic,
       trace, options_for(CycleEngine::kScc, 1, magic, false, max_cycles));
   Detection scc4 = detect(
       trace, options_for(CycleEngine::kScc, 4, magic, false, max_cycles));
+  Detection arena1 = detect(
+      trace, options_for(CycleEngine::kArenaScc, 1, magic, false, max_cycles));
+  Detection arena4 = detect(
+      trace, options_for(CycleEngine::kArenaScc, 4, magic, false, max_cycles));
   expect_equivalent(ref, scc1, "reference vs scc jobs=1");
   expect_equivalent(ref, scc4, "reference vs scc jobs=4");
   expect_equivalent(scc1, scc4, "scc jobs=1 vs jobs=4");
+  expect_equivalent(ref, arena1, "reference vs arena jobs=1");
+  expect_equivalent(scc1, arena1, "scc vs arena jobs=1");
+  expect_equivalent(arena1, arena4, "arena jobs=1 vs jobs=4");
   return ref;
 }
 
@@ -127,7 +135,8 @@ TEST(CycleEngineTest, TruncationIsIdenticalAcrossEnginesAndJobs) {
 }
 
 // With the in-search clock cut, the emitted cycles must be exactly the
-// order-preserving subsequence of the full enumeration that prune() keeps.
+// order-preserving subsequence of the full enumeration that prune() keeps —
+// for the scc engine and its arena twin alike.
 void check_clock_prune(const Trace& trace, bool magic) {
   Detection full =
       detect(trace, options_for(CycleEngine::kScc, 1, magic));
@@ -136,13 +145,16 @@ void check_clock_prune(const Trace& trace, bool magic) {
   for (std::size_t i = 0; i < full.cycles.size(); ++i)
     if (!is_false(verdicts[i])) survivors.push_back(full.cycles[i]);
 
-  for (int jobs : {1, 4}) {
-    SCOPED_TRACE(jobs);
-    Detection cut = detect(
-        trace, options_for(CycleEngine::kScc, jobs, magic, /*clock_prune=*/true));
-    expect_same_cycles(survivors, cut.cycles, "prune() survivors vs clock cut");
-    // Everything emitted under the cut survives a batch prune.
-    for (PruneVerdict v : prune(cut)) EXPECT_FALSE(is_false(v));
+  for (CycleEngine engine : {CycleEngine::kScc, CycleEngine::kArenaScc}) {
+    for (int jobs : {1, 4}) {
+      SCOPED_TRACE(jobs);
+      Detection cut = detect(
+          trace, options_for(engine, jobs, magic, /*clock_prune=*/true));
+      expect_same_cycles(survivors, cut.cycles,
+                         "prune() survivors vs clock cut");
+      // Everything emitted under the cut survives a batch prune.
+      for (PruneVerdict v : prune(cut)) EXPECT_FALSE(is_false(v));
+    }
   }
 }
 
@@ -164,6 +176,9 @@ TEST(CycleEngineTest, EmptyAndAcyclicDependenciesProduceNoCycles) {
   EnumerationResult empty = enumerate_cycles_scc(dep, options);
   EXPECT_TRUE(empty.cycles.empty());
   EXPECT_FALSE(empty.truncated);
+  EnumerationResult empty_arena = enumerate_cycles_arena_scc(dep, options);
+  EXPECT_TRUE(empty_arena.cycles.empty());
+  EXPECT_FALSE(empty_arena.truncated);
 
   Trace trace = record_workload("LinkedList");
   if (!trace.empty()) check_engines_agree(trace, /*magic=*/false);

@@ -126,11 +126,58 @@ TEST(PrefilterTest, GenerationAdvancesOnlyOnVerdictRelevantChanges) {
   EXPECT_EQ(g.generation(), gen);
 }
 
-TEST(PrefilterTest, LocksetMaskDropsHighLockIdsConservatively) {
-  EXPECT_EQ(lockset_mask({0, 3}), (1ULL << 0) | (1ULL << 3));
-  // Locks >= 64 vanish from the mask: a vanished guard can only weaken the
+TEST(PrefilterTest, LocksetMaskCoversFourWordsAndDropsTheRest) {
+  GuardMask low = lockset_mask({0, 3});
+  EXPECT_EQ(low.w[0], (1ULL << 0) | (1ULL << 3));
+  EXPECT_TRUE(low.any());
+  // Lock 70 used to vanish from the old single-word mask; it now lands in
+  // word 1 and can still discharge an SCC as a guard.
+  GuardMask mid = lockset_mask({70});
+  EXPECT_EQ(mid.w[1], 1ULL << 6);
+  EXPECT_TRUE(mid.any());
+  EXPECT_EQ(lockset_mask({255}).w[3], 1ULL << 63);
+  // Locks >= GuardMask::kBits vanish: a vanished guard can only weaken the
   // common-guard refinement (more suspicious), never discharge an SCC.
-  EXPECT_EQ(lockset_mask({70}), 0ULL);
+  EXPECT_FALSE(lockset_mask({static_cast<LockId>(GuardMask::kBits)}).any());
+  EXPECT_FALSE(lockset_mask({1000}).any());
+}
+
+TEST(PrefilterTest, GateLockAboveSixtyFourStillDischargesHundredLockTrace) {
+  // 100 locks; the AB/BA pair is (90, 95) and the gate is lock 80 — all
+  // beyond the old 64-bit mask. Touch locks 0..79 first so the interesting
+  // ids really sit past word 0, then run both gated regions. The guard
+  // refinement must discharge the SCC exactly as it does for small ids.
+  Trace trace;
+  SiteId site = 1;
+  for (LockId l = 0; l < 80; ++l) {
+    trace.events.push_back(acquire(1, l, site++));
+    trace.events.push_back(release(1, l));
+  }
+  auto region = [&](ThreadId t, LockId a, LockId b) {
+    trace.events.push_back(acquire(t, 80, site++));
+    trace.events.push_back(acquire(t, a, site++));
+    trace.events.push_back(acquire(t, b, site++));
+    trace.events.push_back(release(t, b));
+    trace.events.push_back(release(t, a));
+    trace.events.push_back(release(t, 80));
+  };
+  region(1, 90, 95);
+  region(2, 95, 90);
+  std::uint64_t seq = 0;
+  for (Event& e : trace.events) e.seq = seq++;
+
+  EXPECT_TRUE(detect(trace).cycles.empty());
+  EXPECT_FALSE(graph_of(trace).suspicious());
+
+  // Same trace without the gate: suspicious, and the detector agrees.
+  Trace ungated;
+  ungated.events.reserve(trace.events.size());
+  for (const Event& e : trace.events)
+    if (e.lock != 80) ungated.events.push_back(e);
+  std::uint64_t reseq = 0;
+  for (Event& e : ungated.events) e.seq = reseq++;
+  EXPECT_FALSE(detect(ungated).cycles.empty());
+  EXPECT_TRUE(graph_of(ungated).suspicious());
 }
 
 // Differential soundness over random programs: detector finds a cycle ⇒

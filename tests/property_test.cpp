@@ -322,6 +322,14 @@ TEST_P(SerializationPropertyTest, TruncationAtEveryByteOffset) {
        {TraceFormat::kV1, TraceFormat::kV2, TraceFormat::kV3}) {
     const std::string bytes = trace_to_string(original, format);
     const bool text = format != TraceFormat::kV3;
+    // Indexed v3 = the unindexed encoding + a post-footer index section, so
+    // the cut that removes exactly the index leaves a complete, valid,
+    // index-free trace — the one prefix where claiming completeness is
+    // honest (same carve-out as trace_test's index truncation suite).
+    const std::size_t plain_size =
+        format == TraceFormat::kV3
+            ? trace_to_string(original, format, {.index = false}).size()
+            : bytes.size();
     for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
       SalvageReport report = salvage_trace_from_string(bytes.substr(0, cut));
       ASSERT_LE(report.trace.size(), original.events.size())
@@ -354,7 +362,7 @@ TEST_P(SerializationPropertyTest, TruncationAtEveryByteOffset) {
       // footer verifiable, so completeness is genuinely true there.)
       if (format != TraceFormat::kV1 &&
           bytes.compare(cut, std::string::npos, "\n") != 0 &&
-          cut < bytes.size()) {
+          cut < bytes.size() && cut != plain_size) {
         ASSERT_FALSE(report.complete)
             << to_string(format) << " cut at " << cut
             << " claimed completeness without its footer";

@@ -9,9 +9,11 @@
 #include <map>
 #include <sstream>
 
+#include "support/arena.hpp"
 #include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/io.hpp"
+#include "support/mmap_file.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -362,6 +364,148 @@ TEST(AtomicWriteTest, FailsCleanlyOnUnwritableDirectory) {
   EXPECT_FALSE(support::atomic_write_file(
       "/nonexistent-dir-for-wolf-tests/out.txt", "x", &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(AtomicFileWriterTest, StreamsAndCommitsAtomically) {
+  TempDir dir;
+  const std::string target = (dir.path / "stream.bin").string();
+  {
+    support::AtomicFileWriter writer(target);
+    ASSERT_TRUE(writer.ok());
+    writer.stream() << "part one, ";
+    writer.stream() << "part two";
+    // Nothing lands at the target until commit.
+    EXPECT_FALSE(std::filesystem::exists(target));
+    std::string error;
+    ASSERT_TRUE(writer.commit(&error)) << error;
+  }
+  EXPECT_EQ(slurp(target), "part one, part two");
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(AtomicFileWriterTest, DestructionWithoutCommitLeavesTargetUntouched) {
+  TempDir dir;
+  const std::string target = (dir.path / "keep.bin").string();
+  ASSERT_TRUE(support::atomic_write_file(target, "the good contents"));
+  {
+    support::AtomicFileWriter writer(target);
+    writer.stream() << "half-written replacement that never commits";
+  }
+  EXPECT_EQ(slurp(target), "the good contents");
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST(AtomicFileWriterTest, FailsCleanlyOnUnwritableDirectory) {
+  support::AtomicFileWriter writer(
+      "/nonexistent-dir-for-wolf-tests/out.bin");
+  EXPECT_FALSE(writer.ok());
+  std::string error;
+  EXPECT_FALSE(writer.commit(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------- mmap file
+
+TEST(MmapFileTest, MapsFileContents) {
+  TempDir dir;
+  const std::string target = (dir.path / "data.bin").string();
+  std::string contents = "mapped bytes";
+  contents.push_back('\0');  // binary-safe: a nul must survive the trip
+  contents += " with a nul inside";
+  ASSERT_TRUE(support::atomic_write_file(target, contents));
+  auto map = support::MmapFile::open(target);
+  ASSERT_TRUE(map.has_value());
+  EXPECT_EQ(map->bytes(), contents);
+  auto moved = std::move(*map);
+  EXPECT_EQ(moved.bytes(), contents);
+}
+
+TEST(MmapFileTest, EmptyFileMapsToEmptyView) {
+  TempDir dir;
+  const std::string target = (dir.path / "empty.bin").string();
+  ASSERT_TRUE(support::atomic_write_file(target, ""));
+  auto map = support::MmapFile::open(target);
+  ASSERT_TRUE(map.has_value());
+  EXPECT_TRUE(map->bytes().empty());
+}
+
+TEST(MmapFileTest, MissingFileAndDirectoryReturnNullopt) {
+  TempDir dir;
+  EXPECT_FALSE(
+      support::MmapFile::open((dir.path / "nope.bin").string()).has_value());
+  // Directories are not mappable traces.
+  EXPECT_FALSE(support::MmapFile::open(dir.path.string()).has_value());
+}
+
+// ----------------------------------------------------------------- arena
+
+TEST(ArenaTest, AllocationsAreZeroedAndStable) {
+  support::Arena arena(/*chunk_bytes=*/4096);
+  std::vector<std::uint32_t*> arrays;
+  for (int i = 0; i < 100; ++i) {
+    std::uint32_t* a = arena.alloc_array<std::uint32_t>(64);
+    for (int j = 0; j < 64; ++j) {
+      EXPECT_EQ(a[j], 0u);
+      a[j] = static_cast<std::uint32_t>(i * 1000 + j);
+    }
+    arrays.push_back(a);
+  }
+  // Growth must never move earlier allocations.
+  for (int i = 0; i < 100; ++i)
+    for (int j = 0; j < 64; ++j)
+      EXPECT_EQ(arrays[static_cast<std::size_t>(i)][j],
+                static_cast<std::uint32_t>(i * 1000 + j));
+  EXPECT_GE(arena.bytes_allocated(), 100 * 64 * sizeof(std::uint32_t));
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  support::Arena arena(/*chunk_bytes=*/4096);
+  std::uint8_t* small1 = arena.alloc_array<std::uint8_t>(16);
+  std::uint64_t* big = arena.alloc_array<std::uint64_t>(1 << 16);  // 512 KiB
+  std::uint8_t* small2 = arena.alloc_array<std::uint8_t>(16);
+  small1[0] = 1;
+  big[0] = 2;
+  big[(1 << 16) - 1] = 3;
+  small2[0] = 4;
+  EXPECT_EQ(small1[0], 1);
+  EXPECT_EQ(big[0], 2u);
+  EXPECT_EQ(big[(1 << 16) - 1], 3u);
+  EXPECT_EQ(small2[0], 4);
+}
+
+TEST(ArenaTest, ZeroLengthArraysAreDistinctFromNull) {
+  support::Arena arena;
+  EXPECT_NE(arena.alloc_array<int>(0), nullptr);
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+  support::Arena arena(/*chunk_bytes=*/4096);
+  arena.alloc_array<char>(1 << 20);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // The arena is reusable after reset.
+  int* p = arena.alloc_array<int>(8);
+  p[7] = 42;
+  EXPECT_EQ(p[7], 42);
+}
+
+TEST(ArenaTest, MixedAlignmentsStayAligned) {
+  support::Arena arena;
+  for (int i = 0; i < 50; ++i) {
+    auto* c = arena.alloc_array<char>(3);
+    auto* u64 = arena.alloc_array<std::uint64_t>(1);
+    auto* u16 = arena.alloc_array<std::uint16_t>(5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u64) % alignof(std::uint64_t),
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u16) % alignof(std::uint16_t),
+              0u);
+    *c = 1;
+    *u64 = 2;
+    *u16 = 3;
+  }
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 // serialization.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -463,10 +467,30 @@ TEST(SerializeV3Test, ChecksumIdenticalAcrossFormats) {
   EXPECT_NE(trace_to_string(trace, TraceFormat::kV2).find(hex),
             std::string::npos);
   std::string bytes = trace_to_string(trace, TraceFormat::kV3);
+  auto u64le_at = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+               bytes[at + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    return v;
+  };
+  // The file ends with the block-index trailer (u64le section offset +
+  // index magic); the 'E' footer's checksum is the 8 bytes right before
+  // the index section.
+  ASSERT_EQ(bytes.compare(bytes.size() - 8, 8,
+                          std::string(wire::kIndexMagic, 8)),
+            0);
+  const std::size_t index_offset =
+      static_cast<std::size_t>(u64le_at(bytes.size() - 16));
+  EXPECT_EQ(u64le_at(index_offset - 8), trace_checksum(trace));
+  // An index-free v3 file ends directly with the footer checksum.
+  std::string plain =
+      trace_to_string(trace, TraceFormat::kV3, {.index = false});
   std::uint64_t v3_footer = 0;
   for (int i = 0; i < 8; ++i)
     v3_footer |= static_cast<std::uint64_t>(static_cast<unsigned char>(
-                     bytes[bytes.size() - 8 + static_cast<std::size_t>(i)]))
+                     plain[plain.size() - 8 + static_cast<std::size_t>(i)]))
                  << (8 * i);
   EXPECT_EQ(v3_footer, trace_checksum(trace));
 }
@@ -703,6 +727,212 @@ TEST(ShardedRecorderTest, TwoRecordersOnOneThreadStayIndependent) {
   a.on_event(make_event(EventKind::kThreadEnd, 0));
   EXPECT_EQ(a.take().size(), 2u);
   EXPECT_EQ(b.take().size(), 1u);
+}
+
+// --------------------------------------- v3 footer index + mmap readers ----
+
+// Writes trace bytes to a real file so the path-based reader can exercise
+// mmap, the footer index, and parallel decode.
+struct TraceFile {
+  std::filesystem::path dir;
+  std::string path;
+
+  explicit TraceFile(const std::string& bytes, const char* name = "t.v3") {
+    dir = std::filesystem::temp_directory_path() /
+          ("wolf-trace-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    path = (dir / name).string();
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~TraceFile() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+std::vector<Event> drain(StreamTraceReader& reader) {
+  std::vector<Event> all, block;
+  while (reader.next_block(block))
+    all.insert(all.end(), block.begin(), block.end());
+  return all;
+}
+
+TEST(TraceIndexTest, StreamWriterMatchesBatchWriterByteForByte) {
+  Trace trace = block_trace(2, 7);
+  for (TraceFormat format :
+       {TraceFormat::kV1, TraceFormat::kV2, TraceFormat::kV3}) {
+    std::ostringstream incremental;
+    StreamTraceWriter writer(incremental, format);
+    for (const Event& e : trace.events) writer.write(e);
+    writer.finish();
+    EXPECT_EQ(incremental.str(), trace_to_string(trace, format))
+        << to_string(format);
+  }
+}
+
+TEST(TraceIndexTest, IndexRoundTripsAcrossEveryDecodePath) {
+  Trace trace = block_trace(5, 7);
+  TraceFile file(trace_to_string(trace, TraceFormat::kV3));
+  for (bool allow_mmap : {false, true}) {
+    for (int jobs : {1, 2, 4}) {
+      StreamTraceReader::Options options;
+      options.allow_mmap = allow_mmap;
+      options.jobs = jobs;
+      StreamTraceReader reader(file.path, StreamTraceReader::Mode::kStrict,
+                               options);
+      EXPECT_EQ(drain(reader), trace.events)
+          << "mmap=" << allow_mmap << " jobs=" << jobs;
+      EXPECT_TRUE(reader.ok()) << reader.error();
+      EXPECT_EQ(reader.mmap_used(), allow_mmap);
+      EXPECT_TRUE(reader.index_present());
+      EXPECT_EQ(reader.parallel_decode(), allow_mmap && jobs > 1);
+    }
+  }
+}
+
+TEST(TraceIndexTest, UnindexedFileLoadsOnEveryPathToo) {
+  Trace trace = block_trace(3, 1);
+  TraceFile file(
+      trace_to_string(trace, TraceFormat::kV3, {.index = false}));
+  for (bool allow_mmap : {false, true}) {
+    for (int jobs : {1, 4}) {
+      StreamTraceReader::Options options;
+      options.allow_mmap = allow_mmap;
+      options.jobs = jobs;
+      StreamTraceReader reader(file.path, StreamTraceReader::Mode::kStrict,
+                               options);
+      EXPECT_EQ(drain(reader), trace.events);
+      EXPECT_TRUE(reader.ok()) << reader.error();
+      EXPECT_FALSE(reader.index_present());
+      EXPECT_FALSE(reader.parallel_decode());  // no index to parallelize on
+    }
+  }
+}
+
+TEST(TraceIndexTest, TextTraceThroughPathReaderFallsBackToBuffered) {
+  Trace trace = sample_trace();
+  TraceFile file(trace_to_string(trace, TraceFormat::kV2), "t.v2");
+  StreamTraceReader::Options options;
+  options.jobs = 4;
+  StreamTraceReader reader(file.path, StreamTraceReader::Mode::kStrict,
+                           options);
+  EXPECT_EQ(drain(reader), trace.events);
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  EXPECT_FALSE(reader.mmap_used());
+  EXPECT_EQ(reader.version(), 2);
+}
+
+TEST(TraceIndexTest, MissingFileReportsCleanly) {
+  StreamTraceReader reader("/nonexistent-dir-for-wolf-tests/absent.v3",
+                           StreamTraceReader::Mode::kStrict);
+  std::vector<Event> block;
+  EXPECT_FALSE(reader.next_block(block));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIndexTest, CorruptBlockSalvagesIdenticallyAtEveryJobsLevel) {
+  Trace trace = block_trace(4);
+  std::string bytes = trace_to_string(trace, TraceFormat::kV3);
+  bytes[end_of_block(bytes, 1) + 20] ^= 0x01;  // damage block 2's payload
+  TraceFile file(bytes);
+
+  std::vector<std::vector<Event>> events;
+  std::vector<std::vector<std::string>> diags;
+  std::vector<std::size_t> dropped;
+  for (int jobs : {1, 2, 4}) {
+    StreamTraceReader::Options options;
+    options.jobs = jobs;
+    StreamTraceReader reader(file.path, StreamTraceReader::Mode::kSalvage,
+                             options);
+    events.push_back(drain(reader));
+    diags.push_back(reader.diagnostics());
+    dropped.push_back(reader.events_dropped());
+    EXPECT_FALSE(reader.complete());
+  }
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i], events[0]);
+    EXPECT_EQ(diags[i], diags[0]);
+    EXPECT_EQ(dropped[i], dropped[0]);
+  }
+  EXPECT_EQ(events[0].size(), 3 * wire::kBlockEvents);
+  EXPECT_EQ(dropped[0], wire::kBlockEvents);
+  ASSERT_FALSE(diags[0].empty());
+  EXPECT_NE(diags[0][0].find("block 2"), std::string::npos);
+}
+
+TEST(TraceIndexTest, TruncationAtEveryByteOffsetNeverPassesStrict) {
+  Trace trace = block_trace(1, 3);
+  const std::string bytes = trace_to_string(trace, TraceFormat::kV3);
+  const std::string plain =
+      trace_to_string(trace, TraceFormat::kV3, {.index = false});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::string prefix = bytes.substr(0, cut);
+    if (prefix == plain) {
+      // The one self-delimiting prefix: cutting exactly after the 'E'
+      // footer yields a complete, valid, index-free trace.
+      EXPECT_NE(trace_from_string(prefix), std::nullopt);
+      continue;
+    }
+    std::string error;
+    EXPECT_EQ(trace_from_string(prefix, &error), std::nullopt)
+        << "a " << cut << "-byte prefix must not load strict";
+    EXPECT_FALSE(error.empty());
+    // Salvage must never crash and never invent events.
+    SalvageReport report = salvage_trace_from_string(prefix);
+    EXPECT_FALSE(report.complete);
+    EXPECT_LE(report.trace.size(), trace.events.size());
+    for (std::size_t i = 0; i < report.trace.size(); ++i)
+      EXPECT_EQ(report.trace.events[i], trace.events[i]);
+  }
+}
+
+TEST(TraceIndexTest, TruncatedIndexFallsBackToSequentialLoad) {
+  Trace trace = block_trace(2, 5);
+  const std::string bytes = trace_to_string(trace, TraceFormat::kV3);
+  const std::string plain =
+      trace_to_string(trace, TraceFormat::kV3, {.index = false});
+  // Every cut strictly inside the footer-index region (the bytes the
+  // index-free encoding does not have) leaves the events and the 'E'
+  // footer intact: salvage through the path reader must still deliver the
+  // complete event list, with the damage named, at every jobs level. (A
+  // cut at exactly plain.size() is a complete unindexed trace, so start
+  // one byte past it.)
+  for (std::size_t cut = plain.size() + 1; cut < bytes.size(); ++cut) {
+    TraceFile file(bytes.substr(0, cut));
+    for (int jobs : {1, 4}) {
+      StreamTraceReader::Options options;
+      options.jobs = jobs;
+      StreamTraceReader reader(file.path, StreamTraceReader::Mode::kSalvage,
+                               options);
+      EXPECT_EQ(drain(reader), trace.events) << "cut=" << cut;
+      EXPECT_EQ(reader.events_dropped(), 0u);
+      EXPECT_FALSE(reader.complete());
+      ASSERT_FALSE(reader.diagnostics().empty());
+      EXPECT_NE(reader.diagnostics()[0].find("footer"), std::string::npos);
+    }
+  }
+}
+
+TEST(TraceIndexTest, CorruptIndexChecksumFallsBackAndIsNamed) {
+  Trace trace = block_trace(1);
+  std::string bytes = trace_to_string(trace, TraceFormat::kV3);
+  // Flip a bit inside the index section (after the footer, before the
+  // trailer) — the entry checksum must catch it.
+  bytes[bytes.size() - wire::kIndexTrailerBytes - 4] ^= 0x01;
+  TraceFile file(bytes);
+  StreamTraceReader::Options options;
+  options.jobs = 4;
+  StreamTraceReader reader(file.path, StreamTraceReader::Mode::kSalvage,
+                           options);
+  EXPECT_EQ(drain(reader), trace.events);  // events still load sequentially
+  EXPECT_FALSE(reader.parallel_decode());
+  EXPECT_FALSE(reader.complete());
+
+  std::string error;
+  EXPECT_EQ(trace_from_string(bytes, &error), std::nullopt);
+  EXPECT_NE(error.find("footer"), std::string::npos);
 }
 
 }  // namespace
