@@ -4,14 +4,15 @@
 // windows and an honest verdict", and this harness measures exactly that,
 // emitting machine-readable BENCH_online.json.
 //
-// Three scenarios over the same synthetic event stream (regenerated from
+// Four scenarios over the same synthetic event stream (regenerated from
 // the same seed each time, never materialized — 10^7 events as a vector
-// would dominate the RSS this bench is supposed to measure):
+// would dominate the RSS this bench is supposed to measure), plus an
+// adversarial churn pair:
 //
-//   1. budgeted  — hard memory budget; run FIRST so the recorded peak RSS
-//      (VmHWM) reflects governed ingestion, not a later unbounded run.
-//      Reports Mev/s, per-window p50/p99 detection latency, peak tuple
-//      store vs budget, evictions, and the honesty bits.
+//   1. budgeted  — hard memory budget; run FIRST so its RSS growth is not
+//      masked by an earlier unbounded run's high-water mark. Reports
+//      Mev/s, per-window p50/p99 detection latency, peak tuple store vs
+//      budget, evictions, and the honesty bits.
 //   2. unbounded — no budget, no deadline; the final detection must match
 //      plain StreamingDetector cycle for cycle (the differential gate:
 //      speed only counts when the answer is right).
@@ -20,6 +21,20 @@
 //   4. shed      — a stream whose canonical tuple set outgrows a small
 //      budget, forcing the aging rung; gates that eviction always came
 //      with an honest incomplete-coverage verdict.
+//   5/6. churn-recompute / churn-incremental — the every-window-churn
+//      stream (a fresh AB/BA pair plus fresh ordered filler pairs per
+//      window, so edges mutate and a new cycle commits every single
+//      window) through the legacy full-recompute enumeration and the
+//      incremental dirty-SCC path. Emitted as the JSON `incremental`
+//      section; the full run gates >=5x lower p99 window detect latency
+//      for the incremental path, with both paths — and plain batch
+//      detection — byte-identical on the final cycle set and every cycle
+//      surfaced live before finish().
+//
+// Per-scenario RSS is reported as rss_growth_bytes — the VmHWM delta over
+// the scenario — because VmHWM itself is process-monotonic: quoting it per
+// scenario would silently attribute the largest earlier peak to every
+// later scenario.
 //
 // The stream: worker threads acquire locks in globally ordered depth bands
 // (shared locks, no accidental cycles) from a small per-(thread, depth)
@@ -171,6 +186,75 @@ class OnlineEventStream {
   std::vector<std::vector<LockId>> held_;
 };
 
+// Adversarial every-window-churn stream for the incremental-SCC section:
+// each window opens with an AB/BA ring on a brand-new lock pair at
+// brand-new sites (a new cycle, and an SCC membership change, every
+// window), then fills with globally-ordered fresh lock pairs at fresh
+// sites (every tuple canonical, so the store and the recompute path's
+// enumeration domain grow without bound while the dirty-SCC path touches
+// only the window's own pair).
+class ChurnEventStream {
+ public:
+  explicit ChurnEventStream(std::uint64_t window_events)
+      : window_events_(window_events) {}
+
+  Event next() {
+    if (pending_.empty()) {
+      if (emitted_ % window_events_ == 0)
+        script_fresh_ring();
+      else
+        filler_pair();
+    }
+    Event e = pending_.front();
+    pending_.pop_front();
+    e.seq = emitted_++;
+    return e;
+  }
+
+ private:
+  void push(EventKind kind, ThreadId t, LockId l, SiteId site) {
+    Event e;
+    e.kind = kind;
+    e.thread = t;
+    e.lock = l;
+    e.site = site;
+    e.occurrence = 1;
+    pending_.push_back(e);
+  }
+
+  void script_fresh_ring() {
+    const LockId ra = next_lock_++, rb = next_lock_++;
+    const SiteId s = next_site_;
+    next_site_ += 4;
+    push(EventKind::kLockAcquire, 1, ra, s);
+    push(EventKind::kLockAcquire, 1, rb, s + 1);
+    push(EventKind::kLockRelease, 1, rb, kInvalidSite);
+    push(EventKind::kLockRelease, 1, ra, kInvalidSite);
+    push(EventKind::kLockAcquire, 2, rb, s + 2);
+    push(EventKind::kLockAcquire, 2, ra, s + 3);
+    push(EventKind::kLockRelease, 2, ra, kInvalidSite);
+    push(EventKind::kLockRelease, 2, rb, kInvalidSite);
+  }
+
+  void filler_pair() {
+    const auto t = static_cast<ThreadId>(3 + (filler_++ % 4));
+    const LockId la = next_lock_++, lb = next_lock_++;  // la < lb: no cycle
+    const SiteId s = next_site_;
+    next_site_ += 2;
+    push(EventKind::kLockAcquire, t, la, s);
+    push(EventKind::kLockAcquire, t, lb, s + 1);
+    push(EventKind::kLockRelease, t, lb, kInvalidSite);
+    push(EventKind::kLockRelease, t, la, kInvalidSite);
+  }
+
+  std::uint64_t window_events_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t filler_ = 0;
+  LockId next_lock_ = 1000;
+  SiteId next_site_ = 1000;
+  std::deque<Event> pending_;
+};
+
 // VmHWM from /proc/self/status — the high-water mark of resident memory,
 // in bytes (0 where /proc is unavailable; the JSON then says so).
 std::size_t peak_rss_bytes() {
@@ -210,7 +294,8 @@ struct ScenarioResult {
   bool coverage_complete = false;
   std::string final_level;
   std::size_t cycles = 0;
-  std::size_t peak_rss_bytes = 0;  // VmHWM right after the run
+  std::size_t live_cycles = 0;      // surfaced to windows before finish()
+  std::size_t rss_growth_bytes = 0; // VmHWM delta over this scenario
 };
 
 OnlineEventStream make_stream(std::uint64_t events, std::uint64_t seed,
@@ -227,16 +312,18 @@ OnlineEventStream make_stream(std::uint64_t events, std::uint64_t seed,
                            seed);
 }
 
-ScenarioResult run_scenario(const std::string& name, std::uint64_t events,
-                            std::uint64_t seed, const GovernorOptions& options,
-                            Detection* out_detection = nullptr,
-                            std::uint64_t phases = 8) {
+// Measurement core, generic over the event source so the churn scenarios
+// reuse the exact same accounting as the main stream's.
+template <typename Stream>
+ScenarioResult run_scenario_on(const std::string& name, std::uint64_t events,
+                               Stream& stream, const GovernorOptions& options,
+                               Detection* out_detection = nullptr) {
   ScenarioResult r;
   r.name = name;
   r.events = events;
   r.budget_bytes = options.memory_budget_mb << 20;
+  const std::size_t rss_base = peak_rss_bytes();
 
-  OnlineEventStream stream = make_stream(events, seed, phases);
   GovernedStreamingDetector governed(options);
   Stopwatch watch;
   for (std::uint64_t i = 0; i < events; ++i) governed.add(stream.next());
@@ -252,6 +339,7 @@ ScenarioResult run_scenario(const std::string& name, std::uint64_t events,
   r.coverage_complete = verdict.coverage_complete;
   r.final_level = to_string(verdict.final_level);
   r.cycles = detection.cycles.size();
+  r.live_cycles = governed.cycles_surfaced_live();
 
   std::vector<double> detect_ms;
   detect_ms.reserve(governed.windows().size());
@@ -261,14 +349,64 @@ ScenarioResult run_scenario(const std::string& name, std::uint64_t events,
   }
   r.p50_detect_ms = percentile(detect_ms, 0.50);
   r.p99_detect_ms = percentile(detect_ms, 0.99);
-  r.peak_rss_bytes = peak_rss_bytes();
+  const std::size_t rss_after = peak_rss_bytes();
+  r.rss_growth_bytes = rss_after > rss_base ? rss_after - rss_base : 0;
   if (out_detection != nullptr) *out_detection = std::move(detection);
   return r;
 }
 
+ScenarioResult run_scenario(const std::string& name, std::uint64_t events,
+                            std::uint64_t seed, const GovernorOptions& options,
+                            Detection* out_detection = nullptr,
+                            std::uint64_t phases = 8) {
+  OnlineEventStream stream = make_stream(events, seed, phases);
+  return run_scenario_on(name, events, stream, options, out_detection);
+}
+
+// Two cycle sets are "identical" when they agree cycle by cycle on the
+// tuples involved (tuple_idx is canonical across runs of the same stream).
+bool same_cycles(const Detection& a, const Detection& b) {
+  if (a.cycles.size() != b.cycles.size()) return false;
+  for (std::size_t i = 0; i < a.cycles.size(); ++i)
+    if (a.cycles[i].tuple_idx != b.cycles[i].tuple_idx) return false;
+  return true;
+}
+
+struct IncrementalSection {
+  std::uint64_t churn_events = 0;
+  std::uint64_t window_events = 0;
+  ScenarioResult recompute;
+  ScenarioResult incremental;
+  double p99_speedup = 0;
+  bool identical_vs_recompute = false;
+  bool identical_vs_batch = false;
+  bool live_complete = false;  // every committed cycle surfaced pre-finish
+  bool speedup_gated = false;  // the >=5x gate only applies to full runs
+};
+
+void write_scenario_json(std::ostream& os, const ScenarioResult& s,
+                         const char* indent) {
+  os << indent << "{\"name\": \"" << s.name << "\", \"events\": " << s.events
+     << ",\n"
+     << indent << " \"mevents_per_s\": " << s.mevents_per_s
+     << ", \"windows\": " << s.windows
+     << ", \"p50_window_detect_ms\": " << s.p50_detect_ms
+     << ", \"p99_window_detect_ms\": " << s.p99_detect_ms << ",\n"
+     << indent << " \"budget_bytes\": " << s.budget_bytes
+     << ", \"peak_store_bytes\": " << s.peak_store_bytes
+     << ", \"rss_growth_bytes\": " << s.rss_growth_bytes << ",\n"
+     << indent << " \"tuples_evicted\": " << s.tuples_evicted
+     << ", \"degraded_windows\": " << s.degraded_windows
+     << ", \"detection_faults\": " << s.detection_faults
+     << ", \"coverage_complete\": " << (s.coverage_complete ? "true" : "false")
+     << ", \"final_level\": \"" << s.final_level << "\""
+     << ", \"cycles\": " << s.cycles
+     << ", \"live_cycles\": " << s.live_cycles << "}";
+}
+
 void write_json(std::ostream& os, bool quick, std::uint64_t events,
                 const std::vector<ScenarioResult>& scenarios,
-                bool differential_ok) {
+                bool differential_ok, const IncrementalSection& inc) {
   os << "{\n"
      << "  \"bench\": \"perf_online\",\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
@@ -278,26 +416,27 @@ void write_json(std::ostream& os, bool quick, std::uint64_t events,
      << (differential_ok ? "true" : "false") << ",\n"
      << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const ScenarioResult& s = scenarios[i];
-    os << "    {\"name\": \"" << s.name << "\", \"events\": " << s.events
-       << ",\n"
-       << "     \"mevents_per_s\": " << s.mevents_per_s
-       << ", \"windows\": " << s.windows
-       << ", \"p50_window_detect_ms\": " << s.p50_detect_ms
-       << ", \"p99_window_detect_ms\": " << s.p99_detect_ms << ",\n"
-       << "     \"budget_bytes\": " << s.budget_bytes
-       << ", \"peak_store_bytes\": " << s.peak_store_bytes
-       << ", \"peak_rss_bytes\": " << s.peak_rss_bytes << ",\n"
-       << "     \"tuples_evicted\": " << s.tuples_evicted
-       << ", \"degraded_windows\": " << s.degraded_windows
-       << ", \"detection_faults\": " << s.detection_faults
-       << ", \"coverage_complete\": "
-       << (s.coverage_complete ? "true" : "false")
-       << ", \"final_level\": \"" << s.final_level << "\""
-       << ", \"cycles\": " << s.cycles << "}"
-       << (i + 1 < scenarios.size() ? "," : "") << '\n';
+    write_scenario_json(os, scenarios[i], "    ");
+    os << (i + 1 < scenarios.size() ? "," : "") << '\n';
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"incremental\": {\n"
+     << "    \"churn_events\": " << inc.churn_events
+     << ", \"window_events\": " << inc.window_events << ",\n"
+     << "    \"recompute\":\n";
+  write_scenario_json(os, inc.recompute, "      ");
+  os << ",\n    \"incremental\":\n";
+  write_scenario_json(os, inc.incremental, "      ");
+  os << ",\n"
+     << "    \"p99_speedup\": " << inc.p99_speedup
+     << ", \"p99_speedup_gate\": "
+     << (inc.speedup_gated ? "5" : "null") << ",\n"
+     << "    \"identical_vs_recompute\": "
+     << (inc.identical_vs_recompute ? "true" : "false")
+     << ", \"identical_vs_batch\": "
+     << (inc.identical_vs_batch ? "true" : "false")
+     << ", \"live_complete\": " << (inc.live_complete ? "true" : "false")
+     << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -361,6 +500,53 @@ int main(int argc, char** argv) {
   scenarios.push_back(run_scenario("shed", events, seed, shed,
                                    /*out_detection=*/nullptr, /*phases=*/64));
 
+  // 5/6. Incremental section: the every-window-churn stream through the
+  // legacy recompute path and the dirty-SCC path, plus a plain batch
+  // reference. The full run gates a >=5x p99 window-latency advantage.
+  IncrementalSection inc;
+  inc.churn_events = quick ? 100'000 : 400'000;
+  inc.window_events = quick ? 4'096 : 8'192;
+  inc.speedup_gated = !quick;
+
+  Detection churn_rec_det, churn_inc_det;
+  {
+    GovernorOptions o;
+    o.window_events = inc.window_events;
+    o.incremental_scc = false;
+    ChurnEventStream stream(inc.window_events);
+    inc.recompute = run_scenario_on("churn-recompute", inc.churn_events,
+                                    stream, o, &churn_rec_det);
+  }
+  std::size_t delivered = 0;
+  {
+    GovernorOptions o;
+    o.window_events = inc.window_events;
+    o.incremental_scc = true;
+    o.on_cycle = [&delivered](const LiveCycle&) { ++delivered; };
+    ChurnEventStream stream(inc.window_events);
+    inc.incremental = run_scenario_on("churn-incremental", inc.churn_events,
+                                      stream, o, &churn_inc_det);
+  }
+  Detection churn_batch_det;
+  {
+    StreamingDetector batch_churn;
+    ChurnEventStream stream(inc.window_events);
+    for (std::uint64_t i = 0; i < inc.churn_events; ++i)
+      batch_churn.add(stream.next());
+    churn_batch_det = batch_churn.finish();
+  }
+  inc.identical_vs_recompute = same_cycles(churn_inc_det, churn_rec_det);
+  inc.identical_vs_batch = same_cycles(churn_inc_det, churn_batch_det);
+  // Every committed cycle was delivered to the subscriber before finish().
+  inc.live_complete = delivered == inc.incremental.live_cycles &&
+                      delivered == churn_inc_det.cycles.size();
+  inc.p99_speedup = inc.incremental.p99_detect_ms > 0
+                        ? inc.recompute.p99_detect_ms /
+                              inc.incremental.p99_detect_ms
+                        : 0;
+  scenarios.push_back(inc.recompute);
+  scenarios.push_back(inc.incremental);
+
   TextTable table({"Scenario", "Mev/s", "Windows", "p50 ms", "p99 ms",
                    "Peak store", "Budget", "Evicted", "Complete", "Cycles"});
   for (const ScenarioResult& s : scenarios)
@@ -380,10 +566,14 @@ int main(int argc, char** argv) {
                    std::to_string(s.cycles)});
   table.render(std::cout);
   std::cout << "\ndifferential vs batch: "
-            << (differential_ok ? "identical" : "DIVERGED") << ", peak RSS "
+            << (differential_ok ? "identical" : "DIVERGED")
+            << ", budgeted-run RSS growth "
             << TextTable::num(
-                   static_cast<double>(scenarios[0].peak_rss_bytes) / 1e6, 1)
-            << " MB after the budgeted run\n";
+                   static_cast<double>(scenarios[0].rss_growth_bytes) / 1e6, 1)
+            << " MB, churn p99 speedup "
+            << TextTable::num(inc.p99_speedup, 1) << "x ("
+            << TextTable::num(inc.recompute.p99_detect_ms, 2) << " ms -> "
+            << TextTable::num(inc.incremental.p99_detect_ms, 2) << " ms)\n";
 
   const std::string out = flags.get_string("out");
   std::ofstream os(out);
@@ -391,7 +581,7 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << out << '\n';
     return 1;
   }
-  write_json(os, quick, events, scenarios, differential_ok);
+  write_json(os, quick, events, scenarios, differential_ok, inc);
   std::cout << "wrote " << out << '\n';
 
   // Correctness gates: throughput only counts when the contract held.
@@ -406,12 +596,35 @@ int main(int argc, char** argv) {
                 << " evicted without an incomplete-coverage verdict\n";
       ok = false;
     }
-  }
-  if (scenarios.back().tuples_evicted == 0) {
-    std::cerr << "FAIL: shed scenario never hit the aging rung\n";
-    ok = false;
+    if (s.name == "shed" && s.tuples_evicted == 0) {
+      std::cerr << "FAIL: shed scenario never hit the aging rung\n";
+      ok = false;
+    }
   }
   if (!differential_ok)
     std::cerr << "FAIL: governed detection diverged from batch\n";
+  // Incremental-section gates: both paths and batch must agree, live
+  // surfacing must be complete, coverage semantics unchanged, and (full
+  // runs only) the incremental path must be >=5x faster at the p99.
+  if (!inc.identical_vs_recompute) {
+    std::cerr << "FAIL: churn incremental diverged from recompute path\n";
+    ok = false;
+  }
+  if (!inc.identical_vs_batch) {
+    std::cerr << "FAIL: churn incremental diverged from batch detection\n";
+    ok = false;
+  }
+  if (!inc.live_complete) {
+    std::cerr << "FAIL: churn run did not surface every cycle live\n";
+    ok = false;
+  }
+  if (!inc.recompute.coverage_complete || !inc.incremental.coverage_complete) {
+    std::cerr << "FAIL: churn run lost coverage without a budget\n";
+    ok = false;
+  }
+  if (inc.speedup_gated && inc.p99_speedup < 5.0) {
+    std::cerr << "FAIL: churn p99 speedup " << inc.p99_speedup << " < 5x\n";
+    ok = false;
+  }
   return ok ? 0 : 1;
 }

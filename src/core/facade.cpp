@@ -138,6 +138,8 @@ GovernorOptions Config::governor_options() const {
   o.memory_budget_mb = memory_budget_mb;
   o.window_events = window_events;
   o.window_deadline_ms = window_deadline_ms;
+  o.incremental_scc = incremental_scc;
+  o.on_cycle = on_cycle;
   o.detector = detector;
   o.detector.jobs = jobs;
   o.fault = fault;

@@ -143,6 +143,8 @@ void GovernedStreamingDetector::add(const Event& e) {
   for (std::size_t i = tuples_fed_; i < tuples.size(); ++i) {
     prefilter_.on_tuple(tuples[i]);
     store_bytes_ += tuple_bytes(tuples[i]);
+    if (options_.incremental_scc)
+      tuples_by_lock_[tuples[i].lock].push_back(i);
   }
   tuples_fed_ = tuples.size();
   if (++window_events_ >= options_.window_events) close_window();
@@ -161,29 +163,8 @@ void GovernedStreamingDetector::note_event(GovernorVerdict& v,
   }
 }
 
-void GovernedStreamingDetector::run_window_detection(WindowReport& w) {
-  if (options_.fault != nullptr &&
-      options_.fault->detect_throw_window == static_cast<int>(w.index)) {
-    throw std::runtime_error("injected detection fault (window " +
-                             std::to_string(w.index) + ")");
-  }
-  // No edge change since the last boundary ⇒ the verdict — and the cycle
-  // set — cannot have changed; skip even the Tarjan pass.
-  const std::uint64_t gen = prefilter_.generation();
-  const bool changed = gen != prefilter_generation_;
-  prefilter_generation_ = gen;
-  if (!changed) return;
-  w.suspicious = prefilter_.suspicious();
-  if (!w.suspicious) return;
-  if (w.level >= DetectionLevel::kPrefilterOnly) return;
-
-  DetectorOptions opt = options_.detector;
-  if (w.level == DetectionLevel::kClockPruned) {
-    opt.engine = CycleEngine::kScc;  // the clock cut is SCC-engine only
-    opt.clock_prune_during_search = true;
-  }
-  Detection det = finish_detection(builder_.snapshot_dependency(),
-                                   builder_.clocks(), opt);
+void GovernedStreamingDetector::surface_new_cycles(const Detection& det,
+                                                   WindowReport& w) {
   for (const PotentialDeadlock& cycle : det.cycles) {
     const std::uint64_t key = cycle_key(cycle, det.dep);
     if (std::find(seen_cycle_keys_.begin(), seen_cycle_keys_.end(), key) !=
@@ -191,7 +172,81 @@ void GovernedStreamingDetector::run_window_detection(WindowReport& w) {
       continue;
     seen_cycle_keys_.push_back(key);
     ++w.new_cycles;
+    ++live_cycles_;
+    if (options_.on_cycle) {
+      LiveCycle lc;
+      lc.window = w.index;
+      lc.sequence = live_cycles_;
+      lc.cycle = &cycle;
+      lc.dep = &det.dep;
+      options_.on_cycle(lc);
+    }
   }
+}
+
+void GovernedStreamingDetector::run_window_detection(WindowReport& w) {
+  if (options_.fault != nullptr &&
+      options_.fault->detect_throw_window == static_cast<int>(w.index)) {
+    throw std::runtime_error("injected detection fault (window " +
+                             std::to_string(w.index) + ")");
+  }
+
+  DetectorOptions opt = options_.detector;
+  if (w.level == DetectionLevel::kClockPruned) {
+    opt.engine = CycleEngine::kScc;  // the clock cut is SCC-engine only
+    opt.clock_prune_during_search = true;
+  }
+
+  if (!options_.incremental_scc) {
+    // Historical recompute path: full-store enumeration per suspicious
+    // window, gated on the pre-filter generation counter. No edge change
+    // since the last boundary ⇒ the verdict — and the cycle set — cannot
+    // have changed; skip even the SCC pass.
+    const std::uint64_t gen = prefilter_.generation();
+    const bool changed = gen != prefilter_generation_;
+    prefilter_generation_ = gen;
+    if (!changed) return;
+    w.suspicious = prefilter_.suspicious();
+    if (!w.suspicious) return;
+    if (w.level >= DetectionLevel::kPrefilterOnly) return;
+    Detection det = finish_detection(builder_.snapshot_dependency(),
+                                     builder_.clocks(), opt);
+    surface_new_cycles(det, w);
+    return;
+  }
+
+  // Incremental path: nothing marked dirty since the last boundary ⇒
+  // nothing to re-examine.
+  if (!prefilter_.has_dirty()) return;
+  w.suspicious = prefilter_.suspicious();
+  if (!w.suspicious) {
+    // All dirty components are benign; consume their marks (any change that
+    // could flip a verdict later will re-mark).
+    prefilter_.drain_dirty_suspicious_locks();
+    return;
+  }
+  // At a non-enumerating rung keep the marks queued: a later promoted
+  // window drains the accumulated dirt and catches up — unlike the
+  // generation gate, which consumed the delta before the rung check.
+  if (w.level >= DetectionLevel::kPrefilterOnly) return;
+
+  const std::vector<LockId> dirty_locks =
+      prefilter_.drain_dirty_suspicious_locks();
+  if (dirty_locks.empty()) return;  // the suspicious SCCs are all unchanged
+  // A cycle's requested locks all lie in one lock-graph SCC, so the tuples
+  // whose request lock belongs to a dirty suspicious SCC form a complete
+  // enumeration domain for every cycle that SCC could newly carry.
+  std::vector<std::size_t> subset;
+  for (LockId lock : dirty_locks) {
+    auto it = tuples_by_lock_.find(lock);
+    if (it == tuples_by_lock_.end()) continue;
+    subset.insert(subset.end(), it->second.begin(), it->second.end());
+  }
+  if (subset.empty()) return;
+  std::sort(subset.begin(), subset.end());  // canonical trace order
+  Detection det =
+      finish_detection(builder_.snapshot_subset(subset), builder_.clocks(), opt);
+  surface_new_cycles(det, w);
 }
 
 void GovernedStreamingDetector::recompute_store_bytes() {
@@ -200,31 +255,48 @@ void GovernedStreamingDetector::recompute_store_bytes() {
     store_bytes_ += tuple_bytes(t);
 }
 
+void GovernedStreamingDetector::rebuild_lock_index() {
+  tuples_by_lock_.clear();
+  const auto& tuples = builder_.pending().tuples;
+  for (std::size_t i = 0; i < tuples.size(); ++i)
+    tuples_by_lock_[tuples[i].lock].push_back(i);
+}
+
 void GovernedStreamingDetector::govern_memory(WindowReport& w) {
   if (options_.memory_budget_mb == 0) return;
   const std::size_t budget = options_.memory_budget_mb << 20;
   if (store_bytes_ <= budget) return;
 
+  // In incremental mode every dropped tuple is reported to the pre-filter so
+  // its lock-graph edge refcounts (and hence SCCs) track the live store.
+  LockDependencyBuilder::RemovalHook expire;
+  if (options_.incremental_scc)
+    expire = [this](const LockTuple& t) { prefilter_.on_tuple_removed(t); };
+
   // Rung 1: compaction — lossless for the cycle set (enumeration runs over
   // the canonical view), so it is always tried first.
-  w.tuples_compacted = builder_.compact();
+  w.tuples_compacted = builder_.compact(expire);
   recompute_store_bytes();
   tuples_fed_ = builder_.pending().tuples.size();
   if (w.tuples_compacted > 0) kCompactionsCounter.add();
-  if (store_bytes_ <= budget) return;
-
-  // Rung 2: aging — evict the oldest tuples down to ~90% of the budget so
-  // the next window has headroom. Lossy; the report must say so.
-  const std::size_t live = builder_.pending().tuples.size();
-  const std::size_t avg = live == 0 ? 1 : std::max<std::size_t>(1, store_bytes_ / live);
-  const std::size_t max_tuples = (budget - budget / 10) / avg;
-  w.tuples_evicted = builder_.evict_oldest(max_tuples);
-  recompute_store_bytes();
-  tuples_fed_ = builder_.pending().tuples.size();
-  if (w.tuples_evicted > 0) {
-    w.level = DetectionLevel::kShedding;
-    kEvictedCounter.add(w.tuples_evicted);
+  if (store_bytes_ > budget) {
+    // Rung 2: aging — evict the oldest tuples down to ~90% of the budget so
+    // the next window has headroom. Lossy; the report must say so.
+    const std::size_t live = builder_.pending().tuples.size();
+    const std::size_t avg =
+        live == 0 ? 1 : std::max<std::size_t>(1, store_bytes_ / live);
+    const std::size_t max_tuples = (budget - budget / 10) / avg;
+    w.tuples_evicted = builder_.evict_oldest(max_tuples, expire);
+    recompute_store_bytes();
+    tuples_fed_ = builder_.pending().tuples.size();
+    if (w.tuples_evicted > 0) {
+      w.level = DetectionLevel::kShedding;
+      kEvictedCounter.add(w.tuples_evicted);
+    }
   }
+  if (options_.incremental_scc &&
+      w.tuples_compacted + w.tuples_evicted > 0)
+    rebuild_lock_index();
 }
 
 void GovernedStreamingDetector::close_window() {
@@ -287,6 +359,7 @@ Detection GovernedStreamingDetector::finish() {
     LockDependency dep = builder_.take_dependency();
     ClockTracker clocks = builder_.clocks();
     builder_.clear();
+    tuples_by_lock_.clear();
     det = finish_detection(std::move(dep), std::move(clocks),
                            options_.detector);
   } catch (const std::exception& ex) {

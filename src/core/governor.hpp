@@ -37,11 +37,26 @@
 // surfacing; finish() re-enumerates over everything retained, so they do
 // not lose final coverage. A fault *in* finish() does, and flips
 // coverage_complete.
+//
+// Since ROADMAP item 2 (DESIGN.md §16), per-window enumeration is
+// *incremental* by default: the pre-filter maintains its SCC decomposition
+// under tuple arrival and expiry (graph/dynamic_scc.hpp), and a window
+// enumerates only the tuples whose request lock lies in a *dirty* suspicious
+// SCC — one whose membership, edges, or fed tuples changed since the last
+// enumerating window — through LockDependencyBuilder::snapshot_subset. The
+// historical recompute path (full-store snapshot per suspicious window,
+// gated on the pre-filter generation counter) survives behind
+// GovernorOptions::incremental_scc = false as the differential reference
+// and the bench's regression baseline. finish() is identical in both modes,
+// so the honesty contract is untouched. Windows can also surface each
+// first-sighted cycle to a CycleSubscriber the moment it is found.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -60,6 +75,23 @@ enum class DetectionLevel : std::uint8_t {
 };
 const char* to_string(DetectionLevel level);
 
+// One cycle surfaced mid-run by per-window enumeration, delivered to the
+// subscriber at window granularity on its *first* sighting (finish() never
+// re-delivers). The pointers borrow the window's transient detection state
+// and are valid only for the duration of the callback — copy what you keep.
+struct LiveCycle {
+  std::size_t window = 0;    // WindowReport::index that surfaced it
+  std::size_t sequence = 0;  // 1-based count of cycles surfaced so far
+  const PotentialDeadlock* cycle = nullptr;
+  const LockDependency* dep = nullptr;  // the enumeration's tuple view
+};
+
+// Subscription must be observation-only: finish() returns byte-identical
+// results whether or not a subscriber is attached. A throwing subscriber is
+// contained like any per-window detection fault (that window degrades; the
+// final enumeration still covers everything retained).
+using CycleSubscriber = std::function<void(const LiveCycle&)>;
+
 struct GovernorOptions {
   // Tuple-store budget in MiB; 0 = ungoverned (the store grows like
   // StreamingDetector's). Approximate accounting — see tuple_bytes().
@@ -72,6 +104,15 @@ struct GovernorOptions {
   std::int64_t window_deadline_ms = 0;
   // Engine configuration for per-window and final enumeration.
   DetectorOptions detector;
+  // Incremental SCC maintenance: windows enumerate only dirty-SCC tuple
+  // subsets (see header comment). false = the historical
+  // recompute-per-suspicious-window path, kept for differential testing and
+  // as the perf_online regression baseline.
+  bool incremental_scc = true;
+  // Live cycle surfacing: invoked once per first-sighted cycle at window
+  // granularity; empty = no mid-run surfacing. Works in both enumeration
+  // modes and never changes what finish() returns.
+  CycleSubscriber on_cycle;
   // Injected faults (robust/fault.hpp): detect_throw_window exercises the
   // per-window containment path. Not owned.
   const robust::FaultPlan* fault = nullptr;
@@ -137,6 +178,9 @@ class GovernedStreamingDetector {
   std::size_t store_bytes() const { return store_bytes_; }
   DetectionLevel level() const { return rung_; }
   const std::vector<WindowReport>& windows() const { return windows_; }
+  // Cycles surfaced by per-window enumeration so far (first sightings; the
+  // number of LiveCycle deliveries when a subscriber is attached).
+  std::size_t cycles_surfaced_live() const { return live_cycles_; }
 
   // Closes the trailing partial window, runs the authoritative enumeration
   // over every retained tuple and returns the completed Detection. The
@@ -151,9 +195,13 @@ class GovernedStreamingDetector {
   void close_window();
   // Pre-filter + (rung-permitting) enumeration for the closing window.
   void run_window_detection(WindowReport& w);
+  // First-sighting dedup + subscriber delivery for one window's detection.
+  void surface_new_cycles(const Detection& det, WindowReport& w);
   // Budget enforcement: compaction, then aging. Updates store_bytes_.
   void govern_memory(WindowReport& w);
   void recompute_store_bytes();
+  // Re-keys tuples_by_lock_ after compaction/eviction renumbered the store.
+  void rebuild_lock_index();
   void note_event(GovernorVerdict& v, std::string note) const;
 
   GovernorOptions options_;
@@ -176,6 +224,11 @@ class GovernedStreamingDetector {
   // Cycles already surfaced by per-window enumeration, keyed by signature
   // hash — so new_cycles counts first sightings only.
   std::vector<std::uint64_t> seen_cycle_keys_;
+  std::size_t live_cycles_ = 0;
+  // Incremental mode only: store indices by request lock, so a dirty SCC's
+  // lock list maps straight to the tuple subset to enumerate. Rebuilt after
+  // compaction/eviction (which renumber the store).
+  std::unordered_map<LockId, std::vector<std::size_t>> tuples_by_lock_;
 };
 
 struct GovernedDetection {

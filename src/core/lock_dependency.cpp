@@ -157,12 +157,24 @@ LockDependency LockDependencyBuilder::snapshot_dependency() const {
   return copy;
 }
 
-std::size_t LockDependencyBuilder::compact() {
+LockDependency LockDependencyBuilder::snapshot_subset(
+    const std::vector<std::size_t>& indices) const {
+  LockDependency sub;
+  sub.tuples.reserve(indices.size());
+  for (std::size_t i : indices) sub.tuples.push_back(dep_.tuples[i]);
+  compute_unique(sub);
+  return sub;
+}
+
+std::size_t LockDependencyBuilder::compact(const RemovalHook& on_remove) {
   std::unordered_map<TupleKey, std::size_t, TupleKeyHash> seen;
   seen.reserve(dep_.tuples.size());
   std::size_t kept = 0;
   for (std::size_t i = 0; i < dep_.tuples.size(); ++i) {
-    if (!seen.emplace(key_of(dep_.tuples[i]), i).second) continue;
+    if (!seen.emplace(key_of(dep_.tuples[i]), i).second) {
+      if (on_remove) on_remove(dep_.tuples[i]);
+      continue;
+    }
     if (kept != i) dep_.tuples[kept] = std::move(dep_.tuples[i]);
     ++kept;
   }
@@ -172,10 +184,13 @@ std::size_t LockDependencyBuilder::compact() {
   return removed;
 }
 
-std::size_t LockDependencyBuilder::evict_oldest(std::size_t max_tuples) {
+std::size_t LockDependencyBuilder::evict_oldest(std::size_t max_tuples,
+                                                const RemovalHook& on_remove) {
   if (dep_.tuples.size() <= max_tuples) return 0;
   const std::size_t evicted = dep_.tuples.size() - max_tuples;
   // Tuples are in trace order, so the oldest are the front.
+  if (on_remove)
+    for (std::size_t i = 0; i < evicted; ++i) on_remove(dep_.tuples[i]);
   dep_.tuples.erase(dep_.tuples.begin(),
                     dep_.tuples.begin() + static_cast<std::ptrdiff_t>(evicted));
   dep_.tuples.shrink_to_fit();

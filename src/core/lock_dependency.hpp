@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -97,17 +98,32 @@ class LockDependencyBuilder {
   // the builder — what per-window cycle enumeration runs on.
   LockDependency snapshot_dependency() const;
 
+  // Copy of just the tuples at `indices` (ascending positions into
+  // pending().tuples), with `unique` computed over that subset. The
+  // incremental governor path enumerates dirty-SCC tuple subsets through
+  // this instead of snapshotting the whole store.
+  LockDependency snapshot_subset(const std::vector<std::size_t>& indices) const;
+
+  // Notification hook for the compaction/eviction overloads below: invoked
+  // once per dropped tuple, before the store forgets it. The incremental
+  // pre-filter uses it to refcount lock-graph edges down.
+  using RemovalHook = std::function<void(const LockTuple&)>;
+
   // Site-table compaction: drops every non-canonical duplicate tuple (same
   // thread, lock and context-site signature as an earlier one), keeping the
   // first occurrence. Cycle enumeration runs over the canonical view only,
   // so the cycle set is unchanged; returns the number of tuples removed.
-  std::size_t compact();
+  std::size_t compact() { return compact(RemovalHook{}); }
+  std::size_t compact(const RemovalHook& on_remove);
 
   // Aging: drops the *oldest* tuples until at most `max_tuples` remain.
   // Lossy — evicted tuples can carry cycles — so callers must surface the
   // returned count as lost coverage. Clock and held-lock state are
   // untouched (they are O(threads + locks), not O(trace)).
-  std::size_t evict_oldest(std::size_t max_tuples);
+  std::size_t evict_oldest(std::size_t max_tuples) {
+    return evict_oldest(max_tuples, RemovalHook{});
+  }
+  std::size_t evict_oldest(std::size_t max_tuples, const RemovalHook& on_remove);
 
  private:
   // Per-thread held-lock state: (lock, acquisition index), acquisition order.

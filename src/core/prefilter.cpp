@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "support/check.hpp"
 
 namespace wolf {
 
 namespace {
 const obs::Counter kEdgesCounter("prefilter.edges");
 const obs::Counter kChecksCounter("prefilter.checks");
+const obs::Counter kExpiriesCounter("prefilter.edge_expiries");
 }  // namespace
 
 GuardMask lockset_mask(const std::vector<LockId>& lockset) {
@@ -23,6 +25,7 @@ int LockGraph::intern(LockId lock) {
   if (inserted) {
     locks_.push_back(lock);
     out_.emplace_back();
+    scc_.add_node();  // dense node ids stay aligned with locks_
   }
   return it->second;
 }
@@ -31,24 +34,31 @@ void LockGraph::on_tuple(const LockTuple& tuple) {
   if (tuple.lockset.empty()) return;  // top-of-stack acquisitions add no edge
   const int to = intern(tuple.lock);
   const GuardMask guards = lockset_mask(tuple.lockset);
+  scc_.mark_dirty(to);
   for (LockId held : tuple.lockset) {
     const int from = intern(held);
+    scc_.mark_dirty(from);
     std::vector<Edge>& edges = out_[static_cast<std::size_t>(from)];
     auto it = std::find_if(edges.begin(), edges.end(),
                            [&](const Edge& e) { return e.to == to; });
     if (it == edges.end()) {
       Edge e;
       e.to = to;
+      e.refcount = 1;
       e.first_thread = tuple.thread;
       e.guard_mask = guards;
       edges.push_back(e);
       ++edge_count_;
       ++generation_;
       kEdgesCounter.add();
+      scc_.add_edge(from, to);
       continue;
     }
-    // Existing edge: widen the thread set, narrow the guard intersection.
-    // Only changes that could flip the verdict bump the generation.
+    // Existing edge: count the contributor, widen the thread set, narrow the
+    // guard intersection. Only changes that could flip the verdict bump the
+    // generation; the dirty marks above are unconditional because a re-fed
+    // edge can still carry a brand-new canonical tuple.
+    ++it->refcount;
     if (!it->multi_thread && it->first_thread != tuple.thread) {
       it->multi_thread = true;
       ++generation_;
@@ -62,114 +72,107 @@ void LockGraph::on_tuple(const LockTuple& tuple) {
   }
 }
 
-// Tarjan over the lock graph; an SCC is suspicious when it spans >= 2 locks,
-// its edges come from >= 2 distinct threads, and no lock is held by every
-// contributing tuple of every internal edge (see header for why each test is
-// sound).
-void LockGraph::recompute() const {
+void LockGraph::on_tuple_removed(const LockTuple& tuple) {
+  if (tuple.lockset.empty()) return;
+  auto to_it = lock_ids_.find(tuple.lock);
+  WOLF_CHECK_MSG(to_it != lock_ids_.end(),
+                 "on_tuple_removed: unknown request lock " << tuple.lock);
+  const int to = to_it->second;
+  for (LockId held : tuple.lockset) {
+    auto from_it = lock_ids_.find(held);
+    WOLF_CHECK_MSG(from_it != lock_ids_.end(),
+                   "on_tuple_removed: unknown held lock " << held);
+    const int from = from_it->second;
+    std::vector<Edge>& edges = out_[static_cast<std::size_t>(from)];
+    auto it = std::find_if(edges.begin(), edges.end(),
+                           [&](const Edge& e) { return e.to == to; });
+    WOLF_CHECK_MSG(it != edges.end() && it->refcount > 0,
+                   "on_tuple_removed: edge " << held << "->" << tuple.lock
+                                             << " has no live contributor");
+    if (--it->refcount > 0) continue;  // survivors keep (stale, sound) masks
+    edges.erase(it);
+    --edge_count_;
+    ++generation_;
+    kExpiriesCounter.add();
+    scc_.remove_edge(from, to);
+    // An expiry can only shrink the component's cycle set, but the cached
+    // verdict may now be stale-suspicious; mark so it gets re-evaluated.
+    scc_.mark_dirty(from);
+    scc_.mark_dirty(to);
+  }
+}
+
+bool LockGraph::evaluate(int comp) const {
+  const std::vector<DynamicScc::Node>& mem = scc_.members(comp);
+  // A suspicious SCC spans >= 2 locks, its edges come from >= 2 distinct
+  // threads, and no lock is held by every contributing tuple of every
+  // internal edge (see header for why each test is sound).
+  if (mem.size() < 2) return false;
+  ThreadId first_thread = kInvalidThread;
+  bool multi_thread = false;
+  GuardMask common = GuardMask::all();
+  for (DynamicScc::Node v : mem) {
+    for (const Edge& e : out_[static_cast<std::size_t>(v)]) {
+      if (scc_.component_of(e.to) != comp) continue;
+      common &= e.guard_mask;
+      if (e.multi_thread) {
+        multi_thread = true;
+      } else if (first_thread == kInvalidThread) {
+        first_thread = e.first_thread;
+      } else if (first_thread != e.first_thread) {
+        multi_thread = true;
+      }
+    }
+  }
+  return multi_thread && !common.any();
+}
+
+void LockGraph::refresh_verdicts() const {
+  if (!scc_.has_dirty()) return;
   kChecksCounter.add();
-  verdict_generation_ = generation_;
+  // Force pending lazy splits to apply (they append their own dirty marks)
+  // before walking the mark list.
+  const std::size_t capacity = scc_.component_capacity();
+  comp_suspicious_.resize(capacity, 0);
+  std::vector<int> done;
+  for (DynamicScc::Node v : scc_.dirty_nodes()) {
+    const int c = scc_.component_of(v);
+    if (std::find(done.begin(), done.end(), c) != done.end()) continue;
+    done.push_back(c);
+    comp_suspicious_[static_cast<std::size_t>(c)] = evaluate(c) ? 1 : 0;
+  }
   verdict_ = false;
   verdict_scc_count_ = 0;
-
-  const int n = static_cast<int>(locks_.size());
-  if (n == 0) return;
-  std::vector<int> comp(static_cast<std::size_t>(n), -1);
-  std::vector<int> index(static_cast<std::size_t>(n), -1);
-  std::vector<int> low(static_cast<std::size_t>(n), 0);
-  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
-  std::vector<int> stack;
-  int next_index = 0;
-  int comp_count = 0;
-
-  // Iterative Tarjan: (node, next-edge-cursor) frames.
-  std::vector<std::pair<int, std::size_t>> frames;
-  for (int root = 0; root < n; ++root) {
-    if (index[static_cast<std::size_t>(root)] != -1) continue;
-    frames.emplace_back(root, 0);
-    while (!frames.empty()) {
-      auto& [v, cursor] = frames.back();
-      const auto vi = static_cast<std::size_t>(v);
-      if (cursor == 0) {
-        index[vi] = low[vi] = next_index++;
-        stack.push_back(v);
-        on_stack[vi] = true;
-      }
-      if (cursor < out_[vi].size()) {
-        const int w = out_[vi][cursor++].to;
-        const auto wi = static_cast<std::size_t>(w);
-        if (index[wi] == -1) {
-          frames.emplace_back(w, 0);
-        } else if (on_stack[wi]) {
-          low[vi] = std::min(low[vi], index[wi]);
-        }
-        continue;
-      }
-      if (low[vi] == index[vi]) {
-        for (;;) {
-          const int w = stack.back();
-          stack.pop_back();
-          on_stack[static_cast<std::size_t>(w)] = false;
-          comp[static_cast<std::size_t>(w)] = comp_count;
-          if (w == v) break;
-        }
-        ++comp_count;
-      }
-      frames.pop_back();
-      if (!frames.empty()) {
-        const auto& [parent, unused] = frames.back();
-        const auto pi = static_cast<std::size_t>(parent);
-        low[pi] = std::min(low[pi], low[vi]);
-      }
-    }
-  }
-
-  // Per-SCC refinement over the internal edges.
-  std::vector<int> scc_size(static_cast<std::size_t>(comp_count), 0);
-  for (int v = 0; v < n; ++v)
-    ++scc_size[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])];
-  struct SccInfo {
-    ThreadId first_thread = kInvalidThread;
-    bool multi_thread = false;
-    GuardMask common_guards = GuardMask::all();
-  };
-  std::vector<SccInfo> info(static_cast<std::size_t>(comp_count));
-  for (int v = 0; v < n; ++v) {
-    const auto vi = static_cast<std::size_t>(v);
-    const int c = comp[vi];
-    if (scc_size[static_cast<std::size_t>(c)] < 2) continue;
-    for (const Edge& e : out_[vi]) {
-      if (comp[static_cast<std::size_t>(e.to)] != c) continue;
-      SccInfo& s = info[static_cast<std::size_t>(c)];
-      s.common_guards &= e.guard_mask;
-      if (e.multi_thread) {
-        s.multi_thread = true;
-      } else if (s.first_thread == kInvalidThread) {
-        s.first_thread = e.first_thread;
-      } else if (s.first_thread != e.first_thread) {
-        s.multi_thread = true;
-      }
-    }
-  }
-  for (int c = 0; c < comp_count; ++c) {
-    const auto ci = static_cast<std::size_t>(c);
-    if (scc_size[ci] < 2) continue;
-    if (!info[ci].multi_thread) continue;
-    if (info[ci].common_guards.any()) continue;
+  for (std::size_t c = 0; c < capacity; ++c) {
+    if (!comp_suspicious_[c]) continue;
+    if (!scc_.component_alive(static_cast<int>(c))) continue;
     verdict_ = true;
     ++verdict_scc_count_;
   }
 }
 
 bool LockGraph::suspicious() const {
-  if (verdict_generation_ != generation_ || generation_ == 0) recompute();
+  refresh_verdicts();
   return verdict_;
 }
 
 std::size_t LockGraph::suspicious_scc_count() const {
-  if (verdict_generation_ != generation_ || generation_ == 0) recompute();
+  refresh_verdicts();
   return verdict_scc_count_;
 }
+
+std::vector<LockId> LockGraph::drain_dirty_suspicious_locks() {
+  refresh_verdicts();
+  std::vector<LockId> result;
+  for (int comp : scc_.drain_dirty()) {
+    if (!comp_suspicious_[static_cast<std::size_t>(comp)]) continue;
+    for (DynamicScc::Node v : scc_.members(comp))
+      result.push_back(locks_[static_cast<std::size_t>(v)]);
+  }
+  return result;
+}
+
+bool LockGraph::has_dirty() const { return scc_.has_dirty(); }
 
 void LockGraph::clear() {
   lock_ids_.clear();
@@ -177,7 +180,8 @@ void LockGraph::clear() {
   out_.clear();
   edge_count_ = 0;
   generation_ = 0;
-  verdict_generation_ = 0;
+  scc_.clear();
+  comp_suspicious_.clear();
   verdict_ = false;
   verdict_scc_count_ = 0;
 }

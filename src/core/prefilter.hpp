@@ -27,11 +27,21 @@
 //     holding g, violating lockset disjointness — the classic gate-lock
 //     idiom is discharged without enumerating anything.
 //
-// Maintenance is O(|lockset|) amortized per tuple; the verdict is one
-// Tarjan pass over the lock graph (O(locks + edges)), recomputed lazily
-// only when an edge changed since the last query. Both are linear in the
-// trace — this is the pass the degradation ladder falls back to when
-// budgets bite (DESIGN.md §14).
+// Since ROADMAP item 2 landed, the SCC decomposition is maintained
+// *incrementally* (graph/dynamic_scc.hpp) instead of recomputed per query:
+// edge insertions run Pearce–Kelly order maintenance with cycle collapse,
+// contributor expiry refcounts edges down and lazily rebuilds only the
+// component an erased edge lived in, and per-component verdicts are cached
+// and re-evaluated only for components whose membership or edges changed.
+// `drain_dirty_suspicious_locks()` hands the governor exactly the locks
+// whose component changed since the last drain — the dirty-SCC set that
+// bounds per-window enumeration to tuples that could be involved in a new
+// cycle.
+//
+// Expiry keeps the refinements conservative rather than exact: removing a
+// contributor never re-widens an edge's guard intersection and never
+// retracts multi_thread. Both errors only make an SCC *more* suspicious, so
+// soundness (no-cycle verdicts stay trustworthy) is preserved.
 #pragma once
 
 #include <array>
@@ -41,6 +51,7 @@
 #include <vector>
 
 #include "core/lock_dependency.hpp"
+#include "graph/dynamic_scc.hpp"
 #include "trace/ids.hpp"
 
 namespace wolf {
@@ -83,50 +94,84 @@ struct GuardMask {
 
 class LockGraph {
  public:
-  // Folds one D_σ tuple into the graph.
+  // Folds one D_σ tuple into the graph. Also marks the tuple's locks dirty:
+  // a re-fed canonical shape can still be a *new* tuple whose cycle has not
+  // been enumerated, so the consumer must revisit its component.
   void on_tuple(const LockTuple& tuple);
 
+  // Retracts one tuple's contribution (compaction/eviction expiry). Each
+  // held→request edge is refcounted; the edge leaves the graph — possibly
+  // splitting its SCC — only when its last contributor expires. Thread and
+  // guard refinements are left stale-but-conservative (see header comment).
+  void on_tuple_removed(const LockTuple& tuple);
+
   // Sound verdict over everything added so far: false guarantees that the
-  // tuples seen so far admit no potential-deadlock cycle. Lazily recomputes
-  // the SCC decomposition when the graph changed since the last call.
+  // live tuples admit no potential-deadlock cycle. Re-evaluates only the
+  // components marked dirty since the last query.
   bool suspicious() const;
 
-  // Locks participating in some suspicious SCC (dense node ids — see
-  // lock_of()); empty iff !suspicious(). Useful for diagnostics.
+  // Number of components currently flagged suspicious.
   std::size_t suspicious_scc_count() const;
+
+  // Dirty-SCC drain for the governor: the locks of every *suspicious*
+  // component that changed (membership, edges, or a fed tuple) since the
+  // last drain. Clears the dirty set — benign components' marks are
+  // consumed too, so a drain with an empty result still means "caught up".
+  std::vector<LockId> drain_dirty_suspicious_locks();
+  // True when a drain would observe any change since the last one.
+  bool has_dirty() const;
 
   std::size_t lock_count() const { return locks_.size(); }
   std::size_t edge_count() const { return edge_count_; }
-  // True when on_tuple() changed an edge since the given generation; the
-  // governor uses generation() deltas to skip windows that added nothing.
+  // Bumped only on verdict-relevant mutations: a new edge, a single→multi
+  // thread widening, a guard-mask narrowing, or an edge expiring. Identical
+  // re-feeds leave it unchanged. The legacy (non-incremental) governor path
+  // still uses generation() deltas to skip windows that added nothing; the
+  // incremental path uses the finer-grained dirty set instead.
   std::uint64_t generation() const { return generation_; }
+
+  // The incremental decomposition, exposed read-only for the differential
+  // fuzz tests (compare against its own tarjan_components() oracle).
+  const DynamicScc& scc() const { return scc_; }
+  LockId lock_of(int node) const {
+    return locks_[static_cast<std::size_t>(node)];
+  }
 
   void clear();
 
  private:
   struct Edge {
     int to = -1;
+    int refcount = 0;  // contributing live tuples (held,request) pairs
     ThreadId first_thread = kInvalidThread;
     bool multi_thread = false;  // contributed by >= 2 distinct threads
     GuardMask guard_mask = GuardMask::all();  // AND of contributors' masks
   };
 
   int intern(LockId lock);
-  void touch() const {}  // documentation aid; mutation bumps generation_
+  // Refinement verdict for one live component over its internal edges.
+  bool evaluate(int comp) const;
+  // Re-evaluates every dirty component's cached verdict (without consuming
+  // the dirty set — the governor still needs to drain it) and refreshes the
+  // aggregate verdict/count.
+  void refresh_verdicts() const;
 
   std::unordered_map<LockId, int> lock_ids_;  // LockId -> dense node
   std::vector<LockId> locks_;                 // dense node -> LockId
   // Adjacency: per node, edges keyed by target node (small vectors; lock
-  // graphs are tiny compared to D_σ).
+  // graphs are tiny compared to D_σ). Node ids coincide with scc_ node ids —
+  // both are assigned densely at intern time.
   std::vector<std::vector<Edge>> out_;
   std::size_t edge_count_ = 0;
   std::uint64_t generation_ = 0;
 
-  // Lazy verdict cache.
-  mutable std::uint64_t verdict_generation_ = 0;
+  DynamicScc scc_;
+
+  // Per-component cached verdicts (label -> suspicious?) plus the cached
+  // aggregate; refreshed lazily for dirty components only.
+  mutable std::vector<char> comp_suspicious_;
   mutable bool verdict_ = false;
   mutable std::size_t verdict_scc_count_ = 0;
-  void recompute() const;
 };
 
 // Lockset bitmask over the first GuardMask::kBits lock ids; see GuardMask

@@ -83,9 +83,18 @@ struct Config {
   // Per-window detection deadline in ms (0 = no deadline; the degradation
   // ladder never demotes).
   std::int64_t window_deadline_ms = 0;
+  // Incremental SCC maintenance for the governed path (DESIGN.md §16):
+  // windows enumerate only dirty-SCC tuple subsets. false = the historical
+  // recompute-per-suspicious-window path (differential reference).
+  bool incremental_scc = true;
+  // Live cycle surfacing: called once per first-sighted cycle at window
+  // granularity (`wolf analyze --live`). Setting it switches analysis onto
+  // the governed path; it never changes the final result.
+  CycleSubscriber on_cycle;
 
   bool governed() const {
-    return memory_budget_mb != 0 || window_deadline_ms != 0;
+    return memory_budget_mb != 0 || window_deadline_ms != 0 ||
+           static_cast<bool>(on_cycle);
   }
 
   // Checks the configuration for fatal errors and conflicting settings.

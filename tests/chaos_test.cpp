@@ -80,6 +80,9 @@ Schedule draw_schedule(Rng& rng, std::size_t trace_bytes) {
     s.governor.memory_budget_mb = 1;  // tiny: forces compaction/aging
   if (rng.chance(0.3)) s.governor.window_deadline_ms = 1 + rng.below(20);
   s.governor.detector.jobs = rng.chance(0.3) ? 2 : 1;
+  // Half the campaign runs the incremental dirty-SCC enumeration path, half
+  // the legacy full-recompute path — the honesty contract must hold on both.
+  s.governor.incremental_scc = rng.chance(0.5);
   // NOTE: governor.fault is wired by the caller — pointing it at s.detection
   // here would dangle once the Schedule is returned by value.
   return s;
@@ -171,6 +174,102 @@ TEST_P(ChaosTest, NeverCrashesNeverLiesUnderRandomFaultSchedules) {
 
 // 120 randomized schedules (the ISSUE floor is 100).
 INSTANTIATE_TEST_SUITE_P(Schedules, ChaosTest, ::testing::Range(0, 120));
+
+// Expiry-heavy family: streams built to churn the tuple store — mostly
+// fresh canonical tuples (eviction fodder), some duplicates (compaction
+// fodder) — under a 1 MiB budget and small windows, so nearly every window
+// runs the compaction/eviction removal hooks that drive DynamicScc edge
+// expiry. Each schedule runs BOTH enumeration paths on the same stream:
+// they must produce the same finish() and the same honesty verdict, and a
+// live subscriber must have seen every committed cycle.
+class ExpiryChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpiryChaosTest, ChurnUnderBudgetKeepsBothPathsHonestAndEqual) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0xbf58476d1ce4e5b9ULL + 11);
+
+  Trace trace;
+  SiteId next_site = 1;
+  std::uint64_t seq = 0;
+  auto push = [&](EventKind kind, ThreadId t, LockId l, SiteId site) {
+    Event e;
+    e.kind = kind;
+    e.thread = t;
+    e.lock = l;
+    e.site = site;
+    e.occurrence = 1;
+    e.seq = seq++;
+    trace.events.push_back(e);
+  };
+  // Sized to overflow 1 MiB of tuple store with margin, so the tail windows
+  // all run the eviction/compaction removal hooks. Fresh reps are depth-4
+  // nests: every tuple is canonical (eviction fodder) and carries a fat
+  // lockset/context. The recurring AB/BA pair at recurring sites mixes in
+  // compaction work and keeps a real defect alive through the churn.
+  const int reps = 3200 + static_cast<int>(rng.below(400));
+  for (int rep = 0; rep < reps; ++rep) {
+    const ThreadId t = static_cast<ThreadId>(1 + rng.below(3));
+    if (rng.chance(0.8)) {
+      LockId nest[4];
+      SiteId site[4];
+      for (int d = 0; d < 4; ++d) {
+        nest[d] = static_cast<LockId>(1000 + 4 * rep + d);
+        site[d] = next_site++;
+        push(EventKind::kLockAcquire, t, nest[d], site[d]);
+      }
+      for (int d = 3; d >= 0; --d)
+        push(EventKind::kLockRelease, t, nest[d], site[d]);
+    } else {
+      const bool ba = rng.chance(0.5);
+      const LockId a = ba ? 20 : 10, b = ba ? 10 : 20;
+      const SiteId sa = ba ? 3 : 1, sb = ba ? 4 : 2;
+      push(EventKind::kLockAcquire, t, a, sa);
+      push(EventKind::kLockAcquire, t, b, sb);
+      push(EventKind::kLockRelease, t, b, sb);
+      push(EventKind::kLockRelease, t, a, sa);
+    }
+  }
+
+  GovernorOptions options;
+  options.window_events = 16 + rng.below(112);
+  options.memory_budget_mb = 1;
+  options.detector.jobs = rng.chance(0.3) ? 2 : 1;
+
+  Detection reference = detect(trace, options.detector);
+
+  std::size_t delivered = 0;
+  options.incremental_scc = true;
+  options.on_cycle = [&](const LiveCycle&) { ++delivered; };
+  GovernedStreamingDetector inc(options);
+  for (const Event& e : trace.events) inc.add(e);
+  Detection inc_det = inc.finish();
+  EXPECT_EQ(delivered, inc.cycles_surfaced_live());
+
+  options.incremental_scc = false;
+  options.on_cycle = nullptr;
+  GovernedStreamingDetector rec(options);
+  for (const Event& e : trace.events) rec.add(e);
+  Detection rec_det = rec.finish();
+
+  // Path differential: identical output and identical honesty bookkeeping.
+  EXPECT_EQ(signatures_of(inc_det), signatures_of(rec_det));
+  EXPECT_EQ(inc_det.cycles.size(), rec_det.cycles.size());
+  EXPECT_EQ(inc.verdict().coverage_complete, rec.verdict().coverage_complete);
+  EXPECT_EQ(inc.verdict().tuples_evicted, rec.verdict().tuples_evicted);
+  EXPECT_EQ(inc.verdict().tuples_compacted, rec.verdict().tuples_compacted);
+
+  // The budget genuinely bit (that is the point of this family), so the
+  // verdict must say so — and degraded output never fabricates defects.
+  const GovernorVerdict verdict = inc.verdict();
+  EXPECT_GT(verdict.tuples_evicted, 0u) << "schedule failed to force churn";
+  EXPECT_FALSE(verdict.coverage_complete);
+  EXPECT_FALSE(verdict.notes.empty());
+  std::set<DefectSignature> ref = signatures_of(reference);
+  for (const DefectSignature& sig : signatures_of(inc_det))
+    EXPECT_TRUE(ref.count(sig) != 0)
+        << "churned run fabricated a defect signature";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ExpiryChaosTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace wolf

@@ -17,7 +17,9 @@
 //   * the degradation ladder is a pure function with hysteresis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -375,6 +377,271 @@ TEST(GovernorTest, FinalEnumerationFaultIsIncompleteNotClean) {
   EXPECT_FALSE(verdict.coverage_complete)
       << "an empty report after a failed final enumeration must not look "
          "like a clean bill of health";
+}
+
+// ---------------------------------------------- incremental SCC pre-filter
+
+using Partition = std::set<std::vector<DynamicScc::Node>>;
+
+Partition oracle_partition(const DynamicScc& scc) {
+  Partition p;
+  for (std::vector<DynamicScc::Node> comp : scc.tarjan_components()) {
+    std::sort(comp.begin(), comp.end());
+    p.insert(std::move(comp));
+  }
+  return p;
+}
+
+Partition label_partition(const DynamicScc& scc) {
+  Partition p;
+  for (std::size_t c = 0; c < scc.component_capacity(); ++c) {
+    if (!scc.component_alive(static_cast<int>(c))) continue;
+    std::vector<DynamicScc::Node> comp = scc.members(static_cast<int>(c));
+    std::sort(comp.begin(), comp.end());
+    p.insert(std::move(comp));
+  }
+  return p;
+}
+
+// Random insert/expire interleavings through the LockGraph's tuple surface,
+// with the differential oracle checked after EVERY mutation: the maintained
+// decomposition must equal a fresh Tarjan over the same adjacency, and the
+// incremental verdict must stay sound versus a graph rebuilt from only the
+// live tuples (staleness may only ever point toward "more suspicious").
+class LockGraphMutationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockGraphMutationFuzz, CondensationEqualsFreshTarjanAfterEveryStep) {
+  Rng rng(0x10c6 + static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL);
+  LockGraph g;
+  std::vector<LockTuple> live;
+  const int lock_universe = 3 + static_cast<int>(rng.below(5));
+  SiteId next_site = 1;
+  const int steps = 60;
+  for (int s = 0; s < steps; ++s) {
+    if (!live.empty() && rng.chance(0.4)) {
+      const std::size_t pick = rng.below(live.size());
+      g.on_tuple_removed(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      LockTuple t;
+      t.thread = static_cast<ThreadId>(1 + rng.below(3));
+      t.lock = static_cast<LockId>(rng.below(
+          static_cast<std::uint64_t>(lock_universe)));
+      const std::size_t depth = 1 + rng.below(3);
+      for (std::size_t d = 0; d < depth; ++d) {
+        const LockId held = static_cast<LockId>(
+            rng.below(static_cast<std::uint64_t>(lock_universe)));
+        if (std::find(t.lockset.begin(), t.lockset.end(), held) !=
+            t.lockset.end())
+          continue;
+        t.lockset.push_back(held);
+        ExecIndex idx;
+        idx.site = next_site++;
+        idx.occurrence = 1;
+        t.context.push_back(idx);
+      }
+      if (t.lockset.empty()) continue;
+      ExecIndex idx;
+      idx.site = next_site++;
+      idx.occurrence = 1;
+      t.context.push_back(idx);
+      g.on_tuple(t);
+      live.push_back(std::move(t));
+    }
+    ASSERT_EQ(label_partition(g.scc()), oracle_partition(g.scc()))
+        << "seed " << GetParam() << " step " << s;
+
+    // Soundness of the (stale-refinement) incremental verdict: a graph
+    // rebuilt from exactly the live tuples may only be LESS suspicious.
+    LockGraph fresh;
+    for (const LockTuple& t : live) fresh.on_tuple(t);
+    if (fresh.suspicious()) {
+      ASSERT_TRUE(g.suspicious())
+          << "seed " << GetParam() << " step " << s
+          << ": incremental verdict cleared a live suspicious graph";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockGraphMutationFuzz,
+                         ::testing::Range(0, 200));
+
+TEST(PrefilterTest, DirtyDrainReturnsSuspiciousLocksExactlyOnce) {
+  LockGraph g;
+  LockDependency dep = LockDependency::from_trace(ab_ba_trace(false));
+  for (const LockTuple& t : dep.tuples) g.on_tuple(t);
+  ASSERT_TRUE(g.has_dirty());
+  std::vector<LockId> locks = g.drain_dirty_suspicious_locks();
+  std::set<LockId> lock_set(locks.begin(), locks.end());
+  EXPECT_EQ(lock_set, (std::set<LockId>{10, 20}));
+  // Caught up: nothing dirty, second drain is empty.
+  EXPECT_FALSE(g.has_dirty());
+  EXPECT_TRUE(g.drain_dirty_suspicious_locks().empty());
+  // A re-fed identical edge-bearing tuple still re-marks its component (it
+  // could be a brand-new canonical tuple in a stable SCC). Tuples with an
+  // empty lockset carry no edge and leave no mark.
+  for (const LockTuple& t : dep.tuples)
+    if (!t.lockset.empty()) {
+      g.on_tuple(t);
+      break;
+    }
+  EXPECT_TRUE(g.has_dirty());
+}
+
+TEST(PrefilterTest, ExpiryToZeroRefcountRemovesTheEdgeAndVerdict) {
+  LockGraph g;
+  LockDependency dep = LockDependency::from_trace(ab_ba_trace(false));
+  for (const LockTuple& t : dep.tuples) g.on_tuple(t);
+  ASSERT_TRUE(g.suspicious());
+  const std::size_t edges = g.edge_count();
+  // Remove every contributing tuple: the AB/BA SCC must dissolve.
+  for (const LockTuple& t : dep.tuples)
+    if (!t.lockset.empty()) g.on_tuple_removed(t);
+  EXPECT_LT(g.edge_count(), edges);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.suspicious());
+  EXPECT_EQ(g.suspicious_scc_count(), 0u);
+}
+
+TEST(GovernorTest, IncrementalAndRecomputePathsAgreeBitForBit) {
+  // Same stream, both enumeration modes, across window sizes and with a
+  // budget tight enough to force compaction + eviction churn: the final
+  // Detection and the honesty bookkeeping must be identical.
+  Trace trace;
+  std::uint64_t seq = 0;
+  SiteId site = 1;
+  for (int rep = 0; rep < 400; ++rep) {
+    const ThreadId t = static_cast<ThreadId>(1 + (rep & 1));
+    trace.events.push_back(acquire(t, 10, site++));
+    trace.events.push_back(acquire(t, 20, site++));
+    trace.events.push_back(release(t, 20));
+    trace.events.push_back(release(t, 10));
+    if (rep % 50 == 49)  // sprinkle the AB/BA ring through the stream
+      for (const Event& e : ab_ba_trace(false).events)
+        trace.events.push_back(e);
+  }
+  for (Event& e : trace.events) e.seq = seq++;
+
+  for (std::size_t window : {std::size_t{16}, std::size_t{256}}) {
+    for (std::size_t budget_mb : {std::size_t{0}, std::size_t{1}}) {
+      GovernorOptions options;
+      options.window_events = window;
+      options.memory_budget_mb = budget_mb;
+
+      options.incremental_scc = true;
+      GovernedStreamingDetector inc(options);
+      for (const Event& e : trace.events) inc.add(e);
+      Detection inc_det = inc.finish();
+
+      options.incremental_scc = false;
+      GovernedStreamingDetector rec(options);
+      for (const Event& e : trace.events) rec.add(e);
+      Detection rec_det = rec.finish();
+
+      EXPECT_EQ(signatures_of(inc_det), signatures_of(rec_det))
+          << "window " << window << " budget " << budget_mb;
+      EXPECT_EQ(inc_det.cycles.size(), rec_det.cycles.size());
+      for (std::size_t i = 0;
+           i < std::min(inc_det.cycles.size(), rec_det.cycles.size()); ++i)
+        EXPECT_EQ(inc_det.cycles[i].tuple_idx, rec_det.cycles[i].tuple_idx);
+      EXPECT_EQ(inc.verdict().coverage_complete,
+                rec.verdict().coverage_complete);
+      EXPECT_EQ(inc.verdict().tuples_evicted, rec.verdict().tuples_evicted);
+      EXPECT_EQ(inc.verdict().tuples_compacted,
+                rec.verdict().tuples_compacted);
+    }
+  }
+}
+
+TEST(GovernorTest, LiveSubscriberSeesEveryCycleBeforeFinish) {
+  for (const bool incremental : {true, false}) {
+    Trace trace = ab_ba_trace(false);
+    GovernorOptions options;
+    options.window_events = 4;
+    options.incremental_scc = incremental;
+
+    struct Sighting {
+      std::size_t window;
+      std::size_t sequence;
+      DefectSignature signature;
+    };
+    std::vector<Sighting> sightings;
+    bool finished = false;
+    options.on_cycle = [&](const LiveCycle& lc) {
+      EXPECT_FALSE(finished) << "LiveCycle delivered after finish()";
+      sightings.push_back(
+          {lc.window, lc.sequence, signature_of(*lc.cycle, *lc.dep)});
+    };
+    GovernedStreamingDetector subscribed(options);
+    for (const Event& e : trace.events) subscribed.add(e);
+    Detection sub_det = subscribed.finish();
+    finished = true;
+
+    options.on_cycle = nullptr;
+    GovernedStreamingDetector plain(options);
+    for (const Event& e : trace.events) plain.add(e);
+    Detection plain_det = plain.finish();
+
+    // Every committed cycle was surfaced mid-run, in sequence order.
+    ASSERT_FALSE(sub_det.cycles.empty());
+    ASSERT_EQ(sightings.size(), sub_det.cycles.size()) << incremental;
+    EXPECT_EQ(subscribed.cycles_surfaced_live(), sightings.size());
+    std::set<DefectSignature> surfaced;
+    for (std::size_t i = 0; i < sightings.size(); ++i) {
+      EXPECT_EQ(sightings[i].sequence, i + 1);
+      surfaced.insert(sightings[i].signature);
+    }
+    EXPECT_EQ(surfaced, signatures_of(sub_det));
+
+    // Subscription is observation-only: finish() is identical.
+    EXPECT_EQ(sub_det.cycles.size(), plain_det.cycles.size());
+    for (std::size_t i = 0; i < sub_det.cycles.size(); ++i)
+      EXPECT_EQ(sub_det.cycles[i].tuple_idx, plain_det.cycles[i].tuple_idx);
+    EXPECT_EQ(signatures_of(sub_det), signatures_of(plain_det));
+    EXPECT_EQ(subscribed.verdict().coverage_complete,
+              plain.verdict().coverage_complete);
+  }
+}
+
+TEST(GovernorTest, ThrowingSubscriberIsContainedAsAWindowFault) {
+  Trace trace = ab_ba_trace(false);
+  GovernorOptions options;
+  options.window_events = 4;
+  options.on_cycle = [](const LiveCycle&) {
+    throw std::runtime_error("subscriber exploded");
+  };
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+  Detection det = governed.finish();
+
+  GovernorVerdict verdict = governed.verdict();
+  EXPECT_GE(verdict.detection_faults, 1u);
+  // finish() never delivers to the subscriber, so the authoritative pass
+  // is untouched: full coverage, cycles present.
+  EXPECT_TRUE(verdict.coverage_complete);
+  EXPECT_FALSE(det.cycles.empty());
+}
+
+TEST(PrefilterTest, UndrainedDirtyMarksAccumulateAcrossWindows) {
+  // The governor's catch-up contract: a kPrefilterOnly window skips the
+  // drain, so the marks must still be there — folded onto current labels —
+  // when a later promoted window finally drains. Simulate three windows of
+  // feeding without draining, then one drain must cover everything.
+  LockGraph g;
+  LockDependency dep = LockDependency::from_trace(ab_ba_trace(false));
+  std::size_t fed = 0;
+  for (const LockTuple& t : dep.tuples) {
+    g.on_tuple(t);  // one "window" per tuple, never drained
+    if (!t.lockset.empty()) {
+      ++fed;
+      ASSERT_TRUE(g.has_dirty()) << "mark lost after tuple " << fed;
+    }
+  }
+  ASSERT_GE(fed, 2u);
+  std::vector<LockId> locks = g.drain_dirty_suspicious_locks();
+  std::set<LockId> lock_set(locks.begin(), locks.end());
+  EXPECT_EQ(lock_set, (std::set<LockId>{10, 20}));
+  EXPECT_FALSE(g.has_dirty());
 }
 
 // ----------------------------------------------------- degradation ladder

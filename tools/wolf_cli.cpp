@@ -34,8 +34,9 @@
 // Resource governance (analyze only): --memory-budget-mb bounds the tuple
 // store, --window-events sets the detection window, --window-deadline-ms
 // arms the per-window deadline that drives the degradation ladder
-// (core/governor.hpp). Any degradation is reported on stderr and in the
-// markdown report. `record` and `convert` write output atomically (temp
+// (core/governor.hpp), and --live prints each cycle the moment a window
+// first finds it (mid-run, before finish()) without changing the final
+// report. Any degradation is reported on stderr and in the markdown report. `record` and `convert` write output atomically (temp
 // file + rename), so a crash — or an injected tear=<bytes> fault — never
 // clobbers an existing trace.
 //
@@ -429,6 +430,14 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   config.window_events =
       static_cast<std::size_t>(flags.get_int("window-events"));
   config.window_deadline_ms = flags.get_int("window-deadline-ms");
+  if (flags.get_bool("live")) {
+    // Surface each cycle the moment a window first finds it. Observation
+    // only: the final report below is identical with or without --live.
+    config.on_cycle = [](const LiveCycle& lc) {
+      std::cout << "live: window " << lc.window << " cycle #" << lc.sequence
+                << ": " << lc.cycle->to_string(*lc.dep) << '\n';
+    };
+  }
   if (fault.has_value()) config.fault = &*fault;
   if (!report_config_issues(config)) return 1;
   WolfOptions options = config.wolf_options();
@@ -465,8 +474,8 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
     }
   } else {
     if (config.governed())
-      std::cerr << "warning: --memory-budget-mb/--window-deadline-ms govern "
-                   "trace analysis; ignored without --trace\n";
+      std::cerr << "warning: --memory-budget-mb/--window-deadline-ms/--live "
+                   "govern trace analysis; ignored without --trace\n";
     report = run_wolf(program, options);
     if (!report.trace_recorded) {
       std::cerr << "every recording run deadlocked\n";
@@ -581,6 +590,9 @@ int main(int argc, char** argv) {
     flags.define_int("window-deadline-ms", 0,
                      "per-window detection deadline driving the degradation "
                      "ladder (0 = none)");
+    flags.define_bool("live", false,
+                      "print each cycle when a window first finds it "
+                      "(switches onto the governed streaming path)");
   } else if (command == "replay") {
     flags.define_int("attempts", 10, "replay attempts");
     flags.define_int("cycle", 0, "cycle index for `replay`");
