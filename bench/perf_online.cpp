@@ -46,12 +46,34 @@
 // AB/BA ring on two dedicated threads every ring_every events — fixed
 // sites — dedups to a handful of canonical tuples and a stable cycle set.
 //
+// Since DESIGN.md §17 every scenario ingests through the same reader path
+// production uses (a TraceReader over the synthetic stream), so
+// GovernorOptions::jobs exercises the real pipelined machinery: jobs > 1
+// decodes blocks on a producer thread behind the bounded ring and fans
+// suspicious windows out per dirty SCC. The JSON `parallel` section reruns
+// the scenarios at jobs ∈ {1, 2, 4} and *gates identity*: cycles, verdict,
+// window reports, and the live-delivery transcript must be byte-identical
+// at every level (the deadline scenario gates final cycles only — its
+// ladder rungs depend on wall-clock latency by design). The jobs=4 vs
+// jobs=1 ingest speedup is recorded honestly: it is gated (>= 1.5x) only
+// on full runs with hardware_concurrency >= 4 — on 1-CPU runners the
+// numbers are published but only identity is enforced, because a speedup
+// measured without cores is noise. mevents_per_s spans ingestion only
+// (generation + decode + window detection); finish() is reported
+// separately as finish_seconds. queue_stall_ms / decode_overlap_pct
+// attribute pipelining: push stalls mean ingest was the bottleneck
+// (backpressure worked), pop stalls mean decode was.
+//
 //   perf_online [--quick] [--events=N] [--budget-mb=N]
 //               [--out=BENCH_online.json]
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -62,6 +84,7 @@
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+#include "trace/trace_reader.hpp"
 
 using namespace wolf;
 
@@ -282,7 +305,11 @@ double percentile(std::vector<double> values, double p) {
 struct ScenarioResult {
   std::string name;
   std::uint64_t events = 0;
-  double mevents_per_s = 0;
+  int jobs = 1;
+  double mevents_per_s = 0;         // ingestion-only span (see header)
+  double finish_seconds = 0;        // final enumeration, outside the span
+  double queue_stall_ms = 0;        // ring push+pop stall time (jobs > 1)
+  double decode_overlap_pct = 0;    // % of decode hidden behind ingestion
   std::size_t windows = 0;
   double p50_detect_ms = 0;
   double p99_detect_ms = 0;
@@ -296,6 +323,38 @@ struct ScenarioResult {
   std::size_t cycles = 0;
   std::size_t live_cycles = 0;      // surfaced to windows before finish()
   std::size_t rss_growth_bytes = 0; // VmHWM delta over this scenario
+};
+
+// Determinism transcript of one run, for the jobs-invariance gates. The
+// `governed` part is byte-stable only for deadline-free scenarios (ladder
+// rungs follow wall-clock latency); `cycles` is deterministic always.
+struct RunFingerprint {
+  std::string cycles;    // final detection, one canonical line per cycle
+  std::string governed;  // verdict + window reports + live transcript
+};
+
+// TraceReader over a synthetic event stream: the bench's scenarios ingest
+// through the same block/reader machinery production uses, so jobs > 1
+// exercises the real PipelinedTraceReader path with the generator playing
+// the role of decode on the producer side.
+template <typename Stream>
+class SyntheticTraceReader final : public TraceReader {
+ public:
+  SyntheticTraceReader(Stream stream, std::uint64_t events)
+      : stream_(std::move(stream)), remaining_(events) {}
+
+  bool next_block(std::vector<Event>& out) override {
+    out.clear();
+    const std::uint64_t n = std::min<std::uint64_t>(remaining_, 1024);
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(stream_.next());
+    remaining_ -= n;
+    return !out.empty();
+  }
+
+ private:
+  Stream stream_;
+  std::uint64_t remaining_;
 };
 
 OnlineEventStream make_stream(std::uint64_t events, std::uint64_t seed,
@@ -313,24 +372,69 @@ OnlineEventStream make_stream(std::uint64_t events, std::uint64_t seed,
 }
 
 // Measurement core, generic over the event source so the churn scenarios
-// reuse the exact same accounting as the main stream's.
+// reuse the exact same accounting as the main stream's. Ingestion runs
+// through the reader path (pipelined when options.jobs > 1) and is timed
+// alone: the monotonic span covers generation/decode + window detection,
+// while finish() — whose cost does not scale with the stream — is timed
+// separately. The fingerprint records everything the jobs-invariance gates
+// compare: final cycles, verdict (summary + notes), every window report's
+// deterministic fields, and the full live-delivery transcript.
 template <typename Stream>
 ScenarioResult run_scenario_on(const std::string& name, std::uint64_t events,
                                Stream& stream, const GovernorOptions& options,
-                               Detection* out_detection = nullptr) {
+                               Detection* out_detection = nullptr,
+                               RunFingerprint* out_fp = nullptr) {
   ScenarioResult r;
   r.name = name;
   r.events = events;
+  r.jobs = options.jobs <= 0 ? ThreadPool::hardware_jobs() : options.jobs;
   r.budget_bytes = options.memory_budget_mb << 20;
   const std::size_t rss_base = peak_rss_bytes();
 
-  GovernedStreamingDetector governed(options);
-  Stopwatch watch;
-  for (std::uint64_t i = 0; i < events; ++i) governed.add(stream.next());
-  Detection detection = governed.finish();
-  const double seconds = watch.seconds();
+  // Chain a live-transcript recorder in front of any caller subscriber, so
+  // delivery order and sequence numbers are part of the fingerprint.
+  std::ostringstream live_log;
+  GovernorOptions opts = options;
+  const CycleSubscriber user_subscriber = options.on_cycle;
+  opts.on_cycle = [&live_log, &user_subscriber](const LiveCycle& lc) {
+    live_log << "w" << lc.window << " #" << lc.sequence << ' '
+             << lc.cycle->to_string(*lc.dep) << '\n';
+    if (user_subscriber) user_subscriber(lc);
+  };
 
-  r.mevents_per_s = static_cast<double>(events) / seconds / 1e6;
+  GovernedStreamingDetector governed(opts);
+  SyntheticTraceReader<Stream> source(stream, events);
+  double ingest_seconds = 0;
+  {
+    std::optional<PipelinedTraceReader> piped;
+    TraceReader* reader = &source;
+    if (r.jobs > 1) {
+      piped.emplace(source, /*depth=*/std::max(4, 2 * r.jobs));
+      reader = &*piped;
+    }
+    Stopwatch ingest;
+    std::vector<Event> block;
+    while (reader->next_block(block)) governed.add_block(block);
+    ingest_seconds = ingest.seconds();
+    if (piped.has_value()) {
+      const PipelinedTraceReader::Stats q = piped->stats();
+      r.queue_stall_ms = (q.push_stall_seconds + q.pop_stall_seconds) * 1e3;
+      // Overlap bound: of the producer's decode time, everything the
+      // consumer did NOT spend waiting on an empty ring ran concurrently
+      // with ingestion (max(0, decode - pop_stall) of it, as a fraction of
+      // decode). 100% = decode fully hidden behind detection.
+      if (q.decode_seconds > 0) {
+        const double hidden =
+            std::max(0.0, q.decode_seconds - q.pop_stall_seconds);
+        r.decode_overlap_pct = 100.0 * hidden / q.decode_seconds;
+      }
+    }
+  }
+  Stopwatch finish_watch;
+  Detection detection = governed.finish();
+  r.finish_seconds = finish_watch.seconds();
+
+  r.mevents_per_s = static_cast<double>(events) / ingest_seconds / 1e6;
   const GovernorVerdict& verdict = governed.verdict();
   r.windows = verdict.windows;
   r.tuples_evicted = verdict.tuples_evicted;
@@ -351,6 +455,25 @@ ScenarioResult run_scenario_on(const std::string& name, std::uint64_t events,
   r.p99_detect_ms = percentile(detect_ms, 0.99);
   const std::size_t rss_after = peak_rss_bytes();
   r.rss_growth_bytes = rss_after > rss_base ? rss_after - rss_base : 0;
+
+  if (out_fp != nullptr) {
+    std::ostringstream cyc;
+    for (const PotentialDeadlock& c : detection.cycles)
+      cyc << c.to_string(detection.dep) << '\n';
+    out_fp->cycles = cyc.str();
+    std::ostringstream gov;
+    gov << verdict.summary() << '\n';
+    for (const std::string& note : verdict.notes) gov << "note: " << note << '\n';
+    for (const WindowReport& w : governed.windows()) {
+      gov << "w" << w.index << " ev=" << w.events << " live=" << w.tuples_live
+          << " bytes=" << w.store_bytes << " level=" << to_string(w.level)
+          << " susp=" << w.suspicious << " new=" << w.new_cycles
+          << " compacted=" << w.tuples_compacted
+          << " evicted=" << w.tuples_evicted << " note=" << w.note << '\n';
+    }
+    gov << live_log.str();
+    out_fp->governed = gov.str();
+  }
   if (out_detection != nullptr) *out_detection = std::move(detection);
   return r;
 }
@@ -358,9 +481,10 @@ ScenarioResult run_scenario_on(const std::string& name, std::uint64_t events,
 ScenarioResult run_scenario(const std::string& name, std::uint64_t events,
                             std::uint64_t seed, const GovernorOptions& options,
                             Detection* out_detection = nullptr,
-                            std::uint64_t phases = 8) {
+                            std::uint64_t phases = 8,
+                            RunFingerprint* out_fp = nullptr) {
   OnlineEventStream stream = make_stream(events, seed, phases);
-  return run_scenario_on(name, events, stream, options, out_detection);
+  return run_scenario_on(name, events, stream, options, out_detection, out_fp);
 }
 
 // Two cycle sets are "identical" when they agree cycle by cycle on the
@@ -384,12 +508,34 @@ struct IncrementalSection {
   bool speedup_gated = false;  // the >=5x gate only applies to full runs
 };
 
+// One scenario's jobs-invariance record: the same configuration rerun at
+// jobs ∈ {1, 2, 4}, each rerun's fingerprint compared against the jobs=1
+// baseline. full_fingerprint covers cycles + verdict + windows + live
+// transcript; the deadline scenario compares final cycles only (its ladder
+// follows wall-clock latency, which no amount of determinism pins down).
+struct ParallelScenario {
+  std::string name;
+  bool full_fingerprint = true;
+  std::vector<ScenarioResult> runs;  // jobs = 1, 2, 4 in order
+  bool identical = true;
+};
+
+struct ParallelSection {
+  std::vector<ParallelScenario> scenarios;
+  bool identity_ok = true;
+  double speedup_4_vs_1 = 0;   // unbounded scenario, ingest Mev/s ratio
+  bool speedup_gated = false;  // only full runs on >= 4 hardware threads
+};
+
 void write_scenario_json(std::ostream& os, const ScenarioResult& s,
                          const char* indent) {
   os << indent << "{\"name\": \"" << s.name << "\", \"events\": " << s.events
-     << ",\n"
+     << ", \"jobs\": " << s.jobs << ",\n"
      << indent << " \"mevents_per_s\": " << s.mevents_per_s
-     << ", \"windows\": " << s.windows
+     << ", \"finish_seconds\": " << s.finish_seconds
+     << ", \"queue_stall_ms\": " << s.queue_stall_ms
+     << ", \"decode_overlap_pct\": " << s.decode_overlap_pct << ",\n"
+     << indent << " \"windows\": " << s.windows
      << ", \"p50_window_detect_ms\": " << s.p50_detect_ms
      << ", \"p99_window_detect_ms\": " << s.p99_detect_ms << ",\n"
      << indent << " \"budget_bytes\": " << s.budget_bytes
@@ -404,9 +550,35 @@ void write_scenario_json(std::ostream& os, const ScenarioResult& s,
      << ", \"live_cycles\": " << s.live_cycles << "}";
 }
 
+void write_parallel_json(std::ostream& os, const ParallelSection& par) {
+  os << "  \"parallel\": {\n"
+     << "    \"jobs_levels\": [1, 2, 4],\n"
+     << "    \"identity_ok\": " << (par.identity_ok ? "true" : "false")
+     << ",\n"
+     << "    \"speedup_4_vs_1\": " << par.speedup_4_vs_1
+     << ", \"speedup_gate\": " << (par.speedup_gated ? "1.5" : "null")
+     << ",\n"
+     << "    \"scenarios\": [\n";
+  for (std::size_t i = 0; i < par.scenarios.size(); ++i) {
+    const ParallelScenario& p = par.scenarios[i];
+    os << "      {\"name\": \"" << p.name << "\", \"identical\": "
+       << (p.identical ? "true" : "false") << ", \"fingerprint\": \""
+       << (p.full_fingerprint ? "cycles+verdict+windows+live" : "cycles")
+       << "\",\n"
+       << "       \"runs\": [\n";
+    for (std::size_t j = 0; j < p.runs.size(); ++j) {
+      write_scenario_json(os, p.runs[j], "        ");
+      os << (j + 1 < p.runs.size() ? "," : "") << '\n';
+    }
+    os << "       ]}" << (i + 1 < par.scenarios.size() ? "," : "") << '\n';
+  }
+  os << "    ]\n  }";
+}
+
 void write_json(std::ostream& os, bool quick, std::uint64_t events,
                 const std::vector<ScenarioResult>& scenarios,
-                bool differential_ok, const IncrementalSection& inc) {
+                bool differential_ok, const IncrementalSection& inc,
+                const ParallelSection& par) {
   os << "{\n"
      << "  \"bench\": \"perf_online\",\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
@@ -436,7 +608,9 @@ void write_json(std::ostream& os, bool quick, std::uint64_t events,
      << ", \"identical_vs_batch\": "
      << (inc.identical_vs_batch ? "true" : "false")
      << ", \"live_complete\": " << (inc.live_complete ? "true" : "false")
-     << "\n  }\n}\n";
+     << "\n  },\n";
+  write_parallel_json(os, par);
+  os << "\n}\n";
 }
 
 }  // namespace
@@ -461,16 +635,42 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> scenarios;
 
+  // Scenario runners parameterized on jobs: each builds its GovernorOptions
+  // from scratch so the parallel section can rerun the byte-identical
+  // configuration at jobs ∈ {2, 4} and compare fingerprints.
+  const auto budgeted_run = [&](int jobs, Detection* det, RunFingerprint* fp) {
+    GovernorOptions o;
+    o.memory_budget_mb = budget_mb;
+    o.jobs = jobs;
+    return run_scenario("budgeted", events, seed, o, det, 8, fp);
+  };
+  const auto unbounded_run = [&](int jobs, Detection* det, RunFingerprint* fp) {
+    GovernorOptions o;
+    o.jobs = jobs;
+    return run_scenario("unbounded", events, seed, o, det, 8, fp);
+  };
+  const auto deadline_run = [&](int jobs, Detection* det, RunFingerprint* fp) {
+    GovernorOptions o;
+    o.window_events = 8192;
+    o.window_deadline_ms = 1;
+    o.jobs = jobs;
+    return run_scenario("deadline", events, seed, o, det, 8, fp);
+  };
+  const auto shed_run = [&](int jobs, Detection* det, RunFingerprint* fp) {
+    GovernorOptions o;
+    o.memory_budget_mb = 2;
+    o.jobs = jobs;
+    return run_scenario("shed", events, seed, o, det, 64, fp);
+  };
+
+  RunFingerprint budgeted_fp, unbounded_fp, deadline_fp, shed_fp, churn_fp;
+
   // 1. Budgeted — first, so VmHWM is the governed run's peak.
-  GovernorOptions budgeted;
-  budgeted.memory_budget_mb = budget_mb;
-  scenarios.push_back(run_scenario("budgeted", events, seed, budgeted));
+  scenarios.push_back(budgeted_run(1, nullptr, &budgeted_fp));
 
   // 2. Unbounded + differential gate vs plain streaming detection.
-  GovernorOptions unbounded;
   Detection governed_detection;
-  scenarios.push_back(run_scenario("unbounded", events, seed, unbounded,
-                                   &governed_detection));
+  scenarios.push_back(unbounded_run(1, &governed_detection, &unbounded_fp));
 
   StreamingDetector batch;
   {
@@ -487,18 +687,12 @@ int main(int argc, char** argv) {
                       batch_detection.cycles[i].tuple_idx;
 
   // 3. Deadline pressure on small windows.
-  GovernorOptions deadline;
-  deadline.window_events = 8192;
-  deadline.window_deadline_ms = 1;
-  scenarios.push_back(run_scenario("deadline", events, seed, deadline));
+  scenarios.push_back(deadline_run(1, nullptr, &deadline_fp));
 
   // 4. Shedding — a 64-phase stream whose canonical tuple set alone
   // outgrows a small budget, so compaction cannot save it and aging must
   // evict; the honest verdict (coverage_complete = false) is gated below.
-  GovernorOptions shed;
-  shed.memory_budget_mb = 2;
-  scenarios.push_back(run_scenario("shed", events, seed, shed,
-                                   /*out_detection=*/nullptr, /*phases=*/64));
+  scenarios.push_back(shed_run(1, nullptr, &shed_fp));
 
   // 5/6. Incremental section: the every-window-churn stream through the
   // legacy recompute path and the dirty-SCC path, plus a plain batch
@@ -517,16 +711,20 @@ int main(int argc, char** argv) {
     inc.recompute = run_scenario_on("churn-recompute", inc.churn_events,
                                     stream, o, &churn_rec_det);
   }
-  std::size_t delivered = 0;
-  {
+  const auto churn_inc_run = [&](int jobs, Detection* det, RunFingerprint* fp,
+                                 std::size_t* delivered) {
     GovernorOptions o;
     o.window_events = inc.window_events;
     o.incremental_scc = true;
-    o.on_cycle = [&delivered](const LiveCycle&) { ++delivered; };
+    o.jobs = jobs;
+    if (delivered != nullptr)
+      o.on_cycle = [delivered](const LiveCycle&) { ++*delivered; };
     ChurnEventStream stream(inc.window_events);
-    inc.incremental = run_scenario_on("churn-incremental", inc.churn_events,
-                                      stream, o, &churn_inc_det);
-  }
+    return run_scenario_on("churn-incremental", inc.churn_events, stream, o,
+                           det, fp);
+  };
+  std::size_t delivered = 0;
+  inc.incremental = churn_inc_run(1, &churn_inc_det, &churn_fp, &delivered);
   Detection churn_batch_det;
   {
     StreamingDetector batch_churn;
@@ -546,6 +744,58 @@ int main(int argc, char** argv) {
                         : 0;
   scenarios.push_back(inc.recompute);
   scenarios.push_back(inc.incremental);
+
+  // Jobs-invariance reruns (DESIGN.md §17): every governed scenario rerun
+  // at jobs ∈ {2, 4}, each rerun's fingerprint compared against its jobs=1
+  // baseline. Identity is gated on every run, --quick included; the jobs=4
+  // ingest speedup is gated only on full runs with >= 4 hardware threads
+  // (a speedup measured without cores is noise, not a regression).
+  ParallelSection par;
+  par.speedup_gated = !quick && ThreadPool::hardware_jobs() >= 4;
+  struct ParallelSpec {
+    const char* name;
+    bool full_fingerprint;
+    const RunFingerprint* base_fp;
+    const ScenarioResult* base_result;
+    std::function<ScenarioResult(int, RunFingerprint*)> rerun;
+  };
+  const std::vector<ParallelSpec> specs = {
+      {"budgeted", true, &budgeted_fp, &scenarios[0],
+       [&](int j, RunFingerprint* fp) { return budgeted_run(j, nullptr, fp); }},
+      {"unbounded", true, &unbounded_fp, &scenarios[1],
+       [&](int j, RunFingerprint* fp) { return unbounded_run(j, nullptr, fp); }},
+      {"deadline", false, &deadline_fp, &scenarios[2],
+       [&](int j, RunFingerprint* fp) { return deadline_run(j, nullptr, fp); }},
+      {"shed", true, &shed_fp, &scenarios[3],
+       [&](int j, RunFingerprint* fp) { return shed_run(j, nullptr, fp); }},
+      {"churn-incremental", true, &churn_fp, &scenarios[5],
+       [&](int j, RunFingerprint* fp) {
+         return churn_inc_run(j, nullptr, fp, nullptr);
+       }},
+  };
+  for (const ParallelSpec& spec : specs) {
+    ParallelScenario p;
+    p.name = spec.name;
+    p.full_fingerprint = spec.full_fingerprint;
+    p.runs.push_back(*spec.base_result);
+    for (int j : {2, 4}) {
+      RunFingerprint fp;
+      p.runs.push_back(spec.rerun(j, &fp));
+      const bool same =
+          fp.cycles == spec.base_fp->cycles &&
+          (!spec.full_fingerprint || fp.governed == spec.base_fp->governed);
+      if (!same) p.identical = false;
+    }
+    if (!p.identical) par.identity_ok = false;
+    par.scenarios.push_back(std::move(p));
+  }
+  {
+    const ParallelScenario& unb = par.scenarios[1];
+    par.speedup_4_vs_1 = unb.runs[0].mevents_per_s > 0
+                             ? unb.runs[2].mevents_per_s /
+                                   unb.runs[0].mevents_per_s
+                             : 0;
+  }
 
   TextTable table({"Scenario", "Mev/s", "Windows", "p50 ms", "p99 ms",
                    "Peak store", "Budget", "Evicted", "Complete", "Cycles"});
@@ -575,13 +825,31 @@ int main(int argc, char** argv) {
             << TextTable::num(inc.recompute.p99_detect_ms, 2) << " ms -> "
             << TextTable::num(inc.incremental.p99_detect_ms, 2) << " ms)\n";
 
+  std::cout << "\njobs-invariance (fingerprints vs jobs=1):\n";
+  TextTable ptable({"Scenario", "Jobs", "Mev/s", "Stall ms", "Ovlp %",
+                    "Identical"});
+  for (const ParallelScenario& p : par.scenarios)
+    for (const ScenarioResult& r : p.runs)
+      ptable.add_row({p.name, std::to_string(r.jobs),
+                      TextTable::num(r.mevents_per_s, 2),
+                      TextTable::num(r.queue_stall_ms, 1),
+                      TextTable::num(r.decode_overlap_pct, 0),
+                      p.identical ? "yes" : "NO"});
+  ptable.render(std::cout);
+  std::cout << "jobs=4 vs jobs=1 ingest speedup "
+            << TextTable::num(par.speedup_4_vs_1, 2) << "x"
+            << (par.speedup_gated
+                    ? " (gate >= 1.5x)"
+                    : " (identity-only: quick run or < 4 hardware threads)")
+            << '\n';
+
   const std::string out = flags.get_string("out");
   std::ofstream os(out);
   if (!os) {
     std::cerr << "cannot write " << out << '\n';
     return 1;
   }
-  write_json(os, quick, events, scenarios, differential_ok, inc);
+  write_json(os, quick, events, scenarios, differential_ok, inc, par);
   std::cout << "wrote " << out << '\n';
 
   // Correctness gates: throughput only counts when the contract held.
@@ -624,6 +892,20 @@ int main(int argc, char** argv) {
   }
   if (inc.speedup_gated && inc.p99_speedup < 5.0) {
     std::cerr << "FAIL: churn p99 speedup " << inc.p99_speedup << " < 5x\n";
+    ok = false;
+  }
+  // Parallel-section gates: identity always (the whole point of §17 is
+  // that jobs never changes the answer); speedup only where it can exist.
+  if (!par.identity_ok) {
+    for (const ParallelScenario& p : par.scenarios)
+      if (!p.identical)
+        std::cerr << "FAIL: " << p.name
+                  << " diverged from its jobs=1 fingerprint\n";
+    ok = false;
+  }
+  if (par.speedup_gated && par.speedup_4_vs_1 < 1.5) {
+    std::cerr << "FAIL: jobs=4 ingest speedup " << par.speedup_4_vs_1
+              << " < 1.5x\n";
     ok = false;
   }
   return ok ? 0 : 1;

@@ -41,6 +41,11 @@ std::vector<ConfigIssue> Config::validate() const {
                     "cannot close zero-event windows)"));
   if (window_deadline_ms < 0)
     issues.push_back(fatal_issue("window_deadline_ms must be >= 0"));
+  if (pipeline_depth == 1)
+    issues.push_back(
+        fatal_issue("pipeline_depth must be 0 (auto) or >= 2 (a depth-1 "
+                    "ring serializes decode and ingestion — it cannot "
+                    "overlap anything)"));
 
   // Conflicts: legal, but one of the two settings silently wins. Non-fatal
   // so existing invocations (e.g. --engine=reference with the default jobs)
@@ -63,6 +68,28 @@ std::vector<ConfigIssue> Config::validate() const {
                 "detector.clock_prune_during_search, which applies the same "
                 "(S,J) clock cut during enumeration — the ablation will not "
                 "see the pruned cycles"));
+  }
+  // Pipelined governed ingestion (DESIGN.md §17): results are identical at
+  // every jobs level, but two combinations deserve a heads-up because one
+  // side of the request silently dominates the other.
+  if (jobs != 1 && governed() && memory_budget_mb != 0) {
+    issues.push_back(
+        warning("jobs > 1 with memory_budget_mb: budget enforcement "
+                "serializes at window boundaries (compaction/eviction run "
+                "on the ingest thread between windows), so pipelining "
+                "overlaps decode but cannot overlap governance — expect "
+                "sub-linear speedup under tight budgets"));
+  }
+  if (jobs != 1 && governed() && !incremental_scc) {
+    issues.push_back(
+        warning("jobs > 1 with incremental_scc=false: the recompute path "
+                "has no per-SCC structure to fan out, so window detection "
+                "stays serial (only decode pipelining applies)"));
+  }
+  if (pipeline_depth >= 2 && jobs == 1) {
+    issues.push_back(
+        warning("pipeline_depth is set but jobs=1: the governed path "
+                "ingests serially and the decode ring is never built"));
   }
   if (deadline_ms != 0 && replay.retry.attempt_deadline_ms != 0 &&
       replay.retry.attempt_deadline_ms != deadline_ms) {
@@ -141,7 +168,12 @@ GovernorOptions Config::governor_options() const {
   o.incremental_scc = incremental_scc;
   o.on_cycle = on_cycle;
   o.detector = detector;
+  // One Config::jobs feeds all three parallel surfaces: reader decode (the
+  // caller's StreamTraceReader options), the decode→ingest pipeline, and
+  // per-SCC window fan-out.
   o.detector.jobs = jobs;
+  o.jobs = jobs;
+  o.pipeline_depth = pipeline_depth;
   o.fault = fault;
   return o;
 }

@@ -8,6 +8,8 @@
 
 #include "obs/counters.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace wolf {
 
@@ -119,6 +121,17 @@ GovernedStreamingDetector::GovernedStreamingDetector(
   if (options_.window_events == 0) options_.window_events = 65536;
 }
 
+GovernedStreamingDetector::~GovernedStreamingDetector() = default;
+
+int GovernedStreamingDetector::resolved_jobs() const {
+  return options_.jobs <= 0 ? ThreadPool::hardware_jobs() : options_.jobs;
+}
+
+ThreadPool& GovernedStreamingDetector::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_jobs());
+  return *pool_;
+}
+
 void GovernedStreamingDetector::add(const Event& e) {
   // Malformed input containment: a semantically inconsistent event (e.g. a
   // release of a lock the thread does not hold, from a corrupted live feed)
@@ -163,25 +176,30 @@ void GovernedStreamingDetector::note_event(GovernorVerdict& v,
   }
 }
 
+void GovernedStreamingDetector::surface_cycle(const PotentialDeadlock& cycle,
+                                              const LockDependency& dep,
+                                              WindowReport& w) {
+  const std::uint64_t key = cycle_key(cycle, dep);
+  if (std::find(seen_cycle_keys_.begin(), seen_cycle_keys_.end(), key) !=
+      seen_cycle_keys_.end())
+    return;
+  seen_cycle_keys_.push_back(key);
+  ++w.new_cycles;
+  ++live_cycles_;
+  if (options_.on_cycle) {
+    LiveCycle lc;
+    lc.window = w.index;
+    lc.sequence = live_cycles_;
+    lc.cycle = &cycle;
+    lc.dep = &dep;
+    options_.on_cycle(lc);
+  }
+}
+
 void GovernedStreamingDetector::surface_new_cycles(const Detection& det,
                                                    WindowReport& w) {
-  for (const PotentialDeadlock& cycle : det.cycles) {
-    const std::uint64_t key = cycle_key(cycle, det.dep);
-    if (std::find(seen_cycle_keys_.begin(), seen_cycle_keys_.end(), key) !=
-        seen_cycle_keys_.end())
-      continue;
-    seen_cycle_keys_.push_back(key);
-    ++w.new_cycles;
-    ++live_cycles_;
-    if (options_.on_cycle) {
-      LiveCycle lc;
-      lc.window = w.index;
-      lc.sequence = live_cycles_;
-      lc.cycle = &cycle;
-      lc.dep = &det.dep;
-      options_.on_cycle(lc);
-    }
-  }
+  for (const PotentialDeadlock& cycle : det.cycles)
+    surface_cycle(cycle, det.dep, w);
 }
 
 void GovernedStreamingDetector::run_window_detection(WindowReport& w) {
@@ -230,23 +248,90 @@ void GovernedStreamingDetector::run_window_detection(WindowReport& w) {
   // generation gate, which consumed the delta before the rung check.
   if (w.level >= DetectionLevel::kPrefilterOnly) return;
 
-  const std::vector<LockId> dirty_locks =
-      prefilter_.drain_dirty_suspicious_locks();
-  if (dirty_locks.empty()) return;  // the suspicious SCCs are all unchanged
+  const std::vector<std::vector<LockId>> dirty_comps =
+      prefilter_.drain_dirty_suspicious_components();
+  if (dirty_comps.empty()) return;  // the suspicious SCCs are all unchanged
   // A cycle's requested locks all lie in one lock-graph SCC, so the tuples
   // whose request lock belongs to a dirty suspicious SCC form a complete
-  // enumeration domain for every cycle that SCC could newly carry.
-  std::vector<std::size_t> subset;
-  for (LockId lock : dirty_locks) {
-    auto it = tuples_by_lock_.find(lock);
-    if (it == tuples_by_lock_.end()) continue;
-    subset.insert(subset.end(), it->second.begin(), it->second.end());
+  // enumeration domain for every cycle that SCC could newly carry — and
+  // since components partition the locks, each dirty component is an
+  // *independent* domain: no cycle crosses two subsets, and canonical dedup
+  // (keyed on thread, request lock, and context) never merges tuples across
+  // them. That makes components the unit of parallel fan-out.
+  std::vector<std::vector<std::size_t>> subsets;
+  subsets.reserve(dirty_comps.size());
+  for (const std::vector<LockId>& locks : dirty_comps) {
+    std::vector<std::size_t> subset;
+    for (LockId lock : locks) {
+      auto it = tuples_by_lock_.find(lock);
+      if (it == tuples_by_lock_.end()) continue;
+      subset.insert(subset.end(), it->second.begin(), it->second.end());
+    }
+    if (subset.empty()) continue;
+    std::sort(subset.begin(), subset.end());  // canonical trace order
+    subsets.push_back(std::move(subset));
   }
-  if (subset.empty()) return;
-  std::sort(subset.begin(), subset.end());  // canonical trace order
-  Detection det =
-      finish_detection(builder_.snapshot_subset(subset), builder_.clocks(), opt);
-  surface_new_cycles(det, w);
+  if (subsets.empty()) return;
+
+  // Fan the components out as independent enumeration tasks. ThreadPool(1)
+  // degenerates to a plain serial loop, so jobs=1 runs the *same* code path
+  // — jobs-invariance is structural, not tested-for. Each task enumerates
+  // serially inside (fan-out parallelism, not nested DFS), over its own
+  // snapshot and clock copy; the shared builder is only read.
+  DetectorOptions task_opt = opt;
+  task_opt.jobs = 1;
+  std::vector<Detection> dets(subsets.size());
+  pool().parallel_for_each(subsets.size(), [&](std::size_t i) {
+    dets[i] = finish_detection(builder_.snapshot_subset(subsets[i]),
+                               builder_.clocks(), task_opt);
+  });
+
+  // Deterministic canonical-order merge. The combined-subset enumeration
+  // emits cycles grouped by ascending global store index of each cycle's
+  // start tuple (dep.unique ascends in snapshot order, and a sorted subset's
+  // local order *is* global order); a start tuple's request lock lives in
+  // exactly one component, so the per-component streams tie only within a
+  // component, where stable sort preserves emission order. Cross-component
+  // DFS branches in a combined run are dead ends — they can never close a
+  // cycle — so they change no emission. The merged stream is therefore
+  // byte-identical to what one combined enumeration would surface.
+  bool truncated = false;
+  std::size_t total = 0;
+  for (const Detection& d : dets) {
+    truncated = truncated || d.truncated;
+    total += d.cycles.size();
+  }
+  if (truncated || total >= opt.max_cycles) {
+    // Truncation is defined over the combined stream; per-component caps
+    // compose differently. Rare (the cap is huge) — re-enumerate the
+    // combined subset serially rather than approximate the cut.
+    std::vector<std::size_t> combined;
+    for (const std::vector<std::size_t>& s : subsets)
+      combined.insert(combined.end(), s.begin(), s.end());
+    std::sort(combined.begin(), combined.end());
+    Detection det = finish_detection(builder_.snapshot_subset(combined),
+                                     builder_.clocks(), opt);
+    surface_new_cycles(det, w);
+    return;
+  }
+  struct MergeRef {
+    std::size_t global_start;  // store index of the cycle's start tuple
+    std::uint32_t det;
+    std::uint32_t idx;
+  };
+  std::vector<MergeRef> merged;
+  merged.reserve(total);
+  for (std::size_t d = 0; d < dets.size(); ++d)
+    for (std::size_t c = 0; c < dets[d].cycles.size(); ++c)
+      merged.push_back({subsets[d][dets[d].cycles[c].tuple_idx[0]],
+                        static_cast<std::uint32_t>(d),
+                        static_cast<std::uint32_t>(c)});
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergeRef& a, const MergeRef& b) {
+                     return a.global_start < b.global_start;
+                   });
+  for (const MergeRef& m : merged)
+    surface_cycle(dets[m.det].cycles[m.idx], dets[m.det].dep, w);
 }
 
 void GovernedStreamingDetector::recompute_store_bytes() {
@@ -384,9 +469,31 @@ GovernorVerdict GovernedStreamingDetector::verdict() const {
 GovernedDetection detect_reader_governed(TraceReader& reader,
                                          const GovernorOptions& options) {
   GovernedStreamingDetector detector(options);
-  std::vector<Event> block;
-  while (reader.next_block(block)) detector.add_block(block);
   GovernedDetection out;
+  const int jobs =
+      options.jobs <= 0 ? ThreadPool::hardware_jobs() : options.jobs;
+  if (jobs > 1) {
+    // Stage pipelining: decode on a producer thread, ingest here. The ring
+    // preserves block order and contents, so this is bit-identical to the
+    // serial drain below — it only changes *when* decode work happens.
+    const std::size_t depth =
+        options.pipeline_depth != 0
+            ? options.pipeline_depth
+            : std::max<std::size_t>(4, 2 * static_cast<std::size_t>(jobs));
+    PipelinedTraceReader piped(reader, depth);
+    std::vector<Event> block;
+    while (piped.next_block(block)) detector.add_block(block);
+    const PipelinedTraceReader::Stats stats = piped.stats();
+    out.pipeline.used = true;
+    out.pipeline.push_stalls = stats.push_stalls;
+    out.pipeline.pop_stalls = stats.pop_stalls;
+    out.pipeline.push_stall_seconds = stats.push_stall_seconds;
+    out.pipeline.pop_stall_seconds = stats.pop_stall_seconds;
+    out.pipeline.decode_seconds = stats.decode_seconds;
+  } else {
+    std::vector<Event> block;
+    while (reader.next_block(block)) detector.add_block(block);
+  }
   out.detection = detector.finish();
   out.windows = detector.windows();
   out.verdict = detector.verdict();

@@ -50,11 +50,23 @@
 // and the bench's regression baseline. finish() is identical in both modes,
 // so the honesty contract is untouched. Windows can also surface each
 // first-sighted cycle to a CycleSubscriber the moment it is found.
+//
+// Since DESIGN.md §17, governed ingestion scales with cores — without
+// touching a byte of the contract above. GovernorOptions::jobs > 1 turns on
+// two composable mechanisms, both bit-identical to the serial path:
+//   * stage pipelining — detect_reader_governed decodes blocks on a
+//     producer thread behind a bounded SPSC ring (support/ring_queue.hpp,
+//     trace/PipelinedTraceReader), so decode overlaps window detection;
+//   * per-SCC window fan-out — a suspicious window's dirty components are
+//     independent enumeration domains (a cycle's request locks all share
+//     one SCC), so each is enumerated as its own thread-pool task and the
+//     streams are merged back in canonical order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +77,8 @@
 #include "trace/recorder.hpp"
 
 namespace wolf {
+
+class ThreadPool;
 
 // The degradation ladder, cheapest-last. Numeric order is demotion order.
 enum class DetectionLevel : std::uint8_t {
@@ -109,6 +123,18 @@ struct GovernorOptions {
   // recompute-per-suspicious-window path, kept for differential testing and
   // as the perf_online regression baseline.
   bool incremental_scc = true;
+  // Parallelism of governed ingestion (DESIGN.md §17): > 1 pipelines block
+  // decode behind detection (detect_reader_governed) and fans a suspicious
+  // window's dirty SCCs out as independent enumeration tasks; 1 = fully
+  // serial; 0 = hardware concurrency. Verdicts, notes, window reports, and
+  // live-cycle sequence numbers are bit-identical at every level. The
+  // recompute path (incremental_scc = false) has no component structure to
+  // fan out and always enumerates serially.
+  int jobs = 1;
+  // Depth, in blocks, of the decode→ingest ring when jobs > 1; this is the
+  // backpressure bound on how far decode may run ahead of ingestion.
+  // 0 = auto (derived from jobs).
+  std::size_t pipeline_depth = 0;
   // Live cycle surfacing: invoked once per first-sighted cycle at window
   // granularity; empty = no mid-run surfacing. Works in both enumeration
   // modes and never changes what finish() returns.
@@ -170,6 +196,7 @@ std::size_t tuple_bytes(const LockTuple& tuple);
 class GovernedStreamingDetector {
  public:
   explicit GovernedStreamingDetector(const GovernorOptions& options = {});
+  ~GovernedStreamingDetector();
 
   void add(const Event& e);
   void add_block(const std::vector<Event>& events);
@@ -197,6 +224,13 @@ class GovernedStreamingDetector {
   void run_window_detection(WindowReport& w);
   // First-sighting dedup + subscriber delivery for one window's detection.
   void surface_new_cycles(const Detection& det, WindowReport& w);
+  // Single-cycle unit of the above, shared with the per-SCC merge path.
+  void surface_cycle(const PotentialDeadlock& cycle, const LockDependency& dep,
+                     WindowReport& w);
+  // Lazily-built enumeration pool (resolved_jobs() wide); never built when
+  // the run stays serial.
+  ThreadPool& pool();
+  int resolved_jobs() const;
   // Budget enforcement: compaction, then aging. Updates store_bytes_.
   void govern_memory(WindowReport& w);
   void recompute_store_bytes();
@@ -229,17 +263,34 @@ class GovernedStreamingDetector {
   // lock list maps straight to the tuple subset to enumerate. Rebuilt after
   // compaction/eviction (which renumber the store).
   std::unordered_map<LockId, std::vector<std::size_t>> tuples_by_lock_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// Where pipelined ingestion spent its overlap budget — filled only when
+// detect_reader_governed ran the decode→ingest ring (jobs > 1). Stall
+// attribution: push stalls mean ingestion was the bottleneck (the ring
+// backpressured decode), pop stalls mean decode was.
+struct GovernedPipelineStats {
+  bool used = false;
+  std::uint64_t push_stalls = 0;
+  std::uint64_t pop_stalls = 0;
+  double push_stall_seconds = 0;
+  double pop_stall_seconds = 0;
+  double decode_seconds = 0;  // producer-side time spent decoding blocks
 };
 
 struct GovernedDetection {
   Detection detection;
   std::vector<WindowReport> windows;
   GovernorVerdict verdict;
+  GovernedPipelineStats pipeline;
 };
 
 // Streaming detection with governance — the governed analogue of
 // detect_reader(). On a defective stream the result reflects the prefix
 // delivered (callers check the reader), plus the governor's verdict.
+// options.jobs > 1 runs the reader through a PipelinedTraceReader (decode
+// overlapping ingestion) with identical event delivery and results.
 GovernedDetection detect_reader_governed(TraceReader& reader,
                                          const GovernorOptions& options);
 

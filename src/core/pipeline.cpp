@@ -9,6 +9,7 @@
 #include "robust/fault.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace wolf {
 
@@ -402,7 +403,18 @@ WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
   Detection detection;
   {
     obs::Span detect_span(&sink, "phase/detect");
-    detection = detect_reader(reader, options.detector);
+    const int jobs =
+        options.jobs <= 0 ? ThreadPool::hardware_jobs() : options.jobs;
+    if (jobs > 1) {
+      // Stage pipelining (DESIGN.md §17): decode the source on a producer
+      // thread while detection ingests here. Block order and contents are
+      // preserved, so the Detection is bit-identical to the serial drain.
+      PipelinedTraceReader piped(
+          reader, std::max<std::size_t>(4, 2 * static_cast<std::size_t>(jobs)));
+      detection = detect_reader(piped, options.detector);
+    } else {
+      detection = detect_reader(reader, options.detector);
+    }
   }
   return classify_detection(program, std::move(detection), options, sink);
 }

@@ -7,6 +7,7 @@
 #include <iterator>
 
 #include "obs/counters.hpp"
+#include "support/stopwatch.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/wire.hpp"
@@ -791,6 +792,66 @@ void StreamTraceReader::finish_footer_checks(bool dropped_any) {
   } else if (footer_checksum_ != checksum_) {
     defect("trace checksum mismatch");
   }
+}
+
+PipelinedTraceReader::PipelinedTraceReader(TraceReader& source,
+                                           std::size_t depth)
+    : source_(&source), queue_(depth == 0 ? 2 : depth) {
+  producer_ = std::thread([this] { produce(); });
+}
+
+PipelinedTraceReader::~PipelinedTraceReader() {
+  // Unblocks a producer stalled on a full ring; it observes the close,
+  // stops reading the source, and exits.
+  queue_.close();
+  join();
+}
+
+void PipelinedTraceReader::produce() {
+  try {
+    std::vector<Event> block;
+    for (;;) {
+      Stopwatch decode;
+      const bool more = source_->next_block(block);
+      decode_nanos_.fetch_add(
+          static_cast<std::uint64_t>(decode.seconds() * 1e9),
+          std::memory_order_relaxed);
+      if (!more) break;
+      if (!queue_.push(std::move(block))) break;  // consumer gone
+      block.clear();  // moved-from: restore a known state for reuse
+    }
+  } catch (...) {
+    producer_error_ = std::current_exception();
+  }
+  queue_.close();
+}
+
+void PipelinedTraceReader::join() {
+  if (joined_) return;
+  joined_ = true;
+  if (producer_.joinable()) producer_.join();
+}
+
+bool PipelinedTraceReader::next_block(std::vector<Event>& out) {
+  if (queue_.pop(out)) return true;
+  out.clear();
+  // Closed and drained: the producer is done (or dying) — join it so the
+  // source's error state is fully published, then surface its exception.
+  join();
+  if (producer_error_) std::rethrow_exception(producer_error_);
+  return false;
+}
+
+PipelinedTraceReader::Stats PipelinedTraceReader::stats() const {
+  const RingQueue<std::vector<Event>>::Stats q = queue_.stats();
+  Stats s;
+  s.push_stalls = q.push_stalls;
+  s.pop_stalls = q.pop_stalls;
+  s.push_stall_seconds = q.push_stall_seconds;
+  s.pop_stall_seconds = q.pop_stall_seconds;
+  s.decode_seconds =
+      1e-9 * static_cast<double>(decode_nanos_.load(std::memory_order_relaxed));
+  return s;
 }
 
 }  // namespace wolf

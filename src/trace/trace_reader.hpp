@@ -35,13 +35,17 @@
 // index → sequential scan, no parallelism → serial decode.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/mmap_file.hpp"
+#include "support/ring_queue.hpp"
 #include "trace/event.hpp"
 #include "trace/wire.hpp"
 
@@ -190,6 +194,60 @@ class StreamTraceReader final : public TraceReader {
   // File offset just past the last delivered block (0: framing broken, the
   // next block's start cannot be cross-checked).
   std::size_t last_block_end_ = 0;
+};
+
+// Stage-pipelining adapter (DESIGN.md §17): moves a source reader's block
+// production onto a dedicated producer thread, handing decoded blocks to the
+// caller through a bounded SPSC ring. The consumer (detection ingest) and
+// the producer (mmap'd decode — itself possibly parallel via the source's
+// jobs option) then overlap instead of serializing turn-by-turn.
+//
+// Delivery is trivially bit-identical to draining the source directly: the
+// ring preserves block order and block contents, and next_block() returns
+// false only after the producer exhausted the source. Backpressure is the
+// ring's fixed depth — decode can run at most `depth` blocks ahead of
+// ingestion, so a slow consumer bounds the pipeline's memory, not the trace
+// length. A producer-side exception is captured and rethrown from the
+// consumer's next next_block() call, after the producer has been joined.
+//
+// The source reader is borrowed and must outlive this adapter. While the
+// adapter is alive the producer thread owns the source: do not touch it from
+// the consumer side until next_block() has returned false (or the adapter is
+// destroyed) — after either, the source's error/salvage accessors are safe
+// again and reflect the whole stream.
+class PipelinedTraceReader final : public TraceReader {
+ public:
+  struct Stats {
+    std::uint64_t push_stalls = 0;   // producer waited on a full ring
+    std::uint64_t pop_stalls = 0;    // consumer waited on an empty ring
+    double push_stall_seconds = 0;
+    double pop_stall_seconds = 0;
+    double decode_seconds = 0;       // producer time inside source.next_block
+  };
+
+  explicit PipelinedTraceReader(TraceReader& source, std::size_t depth = 8);
+  ~PipelinedTraceReader() override;
+
+  PipelinedTraceReader(const PipelinedTraceReader&) = delete;
+  PipelinedTraceReader& operator=(const PipelinedTraceReader&) = delete;
+
+  bool next_block(std::vector<Event>& out) override;
+
+  // Safe to call at any time; exact once next_block() has returned false.
+  Stats stats() const;
+
+ private:
+  void produce();
+  void join();
+
+  TraceReader* source_;
+  RingQueue<std::vector<Event>> queue_;
+  std::thread producer_;
+  bool joined_ = false;
+  // Written by the producer before it closes the queue; read by the
+  // consumer only after pop() has observed the close (which synchronizes).
+  std::exception_ptr producer_error_;
+  std::atomic<std::uint64_t> decode_nanos_{0};
 };
 
 }  // namespace wolf

@@ -87,6 +87,11 @@ struct Config {
   // windows enumerate only dirty-SCC tuple subsets. false = the historical
   // recompute-per-suspicious-window path (differential reference).
   bool incremental_scc = true;
+  // Depth, in blocks, of the governed decode→ingest ring (DESIGN.md §17)
+  // when jobs > 1 pipelines ingestion: the backpressure bound on how far
+  // decode may run ahead of detection. 0 = auto (derived from jobs). Values
+  // below 2 cannot overlap anything and are rejected by validate().
+  std::size_t pipeline_depth = 0;
   // Live cycle surfacing: called once per first-sighted cycle at window
   // granularity (`wolf analyze --live`). Setting it switches analysis onto
   // the governed path; it never changes the final result.

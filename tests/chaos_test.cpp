@@ -5,7 +5,8 @@
 // in a random format, corrupted by a random combination of byte-level
 // faults (torn write, bit flips, text garbling, fractional truncation),
 // salvage-read, and finally analyzed by the governed detector under random
-// memory budgets, window sizes, deadlines and injected detection faults —
+// memory budgets, window sizes, deadlines, parallelism levels
+// (GovernorOptions::jobs ∈ {1, 2, 4}) and injected detection faults —
 // per-window throws and thread-pool task faults included.
 //
 // The invariant under EVERY schedule:
@@ -80,6 +81,11 @@ Schedule draw_schedule(Rng& rng, std::size_t trace_bytes) {
     s.governor.memory_budget_mb = 1;  // tiny: forces compaction/aging
   if (rng.chance(0.3)) s.governor.window_deadline_ms = 1 + rng.below(20);
   s.governor.detector.jobs = rng.chance(0.3) ? 2 : 1;
+  // Governed-ingestion parallelism (DESIGN.md §17): the per-SCC window
+  // fan-out must uphold the honesty contract under every fault schedule,
+  // so the campaign randomizes it across {1, 2, 4}.
+  const int jobs_levels[] = {1, 2, 4};
+  s.governor.jobs = jobs_levels[rng.below(3)];
   // Half the campaign runs the incremental dirty-SCC enumeration path, half
   // the legacy full-recompute path — the honesty contract must hold on both.
   s.governor.incremental_scc = rng.chance(0.5);
@@ -233,6 +239,10 @@ TEST_P(ExpiryChaosTest, ChurnUnderBudgetKeepsBothPathsHonestAndEqual) {
   options.window_events = 16 + rng.below(112);
   options.memory_budget_mb = 1;
   options.detector.jobs = rng.chance(0.3) ? 2 : 1;
+  // Churn + eviction + per-SCC fan-out together: the store renumbering
+  // between windows must stay invisible at every jobs level.
+  const int jobs_levels[] = {1, 2, 4};
+  options.jobs = jobs_levels[rng.below(3)];
 
   Detection reference = detect(trace, options.detector);
 

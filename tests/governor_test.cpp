@@ -14,12 +14,18 @@
 //     (finish() re-enumerates, coverage stays complete); a fault in the
 //     final enumeration is reported as incomplete coverage, never as a
 //     clean empty report;
-//   * the degradation ladder is a pure function with hysteresis.
+//   * the degradation ladder is a pure function with hysteresis;
+//   * jobs invariance (DESIGN.md §17) — pipelined ingestion and per-SCC
+//     window fan-out are invisible in every observable: cycles, verdict,
+//     notes, window reports and live-cycle sequence numbers are
+//     byte-identical at jobs ∈ {1, 2, 4, hardware}.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -549,6 +555,128 @@ TEST(GovernorTest, IncrementalAndRecomputePathsAgreeBitForBit) {
       EXPECT_EQ(inc.verdict().tuples_evicted, rec.verdict().tuples_evicted);
       EXPECT_EQ(inc.verdict().tuples_compacted,
                 rec.verdict().tuples_compacted);
+    }
+  }
+}
+
+// ---------------------------------------------- jobs invariance (§17)
+
+// Everything the parallel path promises to keep byte-stable, flattened:
+// final cycles, verdict summary + notes, every window report's
+// deterministic fields, and the live-delivery transcript (order AND
+// sequence numbers included).
+std::string run_governed_fingerprint(const Trace& trace,
+                                     GovernorOptions options) {
+  std::ostringstream live;
+  options.on_cycle = [&live](const LiveCycle& lc) {
+    live << "w" << lc.window << " #" << lc.sequence << ' '
+         << lc.cycle->to_string(*lc.dep) << '\n';
+  };
+  GovernedStreamingDetector governed(options);
+  for (const Event& e : trace.events) governed.add(e);
+  Detection det = governed.finish();
+
+  std::ostringstream fp;
+  for (const PotentialDeadlock& c : det.cycles) {
+    fp << "cycle:";
+    for (std::size_t t : c.tuple_idx) fp << t << ',';
+    fp << '\n';
+  }
+  const GovernorVerdict verdict = governed.verdict();
+  fp << verdict.summary() << '\n';
+  for (const std::string& note : verdict.notes) fp << "note: " << note << '\n';
+  for (const WindowReport& w : governed.windows())
+    fp << "w" << w.index << " ev=" << w.events << " live=" << w.tuples_live
+       << " bytes=" << w.store_bytes << " level=" << to_string(w.level)
+       << " susp=" << w.suspicious << " new=" << w.new_cycles
+       << " compacted=" << w.tuples_compacted
+       << " evicted=" << w.tuples_evicted << " note=" << w.note << '\n';
+  fp << live.str();
+  return fp.str();
+}
+
+TEST(GovernorTest, JobsInvarianceAcrossWindowSizesAndBudgets) {
+  // The differential family behind the §17 contract: per-SCC fan-out must
+  // be invisible in every observable — across window sizes, with and
+  // without budget churn (compaction + eviction renumber the store between
+  // windows), and at jobs = 0 (hardware) as well as fixed levels.
+  Trace trace;
+  std::uint64_t seq = 0;
+  SiteId site = 1;
+  for (int rep = 0; rep < 200; ++rep) {
+    const ThreadId t = static_cast<ThreadId>(1 + (rep & 1));
+    trace.events.push_back(acquire(t, 10, site++));
+    trace.events.push_back(acquire(t, 20, site++));
+    trace.events.push_back(release(t, 20));
+    trace.events.push_back(release(t, 10));
+    if (rep % 25 == 24) {
+      // A second, disjoint AB/BA ring on {30, 40}: two independent
+      // suspicious SCCs per window, so the fan-out really has more than
+      // one task to merge back in canonical order.
+      for (Event e : ab_ba_trace(false).events) {
+        if (e.lock == 10) e.lock = 30;
+        if (e.lock == 20) e.lock = 40;
+        trace.events.push_back(e);
+      }
+      for (const Event& e : ab_ba_trace(false).events)
+        trace.events.push_back(e);
+    }
+  }
+  for (Event& e : trace.events) e.seq = seq++;
+
+  for (std::size_t window : {std::size_t{16}, std::size_t{256}}) {
+    for (std::size_t budget_mb : {std::size_t{0}, std::size_t{1}}) {
+      GovernorOptions options;
+      options.window_events = window;
+      options.memory_budget_mb = budget_mb;
+      options.jobs = 1;
+      const std::string base = run_governed_fingerprint(trace, options);
+      EXPECT_NE(base.find("cycle:"), std::string::npos);
+      for (int jobs : {2, 4, 0}) {
+        options.jobs = jobs;
+        EXPECT_EQ(run_governed_fingerprint(trace, options), base)
+            << "window " << window << " budget " << budget_mb << " jobs "
+            << jobs;
+      }
+    }
+  }
+}
+
+TEST(GovernorTest, DetectReaderGovernedPipelineIsBitIdenticalToSerial) {
+  Trace trace;
+  std::uint64_t seq = 0;
+  for (int rep = 0; rep < 100; ++rep)
+    for (const Event& e : ab_ba_trace(false).events)
+      trace.events.push_back(e);
+  for (Event& e : trace.events) e.seq = seq++;
+
+  GovernorOptions options;
+  options.window_events = 64;
+  options.jobs = 1;
+  VectorTraceReader serial_reader(trace);
+  GovernedDetection serial = detect_reader_governed(serial_reader, options);
+  EXPECT_FALSE(serial.pipeline.used);
+  ASSERT_FALSE(serial.detection.cycles.empty());
+
+  for (int jobs : {2, 4}) {
+    options.jobs = jobs;
+    VectorTraceReader reader(trace);
+    GovernedDetection piped = detect_reader_governed(reader, options);
+    EXPECT_TRUE(piped.pipeline.used) << jobs;
+    ASSERT_EQ(piped.detection.cycles.size(), serial.detection.cycles.size());
+    for (std::size_t i = 0; i < piped.detection.cycles.size(); ++i)
+      EXPECT_EQ(piped.detection.cycles[i].tuple_idx,
+                serial.detection.cycles[i].tuple_idx);
+    EXPECT_EQ(piped.verdict.coverage_complete,
+              serial.verdict.coverage_complete);
+    EXPECT_EQ(piped.verdict.final_level, serial.verdict.final_level);
+    ASSERT_EQ(piped.windows.size(), serial.windows.size());
+    for (std::size_t i = 0; i < piped.windows.size(); ++i) {
+      EXPECT_EQ(piped.windows[i].events, serial.windows[i].events) << i;
+      EXPECT_EQ(piped.windows[i].new_cycles, serial.windows[i].new_cycles)
+          << i;
+      EXPECT_EQ(piped.windows[i].store_bytes, serial.windows[i].store_bytes)
+          << i;
     }
   }
 }

@@ -1,19 +1,25 @@
-// Unit tests for the support utilities: RNG, stats, tables, flags, strings.
+// Unit tests for the support utilities: RNG, stats, tables, flags, strings,
+// and the SPSC ring queue behind pipelined ingestion.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "support/arena.hpp"
 #include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/io.hpp"
 #include "support/mmap_file.hpp"
+#include "support/ring_queue.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -490,6 +496,99 @@ TEST(ArenaTest, ResetReleasesEverything) {
   int* p = arena.alloc_array<int>(8);
   p[7] = 42;
   EXPECT_EQ(p[7], 42);
+}
+
+// ---------------------------------------------------------------- RingQueue
+
+TEST(RingQueueTest, PreservesOrderSingleThreaded) {
+  RingQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(int(i)));
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(RingQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  // depth=5 rounds to 8: pushes 1..8 succeed without a consumer.
+  RingQueue<int> q(5);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(int(i)));
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_TRUE(q.push(99));  // one slot freed, one push admitted
+}
+
+TEST(RingQueueTest, PushBlocksUntilConsumerDrains) {
+  RingQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // blocks: ring is full
+    third_pushed.store(true);
+  });
+  // The producer must be stalled, not failing fast.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_GE(q.stats().push_stalls, 1u);
+}
+
+TEST(RingQueueTest, PopDrainsRemainingItemsAfterClose) {
+  RingQueue<int> q(8);
+  ASSERT_TRUE(q.push(10));
+  ASSERT_TRUE(q.push(20));
+  q.close();
+  EXPECT_FALSE(q.push(30));  // closed: producers are refused
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 20);
+  EXPECT_FALSE(q.pop(v));  // drained AND closed
+}
+
+TEST(RingQueueTest, CloseWakesBlockedConsumer) {
+  RingQueue<int> q(4);
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));  // blocks on empty, then sees close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+  EXPECT_GE(q.stats().pop_stalls, 1u);
+}
+
+TEST(RingQueueTest, SpscStressKeepsEveryItemInOrder) {
+  // The production shape: one producer, one consumer, a ring much smaller
+  // than the item count so both sides stall repeatedly.
+  constexpr int kItems = 20000;
+  RingQueue<int> q(4);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(int(i)));
+    q.close();
+  });
+  int expected = 0, v = -1;
+  while (q.pop(v)) {
+    ASSERT_EQ(v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(RingQueueTest, MoveOnlyPayloadsMoveThrough) {
+  RingQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
 }
 
 TEST(ArenaTest, MixedAlignmentsStayAligned) {

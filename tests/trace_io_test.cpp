@@ -10,10 +10,14 @@
 //     (detect_reader) — the acceptance bar for the streaming refactor.
 //   * analyze_reader produces the same classification-level report as
 //     analyze_trace.
+//   * PipelinedTraceReader (DESIGN.md §17) delivers the same events in the
+//     same blocks as its wrapped source, propagates producer exceptions to
+//     the consumer, and shuts down cleanly when abandoned mid-stream.
 //   * Converting v2 -> v3 -> v2 reproduces the original file byte for byte.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -173,6 +177,112 @@ TEST(AnalyzeReaderTest, MatchesAnalyzeTraceOnV3Stream) {
   EXPECT_EQ(report_fingerprint(streamed), report_fingerprint(batch));
   EXPECT_EQ(streamed.cycles.size(), batch.cycles.size());
   EXPECT_EQ(streamed.defects.size(), batch.defects.size());
+}
+
+// ---------------------------------------------------- PipelinedTraceReader
+
+// All events from a reader, drained block by block — the shape every
+// consumer of the reader interface uses.
+std::vector<Event> drain(TraceReader& reader) {
+  std::vector<Event> all;
+  std::vector<Event> block;
+  while (reader.next_block(block))
+    all.insert(all.end(), block.begin(), block.end());
+  return all;
+}
+
+TEST(PipelinedTraceReaderTest, DeliversIdenticalEventsFromVectorSource) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "HashMap");
+  auto trace = sim::record_trace(bench.program, 7, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+
+  VectorTraceReader direct(*trace);
+  const std::vector<Event> expected = drain(direct);
+  ASSERT_FALSE(expected.empty());
+
+  VectorTraceReader source(*trace);
+  PipelinedTraceReader piped(source, /*depth=*/4);
+  EXPECT_EQ(drain(piped), expected);
+  EXPECT_GT(piped.stats().decode_seconds, 0.0);
+}
+
+TEST(PipelinedTraceReaderTest, DeliversIdenticalEventsFromV3Stream) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "ArrayList");
+  auto trace = sim::record_trace(bench.program, 3, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+  const std::string v3 = trace_to_string(*trace, TraceFormat::kV3);
+
+  std::istringstream direct_is{v3};
+  StreamTraceReader direct(direct_is);
+  const std::vector<Event> expected = drain(direct);
+  ASSERT_TRUE(direct.ok()) << direct.error();
+
+  std::istringstream piped_is{v3};
+  StreamTraceReader source(piped_is);
+  PipelinedTraceReader piped(source, /*depth=*/2);
+  EXPECT_EQ(drain(piped), expected);
+  EXPECT_TRUE(source.ok()) << source.error();
+}
+
+TEST(PipelinedTraceReaderTest, DetectionIsBitIdenticalThroughThePipeline) {
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "HashMap");
+  auto trace = sim::record_trace(bench.program, 7, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+
+  const std::string baseline = detection_fingerprint(detect(*trace));
+  VectorTraceReader source(*trace);
+  PipelinedTraceReader piped(source, /*depth=*/8);
+  EXPECT_EQ(detection_fingerprint(detect_reader(piped)), baseline);
+}
+
+// A reader that yields a few blocks, then throws from the producer thread.
+class ThrowingTraceReader final : public TraceReader {
+ public:
+  explicit ThrowingTraceReader(int good_blocks) : remaining_(good_blocks) {}
+  bool next_block(std::vector<Event>& out) override {
+    if (remaining_-- <= 0) throw std::runtime_error("decode exploded");
+    out.assign(1, Event{});
+    return true;
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST(PipelinedTraceReaderTest, ProducerExceptionSurfacesOnConsumer) {
+  ThrowingTraceReader source(/*good_blocks=*/3);
+  PipelinedTraceReader piped(source, /*depth=*/2);
+  std::vector<Event> block;
+  std::size_t delivered = 0;
+  EXPECT_THROW(
+      {
+        while (piped.next_block(block)) delivered += block.size();
+      },
+      std::runtime_error);
+  EXPECT_EQ(delivered, 3u);  // everything decoded before the throw arrives
+}
+
+TEST(PipelinedTraceReaderTest, EarlyDestructionDoesNotHangOrLeak) {
+  // The consumer abandons the stream mid-way; the destructor must close the
+  // ring, unblock the producer, and join it.
+  const auto suite = workloads::standard_suite();
+  const workloads::Benchmark& bench =
+      workloads::find_benchmark(suite, "HashMap");
+  auto trace = sim::record_trace(bench.program, 7, 20, bench.max_steps);
+  ASSERT_TRUE(trace.has_value());
+  VectorTraceReader source(*trace);
+  {
+    PipelinedTraceReader piped(source, /*depth=*/2);
+    std::vector<Event> block;
+    ASSERT_TRUE(piped.next_block(block));
+  }  // destructor runs with blocks still queued and the producer possibly blocked
+  SUCCEED();
 }
 
 TEST(ConvertTest, V2ToV3AndBackIsByteIdentical) {

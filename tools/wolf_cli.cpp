@@ -42,7 +42,13 @@
 //
 // --jobs N classifies detected cycles N-way parallel (default 0 = hardware
 // concurrency); reports are identical at every N, and --jobs 1 runs the
-// historical serial pipeline. The same flag parallelizes cycle enumeration.
+// historical serial pipeline. The same flag parallelizes cycle enumeration,
+// indexed v3 block decode, and — on the governed path — the whole ingestion
+// pipeline: decode overlaps detection through a bounded ring
+// (--pipeline-depth bounds how far it runs ahead), and suspicious windows
+// fan their dirty SCCs out as parallel enumeration tasks. Every output,
+// including governed verdicts and live-cycle order, is identical at every
+// --jobs level.
 //
 // Detector flags: --engine=scc|reference selects the cycle enumeration
 // engine (both emit the identical canonical cycle sequence), --max-cycles
@@ -430,6 +436,8 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
   config.window_events =
       static_cast<std::size_t>(flags.get_int("window-events"));
   config.window_deadline_ms = flags.get_int("window-deadline-ms");
+  config.pipeline_depth =
+      static_cast<std::size_t>(flags.get_int("pipeline-depth"));
   if (flags.get_bool("live")) {
     // Surface each cycle the moment a window first finds it. Observation
     // only: the final report below is identical with or without --live.
@@ -593,6 +601,9 @@ int main(int argc, char** argv) {
     flags.define_bool("live", false,
                       "print each cycle when a window first finds it "
                       "(switches onto the governed streaming path)");
+    flags.define_int("pipeline-depth", 0,
+                     "blocks the governed decode ring may run ahead of "
+                     "ingestion when --jobs > 1 (0 = auto)");
   } else if (command == "replay") {
     flags.define_int("attempts", 10, "replay attempts");
     flags.define_int("cycle", 0, "cycle index for `replay`");
