@@ -1,0 +1,393 @@
+// perf_serve — benchmark-gated perf harness for the `wolf serve` sidecar
+// (serve/server.hpp): sessions × events/s × RSS for concurrent governed
+// sessions streamed over a unix-domain socket, with the same rule every
+// perf_* harness enforces — throughput only counts when the answer is
+// byte-identical to the reference.
+//
+// One synthetic v3 trace (ordered worker pairs + a periodic AB/BA ring, so
+// cycles exist and the canonical tuple set stays program-shaped) is encoded
+// once, then streamed by N concurrent clients into one server, N ∈ {1, 4,
+// 8}. Per scale the harness reports wall time, aggregate events/s, VmHWM
+// growth, and the worst per-session p99 window latency — and *gates*:
+//
+//   * identity — every session's live transcript and verdict line must be
+//     byte-identical to a solo wolf::Session run through the same protocol
+//     builders (the socket adds transport, never new answers);
+//   * completeness — every clean session ends complete;
+//   * isolation — a torn client (killed mid-stream) gets an honest
+//     incomplete verdict while a concurrent clean session still matches the
+//     reference byte-for-byte and the server stays up.
+//
+// RSS is reported as the VmHWM delta over each scale (the payload bytes and
+// reference transcript are built before the baseline is taken). Numbers
+// from 1-CPU runners are honest numbers: clients and server handlers share
+// the core, and nothing here gates on speed — only on truth.
+//
+//   perf_serve [--quick] [--events=N] [--out=BENCH_serve.json]
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/flags.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_reader.hpp"
+#include "wolf.hpp"
+
+using namespace wolf;
+using namespace wolf::serve;
+
+namespace {
+
+// Deterministic synthetic stream: four workers acquire globally ordered
+// lock pairs at fixed per-(worker, slot) sites (canonical tuples dedup like
+// real source locations), and every ring_every events two dedicated threads
+// run the AB/BA pattern so the sessions have cycles to surface.
+class ServeEventStream {
+ public:
+  explicit ServeEventStream(std::uint64_t ring_every)
+      : ring_every_(ring_every) {}
+
+  Event next() {
+    if (pending_.empty()) {
+      if (ring_every_ != 0 && emitted_ > 0 && emitted_ % ring_every_ == 0)
+        ring();
+      else
+        pair();
+    }
+    Event e = pending_.front();
+    pending_.pop_front();
+    e.seq = emitted_++;
+    return e;
+  }
+
+ private:
+  void push(EventKind kind, ThreadId t, LockId l, SiteId site) {
+    Event e;
+    e.kind = kind;
+    e.thread = t;
+    e.lock = l;
+    e.site = site;
+    e.occurrence = 1;
+    pending_.push_back(e);
+  }
+
+  void pair() {
+    const auto t = static_cast<ThreadId>(1 + (step_ % 4));
+    const int slot = static_cast<int>(step_ % 8);
+    const auto la = static_cast<LockId>(10 + slot);
+    const auto lb = static_cast<LockId>(20 + slot);  // la < lb: no cycle
+    const auto s = static_cast<SiteId>(1000 + static_cast<int>(t) * 16 + slot);
+    ++step_;
+    push(EventKind::kLockAcquire, t, la, s);
+    push(EventKind::kLockAcquire, t, lb, s + 8);
+    push(EventKind::kLockRelease, t, lb, kInvalidSite);
+    push(EventKind::kLockRelease, t, la, kInvalidSite);
+  }
+
+  void ring() {
+    push(EventKind::kLockAcquire, 8, 100, 101);
+    push(EventKind::kLockAcquire, 8, 101, 102);
+    push(EventKind::kLockRelease, 8, 101, kInvalidSite);
+    push(EventKind::kLockRelease, 8, 100, kInvalidSite);
+    push(EventKind::kLockAcquire, 9, 101, 201);
+    push(EventKind::kLockAcquire, 9, 100, 202);
+    push(EventKind::kLockRelease, 9, 100, kInvalidSite);
+    push(EventKind::kLockRelease, 9, 101, kInvalidSite);
+  }
+
+  std::uint64_t ring_every_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t step_ = 0;
+  std::deque<Event> pending_;
+};
+
+// Encodes `events` synthetic events as v3 bytes block by block — the full
+// Trace is never materialized, so the payload string is the only footprint.
+std::string make_payload(std::uint64_t events) {
+  ServeEventStream stream(std::max<std::uint64_t>(1, events / 64));
+  std::ostringstream os;
+  {
+    StreamTraceWriter writer(os, TraceFormat::kV3);
+    std::vector<Event> block;
+    for (std::uint64_t i = 0; i < events; i += block.size()) {
+      block.clear();
+      const std::uint64_t n = std::min<std::uint64_t>(events - i, 4096);
+      block.reserve(n);
+      for (std::uint64_t j = 0; j < n; ++j) block.push_back(stream.next());
+      writer.write(block);
+    }
+    writer.finish();
+  }
+  return std::move(os).str();
+}
+
+std::size_t peak_rss_bytes() {
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::size_t kb = 0;
+      for (char c : line)
+        if (c >= '0' && c <= '9')
+          kb = kb * 10 + static_cast<std::size_t>(c - '0');
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+// The answer the server must give for this payload and config: the same
+// Session, drained the same way, rendered through the same protocol
+// builders the server uses (see tests/serve_test.cpp for the same pattern).
+struct Transcript {
+  std::vector<std::string> live;
+  std::string verdict;
+};
+
+Transcript reference_transcript(const std::string& bytes, const Config& cfg) {
+  Transcript out;
+  Session session = Session::open(cfg);
+  std::istringstream is(bytes);
+  StreamTraceReader raw(is, StreamTraceReader::Mode::kSalvage);
+  std::vector<Event> block;
+  while (raw.next_block(block)) {
+    session.feed(block);
+    for (const SessionCycle& c : session.poll())
+      out.live.push_back(live_line(c));
+  }
+  const std::uint64_t events = session.events_seen();
+  Session::Verdict verdict = session.finish();
+  for (const SessionCycle& c : session.poll())
+    out.live.push_back(live_line(c));
+  out.verdict = verdict_line(verdict, /*stream_complete=*/raw.complete(),
+                             /*stream_note=*/std::string(), events);
+  return out;
+}
+
+std::string chomp(std::string line) {
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+bool matches_reference(const EmitResult& r, const Transcript& ref) {
+  if (r.verdict_line != chomp(ref.verdict)) return false;
+  if (r.live_lines.size() != ref.live.size()) return false;
+  for (std::size_t i = 0; i < ref.live.size(); ++i)
+    if (r.live_lines[i] != chomp(ref.live[i])) return false;
+  return true;
+}
+
+std::string unique_socket_path(int n) {
+  return "/tmp/wolf-perfserve-" + std::to_string(n) + ".sock";
+}
+
+struct ScaleResult {
+  int sessions = 0;
+  double wall_seconds = 0;
+  double events_per_s = 0;       // aggregate, all sessions
+  double mevents_per_s = 0;
+  double p99_window_ms_max = 0;  // worst session's p99 window latency
+  std::size_t rss_growth_bytes = 0;
+  bool identity_ok = false;
+  bool complete_ok = false;
+};
+
+void write_json(std::ostream& os, bool quick, std::uint64_t events,
+                const std::string& payload_desc, std::size_t payload_bytes,
+                const std::vector<ScaleResult>& scales, bool torn_honest,
+                bool torn_isolated, bool server_survived, bool ok) {
+  os << "{\n"
+     << "  \"bench\": \"perf_serve\",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"events_per_session\": " << events << ",\n"
+     << "  \"payload_bytes\": " << payload_bytes << ",\n"
+     << "  \"payload\": \"" << payload_desc << "\",\n"
+     << "  \"hardware_concurrency\": " << ThreadPool::hardware_jobs() << ",\n"
+     << "  \"scales\": [\n";
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const ScaleResult& s = scales[i];
+    os << "    {\"sessions\": " << s.sessions
+       << ", \"wall_seconds\": " << s.wall_seconds
+       << ", \"events_per_s\": " << s.events_per_s
+       << ", \"mevents_per_s\": " << s.mevents_per_s
+       << ",\n     \"p99_window_ms_max\": " << s.p99_window_ms_max
+       << ", \"rss_growth_bytes\": " << s.rss_growth_bytes
+       << ", \"identity_ok\": " << (s.identity_ok ? "true" : "false")
+       << ", \"complete_ok\": " << (s.complete_ok ? "true" : "false") << "}"
+       << (i + 1 < scales.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n"
+     << "  \"torn_client\": {\"honest_incomplete\": "
+     << (torn_honest ? "true" : "false")
+     << ", \"other_session_identical\": " << (torn_isolated ? "true" : "false")
+     << ", \"server_survived\": " << (server_survived ? "true" : "false")
+     << "},\n"
+     << "  \"gates_ok\": " << (ok ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_bool("quick", false, "CI smoke mode: 2*10^5 events/session");
+  flags.define_int("events", 0,
+                   "events per session (0 = 2*10^6, or 2*10^5 with --quick)");
+  flags.define_int("window-events", 8192, "events per detection window");
+  flags.define_string("out", "BENCH_serve.json", "JSON output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const bool quick = flags.get_bool("quick");
+  std::uint64_t events = static_cast<std::uint64_t>(flags.get_int("events"));
+  if (events == 0) events = quick ? 200'000 : 2'000'000;
+
+  ServeOptions options;
+  options.max_sessions = 16;
+  options.session.window_events =
+      static_cast<std::size_t>(flags.get_int("window-events"));
+
+  // Payload + reference first, so neither pollutes any scale's RSS delta.
+  const std::string payload = make_payload(events);
+  const Transcript ref = reference_transcript(payload, options.session);
+  std::cout << "payload: " << events << " events, " << payload.size()
+            << " bytes; reference: " << ref.live.size() << " live cycles\n";
+
+  std::vector<ScaleResult> scales;
+  bool ok = true;
+  int socket_n = 0;
+
+  for (int sessions : {1, 4, 8}) {
+    options.socket_path = unique_socket_path(socket_n++);
+    Server server(options);
+    std::string error;
+    if (!server.start(&error)) {
+      std::cerr << "FAIL: server start: " << error << '\n';
+      return 1;
+    }
+
+    ScaleResult scale;
+    scale.sessions = sessions;
+    const std::size_t rss_base = peak_rss_bytes();
+    std::vector<EmitResult> results(static_cast<std::size_t>(sessions));
+    Stopwatch wall;
+    {
+      std::vector<std::thread> clients;
+      for (int i = 0; i < sessions; ++i)
+        clients.emplace_back([&, i] {
+          EmitOptions emit;
+          emit.socket_path = options.socket_path;
+          emit.name = "bench-" + std::to_string(i);
+          emit.chunk_bytes = 256 * 1024;
+          results[static_cast<std::size_t>(i)] =
+              emit_trace_bytes(emit, payload);
+        });
+      for (std::thread& t : clients) t.join();
+    }
+    scale.wall_seconds = wall.seconds();
+    scale.events_per_s = static_cast<double>(events) *
+                         static_cast<double>(sessions) / scale.wall_seconds;
+    scale.mevents_per_s = scale.events_per_s / 1e6;
+    const std::size_t rss_after = peak_rss_bytes();
+    scale.rss_growth_bytes = rss_after > rss_base ? rss_after - rss_base : 0;
+
+    scale.identity_ok = true;
+    scale.complete_ok = true;
+    for (const EmitResult& r : results) {
+      if (!r.ok() || !r.complete) scale.complete_ok = false;
+      if (!matches_reference(r, ref)) scale.identity_ok = false;
+    }
+    for (const SessionStats& s : server.sessions())
+      if (s.session_kind)
+        scale.p99_window_ms_max =
+            std::max(scale.p99_window_ms_max, s.p99_window_seconds * 1e3);
+
+    server.stop();
+    if (!scale.identity_ok) {
+      std::cerr << "FAIL: sessions=" << sessions
+                << " diverged from the solo reference transcript\n";
+      ok = false;
+    }
+    if (!scale.complete_ok) {
+      std::cerr << "FAIL: sessions=" << sessions
+                << " had an incomplete clean session\n";
+      ok = false;
+    }
+    std::cout << "sessions=" << sessions << ": " << scale.wall_seconds
+              << " s, " << scale.mevents_per_s << " Mev/s aggregate, p99 "
+              << scale.p99_window_ms_max << " ms, rss +"
+              << static_cast<double>(scale.rss_growth_bytes) / 1e6
+              << " MB, identity " << (scale.identity_ok ? "ok" : "DIVERGED")
+              << '\n';
+    scales.push_back(scale);
+  }
+
+  // Torn-client isolation: a mid-stream kill next to a clean session.
+  bool torn_honest = false;
+  bool torn_isolated = false;
+  bool server_survived = false;
+  {
+    options.socket_path = unique_socket_path(socket_n++);
+    Server server(options);
+    std::string error;
+    if (!server.start(&error)) {
+      std::cerr << "FAIL: server start: " << error << '\n';
+      return 1;
+    }
+    EmitResult torn;
+    std::thread killer([&] {
+      EmitOptions emit;
+      emit.socket_path = options.socket_path;
+      emit.name = "torn";
+      emit.kill_after_bytes = static_cast<std::int64_t>(payload.size() / 2);
+      torn = emit_trace_bytes(emit, payload);
+    });
+    EmitOptions clean;
+    clean.socket_path = options.socket_path;
+    clean.name = "clean";
+    EmitResult clean_result = emit_trace_bytes(clean, payload);
+    killer.join();
+    torn_honest = torn.done && !torn.complete && !torn.verdict.stream_complete;
+    torn_isolated = clean_result.ok() && clean_result.complete &&
+                    matches_reference(clean_result, ref);
+    server_survived = server.running();
+    server.stop();
+  }
+  if (!torn_honest) {
+    std::cerr << "FAIL: torn client did not get an honest incomplete verdict\n";
+    ok = false;
+  }
+  if (!torn_isolated) {
+    std::cerr << "FAIL: clean session next to a torn one diverged\n";
+    ok = false;
+  }
+  if (!server_survived) {
+    std::cerr << "FAIL: server died on a torn client\n";
+    ok = false;
+  }
+  std::cout << "torn-client: honest="
+            << (torn_honest ? "yes" : "NO") << ", isolated="
+            << (torn_isolated ? "yes" : "NO") << ", server "
+            << (server_survived ? "alive" : "DEAD") << '\n';
+
+  const std::string out = flags.get_string("out");
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "cannot write " << out << '\n';
+    return 1;
+  }
+  write_json(os, quick, events,
+             "ordered worker pairs + AB/BA ring every events/64",
+             payload.size(), scales, torn_honest, torn_isolated,
+             server_survived, ok);
+  std::cout << "wrote " << out << '\n';
+  return ok ? 0 : 1;
+}

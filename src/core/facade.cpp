@@ -70,16 +70,15 @@ std::vector<ConfigIssue> Config::validate() const {
                 "see the pruned cycles"));
   }
   // Pipelined governed ingestion (DESIGN.md §17): results are identical at
-  // every jobs level, but two combinations deserve a heads-up because one
-  // side of the request silently dominates the other.
-  if (jobs != 1 && governed() && memory_budget_mb != 0) {
-    issues.push_back(
-        warning("jobs > 1 with memory_budget_mb: budget enforcement "
-                "serializes at window boundaries (compaction/eviction run "
-                "on the ingest thread between windows), so pipelining "
-                "overlaps decode but cannot overlap governance — expect "
-                "sub-linear speedup under tight budgets"));
-  }
+  // every jobs level. jobs > 1 with memory_budget_mb is a fully supported
+  // combination — the serve sidecar runs every session that way. Memory
+  // stays bounded because the decode→ingest ring is itself bounded
+  // (pipeline_depth blocks): a producer that outruns governed ingestion
+  // parks in RingQueue::push instead of queueing unbounded decoded blocks,
+  // and the tuple store's budget is enforced at window boundaries exactly
+  // as in the serial path (pinned by GovernorTest
+  // JobsWithMemoryBudgetIsSupported). The one remaining heads-up is the
+  // recompute path, where fan-out has nothing to grab:
   if (jobs != 1 && governed() && !incremental_scc) {
     issues.push_back(
         warning("jobs > 1 with incremental_scc=false: the recompute path "

@@ -466,38 +466,8 @@ GovernorVerdict GovernedStreamingDetector::verdict() const {
   return v;
 }
 
-GovernedDetection detect_reader_governed(TraceReader& reader,
-                                         const GovernorOptions& options) {
-  GovernedStreamingDetector detector(options);
-  GovernedDetection out;
-  const int jobs =
-      options.jobs <= 0 ? ThreadPool::hardware_jobs() : options.jobs;
-  if (jobs > 1) {
-    // Stage pipelining: decode on a producer thread, ingest here. The ring
-    // preserves block order and contents, so this is bit-identical to the
-    // serial drain below — it only changes *when* decode work happens.
-    const std::size_t depth =
-        options.pipeline_depth != 0
-            ? options.pipeline_depth
-            : std::max<std::size_t>(4, 2 * static_cast<std::size_t>(jobs));
-    PipelinedTraceReader piped(reader, depth);
-    std::vector<Event> block;
-    while (piped.next_block(block)) detector.add_block(block);
-    const PipelinedTraceReader::Stats stats = piped.stats();
-    out.pipeline.used = true;
-    out.pipeline.push_stalls = stats.push_stalls;
-    out.pipeline.pop_stalls = stats.pop_stalls;
-    out.pipeline.push_stall_seconds = stats.push_stall_seconds;
-    out.pipeline.pop_stall_seconds = stats.pop_stall_seconds;
-    out.pipeline.decode_seconds = stats.decode_seconds;
-  } else {
-    std::vector<Event> block;
-    while (reader.next_block(block)) detector.add_block(block);
-  }
-  out.detection = detector.finish();
-  out.windows = detector.windows();
-  out.verdict = detector.verdict();
-  return out;
-}
+// detect_reader_governed lives in core/session.cpp now: it is a deprecated
+// shim over wolf::Session, which absorbed the drain/pipeline loop that used
+// to sit here.
 
 }  // namespace wolf

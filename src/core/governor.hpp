@@ -204,6 +204,9 @@ class GovernedStreamingDetector {
   std::size_t events_seen() const { return builder_.events_seen(); }
   std::size_t store_bytes() const { return store_bytes_; }
   DetectionLevel level() const { return rung_; }
+  // True once a malformed event fired a builder invariant: ingestion has
+  // stopped and the verdict is honestly incomplete.
+  bool poisoned() const { return poisoned_; }
   const std::vector<WindowReport>& windows() const { return windows_; }
   // Cycles surfaced by per-window enumeration so far (first sightings; the
   // number of LiveCycle deliveries when a subscriber is attached).
@@ -286,19 +289,22 @@ struct GovernedDetection {
   GovernedPipelineStats pipeline;
 };
 
-// Streaming detection with governance — the governed analogue of
-// detect_reader(). On a defective stream the result reflects the prefix
-// delivered (callers check the reader), plus the governor's verdict.
-// options.jobs > 1 runs the reader through a PipelinedTraceReader (decode
-// overlapping ingestion) with identical event delivery and results.
+// DEPRECATED: thin shim over wolf::Session (wolf.hpp) — open_governed →
+// ingest → finish, byte-identical results. Will be removed one release
+// after the Session facade landed (DESIGN.md §18); new code opens a
+// Session. On a defective stream the result reflects the prefix delivered
+// (callers check the reader). options.jobs > 1 runs the reader through a
+// PipelinedTraceReader (decode overlapping ingestion) with identical event
+// delivery and results.
 GovernedDetection detect_reader_governed(TraceReader& reader,
                                          const GovernorOptions& options);
 
-// Online bookkeeping during execution, now resource-governed: attach to a
-// substrate as its TraceSink to pay detection-instrumentation cost at
-// runtime with bounded memory. Replaces the unbounded OnlineAnalysisSink
-// path when governance options are supplied (core/online_sink.hpp keeps
-// the ungoverned adapter for the Table-1 slowdown measurements).
+// DEPRECATED: prefer wolf::Session (wolf.hpp) and feed it from the
+// substrate; removal note in DESIGN.md §18. Online bookkeeping during
+// execution, resource-governed: attach to a substrate as its TraceSink to
+// pay detection-instrumentation cost at runtime with bounded memory.
+// (core/online_sink.hpp keeps the ungoverned adapter for the Table-1
+// slowdown measurements.)
 class GovernedOnlineSink final : public TraceSink {
  public:
   explicit GovernedOnlineSink(const GovernorOptions& options = {})

@@ -10,6 +10,7 @@
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/trace_reader.hpp"
+#include "wolf.hpp"
 
 namespace wolf {
 
@@ -397,47 +398,44 @@ WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
   return analyze(program, trace, options, sink);
 }
 
-WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
-                          const WolfOptions& options) {
+WolfReport analyze_session(const sim::Program& program, Session& session,
+                           TraceReader& reader, const WolfOptions& options) {
   obs::SpanSink sink;
-  Detection detection;
+  Session::Verdict verdict;
   {
     obs::Span detect_span(&sink, "phase/detect");
-    const int jobs =
-        options.jobs <= 0 ? ThreadPool::hardware_jobs() : options.jobs;
-    if (jobs > 1) {
-      // Stage pipelining (DESIGN.md §17): decode the source on a producer
-      // thread while detection ingests here. Block order and contents are
-      // preserved, so the Detection is bit-identical to the serial drain.
-      PipelinedTraceReader piped(
-          reader, std::max<std::size_t>(4, 2 * static_cast<std::size_t>(jobs)));
-      detection = detect_reader(piped, options.detector);
-    } else {
-      detection = detect_reader(reader, options.detector);
-    }
+    // ingest() owns the decode→ingest pipelining (DESIGN.md §17) when the
+    // session's jobs ask for it; event delivery is identical to a serial
+    // drain, so the Detection is bit-identical at every jobs level.
+    session.ingest(reader);
+    verdict = session.finish();
   }
-  return classify_detection(program, std::move(detection), options, sink);
+  WolfReport report = classify_detection(program, std::move(verdict.detection),
+                                         options, sink);
+  if (verdict.governed) {
+    report.governed = true;
+    report.windows = std::move(verdict.windows);
+    report.governor = std::move(verdict.governor);
+  }
+  return report;
+}
+
+WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
+                          const WolfOptions& options) {
+  Session session =
+      Session::open_streaming(options.detector, options.jobs);
+  return analyze_session(program, session, reader, options);
 }
 
 WolfReport analyze_reader_governed(const sim::Program& program,
                                    TraceReader& reader,
                                    const WolfOptions& options,
                                    const GovernorOptions& governor) {
-  obs::SpanSink sink;
   GovernorOptions gov = governor;
   gov.detector = options.detector;
   if (options.fault != nullptr) gov.fault = options.fault;
-  GovernedDetection governed;
-  {
-    obs::Span detect_span(&sink, "phase/detect");
-    governed = detect_reader_governed(reader, gov);
-  }
-  WolfReport report = classify_detection(program, std::move(governed.detection),
-                                         options, sink);
-  report.governed = true;
-  report.windows = std::move(governed.windows);
-  report.governor = std::move(governed.verdict);
-  return report;
+  Session session = Session::open_governed(gov);
+  return analyze_session(program, session, reader, options);
 }
 
 }  // namespace wolf

@@ -153,22 +153,30 @@ WolfReport run_wolf(const sim::Program& program, const WolfOptions& options);
 WolfReport analyze_trace(const sim::Program& program, const Trace& trace,
                          const WolfOptions& options);
 
-// Runs the pipeline on a trace streamed from `reader` (the record phase is
-// skipped): detection ingests block-by-block via StreamingDetector, so the
-// full event vector is never materialized. Produces the same report as
-// analyze_trace over the equivalent materialized trace. A mid-stream reader
-// failure (reader.ok() false afterwards) analyzes the prefix delivered;
-// strict callers must check the reader themselves.
+class Session;  // wolf.hpp — the unified online-analysis facade
+
+// Runs the pipeline on a trace streamed from `reader` through an open
+// wolf::Session: the session ingests (pipelined when its jobs say so) and
+// finishes inside the "phase/detect" span, then classification runs over
+// the resulting detection. Governed sessions land their window reports and
+// verdict in the report. This is the one streaming entry point — the CLI
+// and both deprecated wrappers below route through it.
+WolfReport analyze_session(const sim::Program& program, Session& session,
+                           TraceReader& reader, const WolfOptions& options);
+
+// DEPRECATED: thin wrapper — opens an ungoverned Session over
+// options.detector and calls analyze_session. Removal note in DESIGN.md
+// §18. Produces the same report as analyze_trace over the equivalent
+// materialized trace; a mid-stream reader failure (reader.ok() false
+// afterwards) analyzes the prefix delivered.
 WolfReport analyze_reader(const sim::Program& program, TraceReader& reader,
                           const WolfOptions& options);
 
-// analyze_reader under resource governance (core/governor.hpp): detection
-// ingests through GovernedStreamingDetector — windowed, budgeted, with the
-// degradation ladder — and the report carries the per-window reports and
-// the governor's verdict. governor.detector and governor.fault are
-// overridden from `options` so the pipeline has one source of truth for
-// engine configuration and fault plans. With no budget, no deadline and no
-// faults the detection is bit-identical to analyze_reader's.
+// DEPRECATED: thin wrapper — opens a governed Session (governor.detector
+// and governor.fault overridden from `options`, the pipeline's one source
+// of truth) and calls analyze_session. Removal note in DESIGN.md §18. With
+// no budget, no deadline and no faults the detection is bit-identical to
+// analyze_reader's.
 WolfReport analyze_reader_governed(const sim::Program& program,
                                    TraceReader& reader,
                                    const WolfOptions& options,

@@ -1,0 +1,234 @@
+// wolf::Session — the unified online-analysis facade (wolf.hpp).
+//
+// The implementation is deliberately thin: governed sessions delegate to
+// GovernedStreamingDetector, ungoverned ones to StreamingDetector, and
+// ingest() owns the decode→ingest pipelining that detect_reader_governed
+// and analyze_reader used to duplicate. The deprecated shims at the bottom
+// route through a Session so the historical entry points and the new facade
+// cannot drift apart — they *are* the same code now.
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "support/thread_pool.hpp"
+#include "trace/trace_reader.hpp"
+#include "wolf.hpp"
+
+namespace wolf {
+
+namespace {
+
+// Live-cycle collection state shared between the Session and the subscriber
+// closure handed to the governor (which copies its options, so the closure
+// must reference stable storage — hence the shared_ptr).
+struct LiveCollector {
+  CycleSubscriber user;  // chained push-mode subscriber (may be empty)
+  std::vector<SessionCycle> pending;
+};
+
+}  // namespace
+
+struct Session::Impl {
+  bool governed = false;
+  bool finished = false;
+  int jobs = 1;
+  std::size_t pipeline_depth = 0;
+
+  // Governed mode.
+  std::unique_ptr<GovernedStreamingDetector> gov;
+  std::shared_ptr<LiveCollector> live;  // non-null iff collecting for poll()
+
+  // Ungoverned mode. Poisoning is handled here (the governor has its own):
+  // the builder commits its tuple before mutating held-lock state, so after
+  // a throw the store is consistent and finish() analyzes the prefix.
+  std::unique_ptr<StreamingDetector> stream;
+  bool poisoned = false;
+  std::string poison_note;
+
+  GovernedPipelineStats pipeline;
+};
+
+Session::Session() : impl_(std::make_unique<Impl>()) {}
+Session::Session(Session&& other) noexcept = default;
+Session& Session::operator=(Session&& other) noexcept = default;
+Session::~Session() = default;
+
+Session Session::open(const Config& config) {
+  std::string fatal;
+  for (const ConfigIssue& issue : config.validate()) {
+    if (!issue.fatal) continue;
+    if (!fatal.empty()) fatal += "; ";
+    fatal += issue.message;
+  }
+  if (!fatal.empty())
+    throw std::invalid_argument("wolf::Session::open: " + fatal);
+  if (config.governed())
+    return open_governed(config.governor_options(), config.live);
+  const WolfOptions o = config.wolf_options();
+  return open_streaming(o.detector, o.jobs, config.pipeline_depth);
+}
+
+Session Session::open_streaming(const DetectorOptions& detector, int jobs,
+                                std::size_t pipeline_depth) {
+  Session s;
+  s.impl_->governed = false;
+  s.impl_->jobs = jobs;
+  s.impl_->pipeline_depth = pipeline_depth;
+  s.impl_->stream = std::make_unique<StreamingDetector>(detector);
+  return s;
+}
+
+Session Session::open_governed(const GovernorOptions& options,
+                               bool collect_live) {
+  Session s;
+  s.impl_->governed = true;
+  s.impl_->jobs = options.jobs;
+  s.impl_->pipeline_depth = options.pipeline_depth;
+  GovernorOptions opts = options;
+  if (collect_live) {
+    auto live = std::make_shared<LiveCollector>();
+    live->user = options.on_cycle;
+    s.impl_->live = live;
+    // Collect a copy for poll(), then chain the push-mode subscriber. A
+    // throwing user callback still propagates to the governor's containment
+    // exactly as it would unwrapped, so verdicts are unchanged.
+    opts.on_cycle = [live](const LiveCycle& lc) {
+      live->pending.push_back(
+          SessionCycle{lc.window, lc.sequence, lc.cycle->to_string(*lc.dep)});
+      if (live->user) live->user(lc);
+    };
+  }
+  s.impl_->gov = std::make_unique<GovernedStreamingDetector>(opts);
+  return s;
+}
+
+bool Session::feed(const Event& e) {
+  assert(!impl_->finished && "feed() after finish()");
+  if (impl_->finished) return false;
+  if (impl_->governed) {
+    impl_->gov->add(e);
+    return !impl_->gov->poisoned();
+  }
+  if (impl_->poisoned) return false;
+  try {
+    impl_->stream->add(e);
+  } catch (const std::exception& ex) {
+    impl_->poisoned = true;
+    impl_->poison_note = ex.what();
+    return false;
+  }
+  return true;
+}
+
+bool Session::feed(const std::vector<Event>& events) {
+  assert(!impl_->finished && "feed() after finish()");
+  if (impl_->finished) return false;
+  if (impl_->governed) {
+    // Delegate whole blocks: identical to the historical add_block drain.
+    impl_->gov->add_block(events);
+    return !impl_->gov->poisoned();
+  }
+  for (const Event& e : events)
+    if (!feed(e)) return false;
+  return true;
+}
+
+void Session::ingest(TraceReader& reader) {
+  const int jobs =
+      impl_->jobs <= 0 ? ThreadPool::hardware_jobs() : impl_->jobs;
+  std::vector<Event> block;
+  if (jobs > 1) {
+    // Stage pipelining (DESIGN.md §17): decode on a producer thread, ingest
+    // here. The bounded ring preserves block order and contents — identical
+    // event delivery to the serial drain — and its backpressure is what
+    // keeps per-session memory flat when the producer outruns detection.
+    const std::size_t depth =
+        impl_->pipeline_depth != 0
+            ? impl_->pipeline_depth
+            : std::max<std::size_t>(4, 2 * static_cast<std::size_t>(jobs));
+    PipelinedTraceReader piped(reader, depth);
+    while (piped.next_block(block)) feed(block);
+    const PipelinedTraceReader::Stats stats = piped.stats();
+    impl_->pipeline.used = true;
+    impl_->pipeline.push_stalls += stats.push_stalls;
+    impl_->pipeline.pop_stalls += stats.pop_stalls;
+    impl_->pipeline.push_stall_seconds += stats.push_stall_seconds;
+    impl_->pipeline.pop_stall_seconds += stats.pop_stall_seconds;
+    impl_->pipeline.decode_seconds += stats.decode_seconds;
+  } else {
+    while (reader.next_block(block)) feed(block);
+  }
+}
+
+std::vector<SessionCycle> Session::poll() {
+  std::vector<SessionCycle> out;
+  if (impl_->live) out.swap(impl_->live->pending);
+  return out;
+}
+
+bool Session::governed() const { return impl_->governed; }
+
+bool Session::poisoned() const {
+  return impl_->governed ? impl_->gov->poisoned() : impl_->poisoned;
+}
+
+std::size_t Session::events_seen() const {
+  return impl_->governed ? impl_->gov->events_seen()
+                         : impl_->stream->events_seen();
+}
+
+std::size_t Session::windows_closed() const {
+  return impl_->governed ? impl_->gov->windows().size() : 0;
+}
+
+DetectionLevel Session::level() const {
+  return impl_->governed ? impl_->gov->level() : DetectionLevel::kFullScc;
+}
+
+std::size_t Session::cycles_surfaced_live() const {
+  return impl_->governed ? impl_->gov->cycles_surfaced_live() : 0;
+}
+
+Session::Verdict Session::finish() {
+  assert(!impl_->finished && "finish() called twice");
+  Verdict v;
+  v.governed = impl_->governed;
+  v.pipeline = impl_->pipeline;
+  if (impl_->governed) {
+    v.detection = impl_->gov->finish();
+    v.windows = impl_->gov->windows();
+    v.governor = impl_->gov->verdict();
+  } else {
+    // StreamingDetector::finish semantics preserved: a detection fault
+    // propagates (analyze_reader never swallowed one). Poisoned prefixes
+    // still finish — over the consistent prefix — with an honest verdict.
+    v.detection = impl_->stream->finish();
+    if (impl_->poisoned) {
+      v.governor.coverage_complete = false;
+      v.governor.notes.push_back(
+          "malformed event rejected, later input ignored: " +
+          impl_->poison_note);
+    }
+  }
+  impl_->finished = true;
+  return v;
+}
+
+// ---- deprecated shim (DESIGN.md §18) --------------------------------------
+
+GovernedDetection detect_reader_governed(TraceReader& reader,
+                                         const GovernorOptions& options) {
+  Session session = Session::open_governed(options);
+  session.ingest(reader);
+  Session::Verdict v = session.finish();
+  GovernedDetection out;
+  out.detection = std::move(v.detection);
+  out.windows = std::move(v.windows);
+  out.verdict = std::move(v.governor);
+  out.pipeline = v.pipeline;
+  return out;
+}
+
+}  // namespace wolf

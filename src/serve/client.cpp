@@ -1,0 +1,188 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <istream>
+#include <mutex>
+#include <thread>
+
+#include "serve/net.hpp"
+
+namespace wolf::serve {
+
+namespace {
+
+// Drains response lines on a dedicated thread so the upload never
+// write-write deadlocks against a server streaming live cycles.
+struct LineReader {
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  void start() {
+    thread_ = std::thread([this] {
+      FdInBuf buf(fd_);
+      std::istream is(&buf);
+      std::string line;
+      while (std::getline(is, line)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        lines_.push_back(line);
+      }
+    });
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::vector<std::string> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(lines_);
+  }
+
+  int fd_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+EmitResult emit_trace_bytes(const EmitOptions& options,
+                            std::string_view bytes) {
+  EmitResult r;
+  std::string err;
+  Fd fd = unix_connect(options.socket_path, &err);
+  if (!fd.valid()) {
+    r.error = "connect: " + err;
+    return r;
+  }
+  r.connected = true;
+
+  LineReader reader(fd.get());
+  reader.start();
+
+  std::string hello = format_hello(options.name, options.params);
+  hello += '\n';
+  if (!write_all(fd.get(), hello)) {
+    r.error = "hello write failed";
+    shutdown_write(fd.get());
+    reader.join();
+    return r;
+  }
+
+  // Upload, chunked; the chaos knobs act here.
+  bool killed = false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    std::size_t n = std::min(options.chunk_bytes == 0 ? bytes.size()
+                                                      : options.chunk_bytes,
+                             bytes.size() - sent);
+    if (options.kill_after_bytes >= 0) {
+      const std::size_t cap =
+          static_cast<std::size_t>(options.kill_after_bytes);
+      if (sent >= cap) {
+        killed = true;
+        break;
+      }
+      n = std::min(n, cap - sent);
+    }
+    if (!write_all(fd.get(), bytes.substr(sent, n))) break;  // server gone
+    sent += n;
+    if (options.kill_after_bytes >= 0 &&
+        sent >= static_cast<std::size_t>(options.kill_after_bytes)) {
+      killed = true;
+      break;
+    }
+    if (options.throttle_ms > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.throttle_ms));
+  }
+  r.bytes_sent = sent;
+
+  if (killed && options.vanish) {
+    // A killed producer: both directions die at once; whatever the server
+    // says from here on is never heard.
+    shutdown_read(fd.get());
+    shutdown_write(fd.get());
+  } else {
+    // Normal end (or a torn upload we still listen after): tell the server
+    // the stream is over and keep reading until its done line.
+    shutdown_write(fd.get());
+  }
+  reader.join();
+
+  r.lines = reader.take();
+  for (const std::string& line : r.lines) {
+    if (options.on_line) options.on_line(line);
+    const std::string type = line_type(line);
+    if (type == "hello") {
+      r.hello_reply = line;
+    } else if (type == "live") {
+      r.live_lines.push_back(line);
+    } else if (type == "verdict") {
+      r.verdict_line = line;
+      if (parse_verdict_line(line, r.verdict)) r.complete = r.verdict.complete;
+    } else if (type == "done") {
+      r.done = true;
+    } else if (type == "error") {
+      std::string message;
+      parse_error_line(line, message);
+      r.error = message.empty() ? "server error" : message;
+    }
+  }
+  if (!r.done && r.error.empty() && !(killed && options.vanish))
+    r.error = "connection ended before the done line";
+  return r;
+}
+
+EmitResult emit_trace(const EmitOptions& options, const Trace& trace,
+                      TraceFormat format) {
+  return emit_trace_bytes(options, trace_to_string(trace, format));
+}
+
+namespace {
+
+// Shared one-shot exchange for status/stop.
+bool simple_request(const std::string& socket_path, const std::string& verb,
+                    std::vector<std::string>& lines, std::string* error) {
+  std::string err;
+  Fd fd = unix_connect(socket_path, &err);
+  if (!fd.valid()) {
+    if (error != nullptr) *error = "connect: " + err;
+    return false;
+  }
+  std::string hello(kProtocolTag);
+  hello += ' ';
+  hello += verb;
+  hello += '\n';
+  if (!write_all(fd.get(), hello)) {
+    if (error != nullptr) *error = "hello write failed";
+    return false;
+  }
+  shutdown_write(fd.get());
+  FdInBuf buf(fd.get());
+  std::istream is(&buf);
+  std::string line;
+  bool done = false;
+  while (std::getline(is, line)) {
+    if (line_type(line) == "done") {
+      done = true;
+      break;
+    }
+    lines.push_back(line);
+  }
+  if (!done && error != nullptr) *error = "connection ended before done";
+  return done;
+}
+
+}  // namespace
+
+bool fetch_status(const std::string& socket_path,
+                  std::vector<std::string>& lines, std::string* error) {
+  return simple_request(socket_path, "status", lines, error);
+}
+
+bool send_stop(const std::string& socket_path, std::string* error) {
+  std::vector<std::string> lines;
+  return simple_request(socket_path, "stop", lines, error);
+}
+
+}  // namespace wolf::serve

@@ -805,6 +805,16 @@ PipelinedTraceReader::~PipelinedTraceReader() {
   // stops reading the source, and exits.
   queue_.close();
   join();
+  // Early destruction (consumer abandoned the stream before draining to
+  // false) can leave a producer exception nobody will ever rethrow. A
+  // destructor cannot surface it, but it must not vanish either: count it.
+  // Unstable — whether a consumer bails before seeing the error is a
+  // scheduling artifact, not pipeline semantics.
+  if (producer_error_ && !error_delivered_) {
+    static const obs::Counter abandoned("trace.pipeline_abandoned_errors",
+                                        /*stable=*/false);
+    abandoned.add();
+  }
 }
 
 void PipelinedTraceReader::produce() {
@@ -838,7 +848,10 @@ bool PipelinedTraceReader::next_block(std::vector<Event>& out) {
   // Closed and drained: the producer is done (or dying) — join it so the
   // source's error state is fully published, then surface its exception.
   join();
-  if (producer_error_) std::rethrow_exception(producer_error_);
+  if (producer_error_) {
+    error_delivered_ = true;
+    std::rethrow_exception(producer_error_);
+  }
   return false;
 }
 

@@ -246,7 +246,12 @@ class PipelinedTraceReader final : public TraceReader {
   bool joined_ = false;
   // Written by the producer before it closes the queue; read by the
   // consumer only after pop() has observed the close (which synchronizes).
+  // A consumer that destroys the adapter before draining to false never
+  // sees the exception — the destructor cannot throw, so that case is
+  // counted on the "trace.pipeline_abandoned_errors" obs counter instead
+  // of being silently swallowed (error_delivered_ tells the two apart).
   std::exception_ptr producer_error_;
+  bool error_delivered_ = false;
   std::atomic<std::uint64_t> decode_nanos_{0};
 };
 

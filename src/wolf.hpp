@@ -22,8 +22,14 @@
 //   rt::ExecutorOptions::*       -> Config::executor.*
 //   ReportWriterOptions::*       -> Config::report.*
 //   DfOptions::*                 -> df_options() (derived from the above)
+// Online analysis has exactly one public entry point: wolf::Session
+// (declared below). The four historical online names — StreamingDetector,
+// OnlineAnalysisSink, GovernedOnlineSink, detect_reader_governed — are
+// deprecated shims over it and will be removed one release after this one
+// (DESIGN.md §18).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -96,9 +102,14 @@ struct Config {
   // granularity (`wolf analyze --live`). Setting it switches analysis onto
   // the governed path; it never changes the final result.
   CycleSubscriber on_cycle;
+  // Pull-mode live surfacing: Session::poll() returns the cycles first
+  // sighted since the last poll. Like on_cycle (the two compose), setting
+  // it switches Session::open onto the governed path and never changes what
+  // finish() returns. The serve sidecar runs sessions with live = true.
+  bool live = false;
 
   bool governed() const {
-    return memory_budget_mb != 0 || window_deadline_ms != 0 ||
+    return memory_budget_mb != 0 || window_deadline_ms != 0 || live ||
            static_cast<bool>(on_cycle);
   }
 
@@ -117,6 +128,117 @@ struct Config {
   baseline::DfOptions df_options() const;
   rt::ExecutorOptions executor_options() const;
   GovernorOptions governor_options() const;
+};
+
+// One cycle surfaced between two Session::poll() calls — an owned copy of a
+// LiveCycle delivery (safe to keep; nothing borrows detection state).
+struct SessionCycle {
+  std::size_t window = 0;    // WindowReport::index that surfaced it
+  std::size_t sequence = 0;  // 1-based first-sighting sequence number
+  std::string description;   // PotentialDeadlock::to_string rendering
+};
+
+// The one online-analysis entry point: open → feed → poll → finish.
+//
+// Session unifies the four historical online surfaces (StreamingDetector,
+// OnlineAnalysisSink, GovernedOnlineSink, detect_reader_governed — all now
+// deprecated shims over it) behind a single lifecycle the CLI, the serve
+// sidecar, the pipeline, and the tests all share:
+//
+//   Session s = Session::open(config);          // throws on fatal config
+//   while (reader.next_block(block)) {
+//     s.feed(block);
+//     for (const SessionCycle& c : s.poll()) ...;  // live cycles, if any
+//   }
+//   Session::Verdict v = s.finish();            // authoritative, final
+//
+// open() dispatches on Config::governed(): a governed config gets the full
+// windowed/budgeted/laddered machinery of core/governor.hpp; an ungoverned
+// one gets the unbounded batch-equivalent StreamingDetector. Both modes
+// share the containment contract an always-on service needs: a malformed
+// event *poisons* the session (feed returns false, ingestion stops, the
+// verdict is honestly incomplete) instead of propagating out of feed, and
+// governed finish() never throws. Results are byte-identical to the
+// historical entry points at every jobs level.
+//
+// A Session is single-owner state, not a thread-safe object: feed, poll and
+// finish must be externally serialized (the serve sidecar gives each
+// session its own thread; internal enumeration parallelism via jobs is the
+// session's own business).
+class Session {
+ public:
+  // Everything finish() knows, in one struct. `detection` is authoritative;
+  // `governor.coverage_complete` is the honesty bit (true iff the detection
+  // provably equals batch analysis of the same event stream — ungoverned
+  // sessions set it false only when poisoned). `windows` and `pipeline` are
+  // empty/unused for ungoverned sessions.
+  struct Verdict {
+    Detection detection;
+    std::vector<WindowReport> windows;
+    GovernorVerdict governor;
+    GovernedPipelineStats pipeline;
+    bool governed = false;
+  };
+
+  // Builds a session from a validated Config (throws std::invalid_argument
+  // listing the fatal issues otherwise) and dispatches on
+  // Config::governed(). Live cycles are collected for poll() iff
+  // config.live; Config::on_cycle still fires push-mode either way.
+  static Session open(const Config& config);
+  // Mode-explicit constructors for callers holding per-stage structs (the
+  // deprecated shims route through these so results stay byte-identical).
+  static Session open_streaming(const DetectorOptions& detector, int jobs = 1,
+                                std::size_t pipeline_depth = 0);
+  static Session open_governed(const GovernorOptions& options,
+                               bool collect_live = false);
+
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&& other) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  // Ingestion. Returns true while the session is healthy; false once it is
+  // poisoned (a malformed event fired a builder invariant) — from then on
+  // events are discarded and finish() reports an incomplete verdict over
+  // the consistent prefix. Never throws on bad input.
+  bool feed(const Event& e);
+  bool feed(const std::vector<Event>& events);
+
+  // Drains a TraceReader through feed(). With jobs > 1 the blocks are
+  // decoded on a producer thread behind the bounded ring
+  // (trace/PipelinedTraceReader) — the per-client backpressure that keeps
+  // memory flat no matter how far a fast producer runs ahead; stats land in
+  // Verdict::pipeline. Event delivery is order- and content-identical to a
+  // serial drain. Keeps draining after poisoning (the reader is left at
+  // end-of-stream either way, so stream diagnostics stay meaningful).
+  void ingest(TraceReader& reader);
+
+  // Cycles first sighted since the last poll(), in surfacing order. Always
+  // empty unless the session was opened with live collection (Config::live
+  // or collect_live). Cheap when empty.
+  std::vector<SessionCycle> poll();
+
+  // Observation (valid any time).
+  bool governed() const;
+  bool poisoned() const;
+  std::size_t events_seen() const;
+  std::size_t windows_closed() const;
+  DetectionLevel level() const;
+  std::size_t cycles_surfaced_live() const;
+
+  // Closes the trailing window, runs the authoritative enumeration and
+  // returns everything. Final: feed() after finish() is an error (asserts
+  // in debug builds, no-op otherwise). Governed sessions never throw from
+  // finish (a detection fault yields an honest incomplete verdict);
+  // ungoverned sessions preserve StreamingDetector::finish semantics and
+  // let a detection fault propagate.
+  Verdict finish();
+
+ private:
+  Session();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 // Facade entry points — the pipeline functions, taking Config directly.

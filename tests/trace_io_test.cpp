@@ -23,6 +23,7 @@
 
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
+#include "obs/counters.hpp"
 #include "rt/executor.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/recorder.hpp"
@@ -266,6 +267,34 @@ TEST(PipelinedTraceReaderTest, ProducerExceptionSurfacesOnConsumer) {
       },
       std::runtime_error);
   EXPECT_EQ(delivered, 3u);  // everything decoded before the throw arrives
+}
+
+TEST(PipelinedTraceReaderTest, AbandonedProducerErrorIsCountedNotSwallowed) {
+  // Regression: an in-flight producer exception during early destruction
+  // used to vanish without a trace. It must land in the
+  // trace.pipeline_abandoned_errors counter — and only when the consumer
+  // never saw it; a delivered (rethrown) error is not "abandoned".
+  obs::set_counters_enabled(true);
+  const auto before = obs::CounterRegistry::instance().snapshot();
+  {
+    ThrowingTraceReader source(/*good_blocks=*/0);  // throws immediately
+    PipelinedTraceReader piped(source, /*depth=*/2);
+    // Destroyed without a single next_block(): the error is never delivered.
+  }
+  auto d = obs::delta(obs::CounterRegistry::instance().snapshot(), before);
+  EXPECT_EQ(d.value("trace.pipeline_abandoned_errors"), 1u);
+
+  // The delivered path: the consumer rethrow marks the error as seen, so
+  // the abandoned counter must NOT move.
+  const auto before2 = obs::CounterRegistry::instance().snapshot();
+  {
+    ThrowingTraceReader source(/*good_blocks=*/0);
+    PipelinedTraceReader piped(source, /*depth=*/2);
+    std::vector<Event> block;
+    EXPECT_THROW(piped.next_block(block), std::runtime_error);
+  }
+  auto d2 = obs::delta(obs::CounterRegistry::instance().snapshot(), before2);
+  EXPECT_EQ(d2.value("trace.pipeline_abandoned_errors"), 0u);
 }
 
 TEST(PipelinedTraceReaderTest, EarlyDestructionDoesNotHangOrLeak) {

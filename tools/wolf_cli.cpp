@@ -5,6 +5,9 @@
 //   wolf analyze  --workload=HashMap [--trace=trace.txt] [--rank]
 //   wolf replay   --workload=HashMap --cycle=2 --attempts=10 [--rt]
 //   wolf convert  trace.txt trace.bin [--format=v1|v2|v3]
+//   wolf serve    --socket=/tmp/wolf.sock [--max-sessions=N] [...]
+//   wolf emit     --socket=/tmp/wolf.sock --trace=trace.bin [--name=n]
+//   wolf status   --socket=/tmp/wolf.sock [--stop]
 //   wolf list
 //
 // Workloads are the built-in benchmark suite plus the paper's figure
@@ -55,12 +58,23 @@
 // caps enumeration (a warning is printed when the cap is hit), and
 // --clock-prune folds the Pruner's vector-clock test into the search so
 // provably-infeasible branches are never explored.
+//
+// The sidecar trio (DESIGN.md §18): `serve` runs the always-on detection
+// server on a unix-domain socket, one governed wolf::Session per client;
+// `emit` streams a recorded trace (or records one on the fly) into a serve
+// session and prints the live cycles + verdict in the same format `analyze
+// --live` uses, so the two are diffable byte-for-byte; `status` dumps the
+// server's newline-JSON session registry (and --stop asks it to drain).
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "core/magic_prune.hpp"
 #include "core/metrics.hpp"
@@ -69,6 +83,8 @@
 #include "obs/report.hpp"
 #include "robust/fault.hpp"
 #include "rt/replay_rt.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/flags.hpp"
 #include "support/io.hpp"
 #include "trace/serialize.hpp"
@@ -461,10 +477,10 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
     read_options.jobs = config.jobs;
     StreamTraceReader reader(trace_path, StreamTraceReader::Mode::kStrict,
                              read_options);
-    report = config.governed()
-                 ? analyze_reader_governed(program, reader, options,
-                                           config.governor_options())
-                 : analyze_reader(program, reader, options);
+    // One facade for both modes: Session::open picks governed vs plain
+    // streaming from the config, and analyze_session drives ingest/finish.
+    Session session = Session::open(config);
+    report = analyze_session(program, session, reader, options);
     if (!reader.ok()) {
       std::cerr << "bad trace: " << reader.error() << " (try --salvage)"
                 << '\n';
@@ -475,8 +491,8 @@ int cmd_analyze(const sim::Program& program, const Flags& flags) {
     if (!trace) return 1;
     if (config.governed()) {
       VectorTraceReader reader(*trace);
-      report = analyze_reader_governed(program, reader, options,
-                                       config.governor_options());
+      Session session = Session::open(config);
+      report = analyze_session(program, session, reader, options);
     } else {
       report = analyze_trace(program, *trace, options);
     }
@@ -557,12 +573,215 @@ int cmd_replay(const sim::Program& program, const Flags& flags) {
   return stats.reproduced() ? 0 : 2;
 }
 
+// ---- the sidecar trio (DESIGN.md §18) -------------------------------------
+
+// SIGINT/SIGTERM latch for `wolf serve`'s drain loop. A handler may only
+// touch sig_atomic_t, so the poll loop below does the actual stop().
+volatile std::sig_atomic_t g_serve_signal = 0;
+extern "C" void serve_signal_handler(int sig) { g_serve_signal = sig; }
+
+// wolf serve --socket=PATH [...] — runs the always-on sidecar until SIGTERM/
+// SIGINT or a client's `stop` hello, then drains gracefully and exits 0.
+int cmd_serve(int argc, char** argv) {
+  Flags flags;
+  flags.set_context("wolf serve");
+  flags.define_string("socket", "", "unix-domain socket path to listen on");
+  flags.define_int("max-sessions", 16,
+                   "concurrent session cap; extra connections are rejected");
+  flags.define_int("idle-timeout-ms", 30000,
+                   "evict a connection idle this long (0 = never)");
+  flags.define_int("session-deadline-ms", 0,
+                   "wall-clock cap on one session's ingest (0 = none)");
+  flags.define_int("drain-deadline-ms", 5000,
+                   "grace period for live sessions on shutdown");
+  flags.define_int("pipeline-depth", 4,
+                   "per-session decode ring depth in blocks (<2 = inline)");
+  flags.define_int("window-events", 65536,
+                   "default events per governed detection window");
+  flags.define_int("memory-budget-mb", 0,
+                   "default per-session tuple-store budget (MiB, 0 = none)");
+  flags.define_int("window-deadline-ms", 0,
+                   "default per-window detection deadline (0 = none)");
+  flags.define_int("jobs", 1, "default per-session enumeration parallelism");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.get_string("socket").empty()) {
+    std::cerr << "wolf serve: --socket is required\n";
+    return 1;
+  }
+
+  serve::ServeOptions options;
+  options.socket_path = flags.get_string("socket");
+  options.max_sessions = static_cast<int>(flags.get_int("max-sessions"));
+  options.idle_timeout_ms = flags.get_int("idle-timeout-ms");
+  options.session_deadline_ms = flags.get_int("session-deadline-ms");
+  options.drain_deadline_ms = flags.get_int("drain-deadline-ms");
+  options.pipeline_depth =
+      static_cast<std::size_t>(flags.get_int("pipeline-depth"));
+  options.session.window_events =
+      static_cast<std::size_t>(flags.get_int("window-events"));
+  options.session.memory_budget_mb =
+      static_cast<std::size_t>(flags.get_int("memory-budget-mb"));
+  options.session.window_deadline_ms = flags.get_int("window-deadline-ms");
+  options.session.jobs = static_cast<int>(flags.get_int("jobs"));
+
+  serve::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "wolf serve: " << error << '\n';
+    return 1;
+  }
+  std::cout << "serving on " << options.socket_path << " (max "
+            << options.max_sessions << " sessions)\n";
+
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (g_serve_signal == 0 && !server.stop_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::cout << (g_serve_signal != 0 ? "signal received" : "stop requested")
+            << ", draining\n";
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  std::cout << "served " << stats.sessions_started << " session(s): "
+            << stats.sessions_done << " done, " << stats.sessions_torn
+            << " torn, " << stats.sessions_evicted << " evicted, "
+            << stats.sessions_failed << " failed, " << stats.rejected
+            << " rejected\n";
+  return 0;
+}
+
+// wolf emit --socket=PATH --trace=FILE | --workload=W — streams a trace into
+// one serve session and prints the server's live cycles and verdict in the
+// exact format `wolf analyze --live` prints its own, so the two transcripts
+// diff clean. Exits 0 on a complete verdict, 2 on an honest incomplete one,
+// 1 on transport/protocol failure.
+int cmd_emit(int argc, char** argv) {
+  Flags flags;
+  flags.set_context("wolf emit");
+  flags.define_string("socket", "", "serve socket to stream into");
+  flags.define_string("name", "emit", "session name shown in status");
+  flags.define_string("trace", "", "recorded trace file to stream");
+  flags.define_string("workload", "",
+                      "record this workload on the fly instead of --trace");
+  flags.define_int("seed", 1, "recording seed for --workload");
+  flags.define_int("window", 0, "override the server's window-events");
+  flags.define_int("budget-mb", -1, "override the server's memory budget");
+  flags.define_int("deadline-ms", -1,
+                   "override the server's window deadline");
+  flags.define_int("jobs", 0, "override the server's per-session jobs");
+  flags.define_int("chunk-bytes", 64 * 1024, "upload chunk size");
+  flags.define_int("throttle-ms", 0, "sleep between chunks (slow consumer)");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.get_string("socket").empty()) {
+    std::cerr << "wolf emit: --socket is required\n";
+    return 1;
+  }
+
+  std::string bytes;
+  if (!flags.get_string("trace").empty()) {
+    std::ifstream in(flags.get_string("trace"), std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read " << flags.get_string("trace") << '\n';
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = std::move(buf).str();
+  } else if (!flags.get_string("workload").empty()) {
+    auto program = find_workload(flags.get_string("workload"));
+    if (!program) {
+      std::cerr << "unknown workload '" << flags.get_string("workload")
+                << "'; try `wolf list`\n";
+      return 1;
+    }
+    auto trace = sim::record_trace(
+        *program, static_cast<std::uint64_t>(flags.get_int("seed")),
+        robust::RetryPolicy{});
+    if (!trace) {
+      std::cerr << "every recording run deadlocked\n";
+      return 1;
+    }
+    bytes = trace_to_string(*trace, TraceFormat::kV3);
+  } else {
+    std::cerr << "wolf emit: need --trace or --workload\n";
+    return 1;
+  }
+
+  serve::EmitOptions options;
+  options.socket_path = flags.get_string("socket");
+  options.name = flags.get_string("name");
+  options.chunk_bytes = static_cast<std::size_t>(flags.get_int("chunk-bytes"));
+  options.throttle_ms = flags.get_int("throttle-ms");
+  if (flags.get_int("window") > 0)
+    options.params["window"] = std::to_string(flags.get_int("window"));
+  if (flags.get_int("budget-mb") >= 0)
+    options.params["budget-mb"] = std::to_string(flags.get_int("budget-mb"));
+  if (flags.get_int("deadline-ms") >= 0)
+    options.params["deadline-ms"] =
+        std::to_string(flags.get_int("deadline-ms"));
+  if (flags.get_int("jobs") > 0)
+    options.params["jobs"] = std::to_string(flags.get_int("jobs"));
+  // Print live cycles as they arrive, in `analyze --live` format.
+  options.on_line = [](const std::string& line) {
+    SessionCycle cycle;
+    if (serve::parse_live_line(line, cycle))
+      std::cout << "live: window " << cycle.window << " cycle #"
+                << cycle.sequence << ": " << cycle.description << '\n';
+  };
+
+  serve::EmitResult result = serve::emit_trace_bytes(options, bytes);
+  if (!result.error.empty()) {
+    std::cerr << "wolf emit: " << result.error << '\n';
+    return 1;
+  }
+  std::cout << "governed: " << result.verdict.summary << '\n';
+  if (!result.verdict.stream_note.empty())
+    std::cerr << "warning: " << result.verdict.stream_note << '\n';
+  std::cout << "streamed " << result.bytes_sent << " bytes, "
+            << result.verdict.events << " events, " << result.verdict.windows
+            << " window(s), " << result.verdict.cycles.size()
+            << " cycle(s), " << (result.complete ? "complete" : "INCOMPLETE")
+            << '\n';
+  return result.complete ? 0 : 2;
+}
+
+// wolf status --socket=PATH [--stop] — dumps the server's newline-JSON
+// session registry verbatim (one line per session + the roll-up), and with
+// --stop asks the server to drain and exit.
+int cmd_status(int argc, char** argv) {
+  Flags flags;
+  flags.set_context("wolf status");
+  flags.define_string("socket", "", "serve socket to query");
+  flags.define_bool("stop", false, "ask the server to drain and exit");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.get_string("socket").empty()) {
+    std::cerr << "wolf status: --socket is required\n";
+    return 1;
+  }
+  std::string error;
+  if (flags.get_bool("stop")) {
+    if (!serve::send_stop(flags.get_string("socket"), &error)) {
+      std::cerr << "wolf status: " << error << '\n';
+      return 1;
+    }
+    std::cout << "stop acknowledged\n";
+    return 0;
+  }
+  std::vector<std::string> lines;
+  if (!serve::fetch_status(flags.get_string("socket"), lines, &error)) {
+    std::cerr << "wolf status: " << error << '\n';
+    return 1;
+  }
+  for (const std::string& line : lines) std::cout << line << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr
-        << "usage: wolf <record|detect|analyze|replay|convert|list> [flags]\n";
+    std::cerr << "usage: wolf <record|detect|analyze|replay|convert|serve|"
+                 "emit|status|list> [flags]\n";
     return 1;
   }
   const std::string command = argv[1];
@@ -571,6 +790,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "convert") return cmd_convert(argc - 2, argv + 2);
+  // The sidecar trio parses its own flag set and (for emit) resolves its
+  // own workload, so it dispatches before the --workload lookup below.
+  if (command == "serve") return cmd_serve(argc - 1, argv + 1);
+  if (command == "emit") return cmd_emit(argc - 1, argv + 1);
+  if (command == "status") return cmd_status(argc - 1, argv + 1);
 
   // Each subcommand owns its flag set: the shared surface plus its extras.
   // A flag given to the wrong subcommand is an unknown-flag error naming
